@@ -1,0 +1,37 @@
+package main
+
+import "repro/internal/paperrepro"
+
+// Thin aliases keep main.go's table readable.
+
+func figure3() (paperrepro.Fig3Result, error)   { return paperrepro.Figure3() }
+func figure4() (paperrepro.Fig4Result, error)   { return paperrepro.Figure4() }
+func figure5() (paperrepro.Fig5Result, error)   { return paperrepro.Figure5() }
+func figure6() (paperrepro.Fig6Result, error)   { return paperrepro.Figure6() }
+func figure7() (paperrepro.FigAccResult, error) { return paperrepro.Figure7() }
+func figure8() (paperrepro.FigAccResult, error) { return paperrepro.Figure8() }
+func figure9() (paperrepro.Fig9Result, error)   { return paperrepro.Figure9() }
+
+func scalability() (paperrepro.ScalResult, error) { return paperrepro.Scalability() }
+
+func gpuComparison() (paperrepro.GPUCompareResult, error) { return paperrepro.GPUComparison() }
+
+func algoComparison() (paperrepro.AlgoCompareResult, error) {
+	return paperrepro.AlgorithmComparison()
+}
+
+func ablationScheduler() (paperrepro.SchedAblationResult, error) {
+	return paperrepro.AblationScheduler()
+}
+
+func ablationEarlyStopping() (paperrepro.EarlyStopAblationResult, error) {
+	return paperrepro.AblationEarlyStopping()
+}
+
+func ablationTracing() (paperrepro.TraceOverheadResult, error) {
+	return paperrepro.AblationTracing()
+}
+
+func ablationFaults() (paperrepro.FaultAblationResult, error) {
+	return paperrepro.AblationFaultTolerance()
+}

@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -fig 5        # one artifact
+//	experiments -fig all      # everything (figures 3-9, scalability, ablations)
+//
+// Node-scale artifacts run on the discrete-event simulator; accuracy
+// artifacts (figures 7-8 and the early-stopping ablation) train for real.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "3|4|5|6|7|8|9|scaling|gpucmp|algocmp|sched|earlystop|tracing|faults|all")
+	flag.Parse()
+	if err := run(*fig); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string) error {
+	type artifact struct {
+		key string
+		fn  func() (fmt.Stringer, error)
+	}
+	artifacts := []artifact{
+		{"3", wrap(figure3)},
+		{"4", wrap(figure4)},
+		{"5", wrap(figure5)},
+		{"6", wrap(figure6)},
+		{"7", wrap(figure7)},
+		{"8", wrap(figure8)},
+		{"9", wrap(figure9)},
+		{"scaling", wrap(scalability)},
+		{"gpucmp", wrap(gpuComparison)},
+		{"algocmp", wrap(algoComparison)},
+		{"sched", wrap(ablationScheduler)},
+		{"earlystop", wrap(ablationEarlyStopping)},
+		{"tracing", wrap(ablationTracing)},
+		{"faults", wrap(ablationFaults)},
+	}
+	ran := false
+	for _, a := range artifacts {
+		if fig != "all" && fig != a.key {
+			continue
+		}
+		ran = true
+		r, err := a.fn()
+		if err != nil {
+			return fmt.Errorf("artifact %s: %w", a.key, err)
+		}
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if !ran {
+		return fmt.Errorf("unknown artifact %q", fig)
+	}
+	return nil
+}
+
+func wrap[T fmt.Stringer](fn func() (T, error)) func() (fmt.Stringer, error) {
+	return func() (fmt.Stringer, error) {
+		r, err := fn()
+		return r, err
+	}
+}

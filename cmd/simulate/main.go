@@ -1,0 +1,139 @@
+// Command simulate runs an HPO workload on the discrete-event cluster
+// simulator and reports the makespan, per-node utilisation and an ASCII
+// Gantt view — the what-if tool for sizing a reservation before burning
+// real node hours:
+//
+//	simulate -preset marenostrum4 -nodes 14 -cores 48 -dataset cifar
+//	simulate -cluster mycluster.json -cores 4 -gpus 1 -algo random -budget 64
+//
+// The workload is the paper's grid (27 configs) by default, or a random
+// sample of the same space with -algo random -budget N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpo"
+	"repro/internal/perfmodel"
+	rt "repro/internal/runtime"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		preset      = flag.String("preset", "marenostrum4", "machine preset: marenostrum4 | minotauro | power9")
+		nodes       = flag.Int("nodes", 1, "node count for the preset")
+		clusterFile = flag.String("cluster", "", "cluster spec JSON (overrides -preset/-nodes)")
+		cores       = flag.Int("cores", 1, "cores per task")
+		gpus        = flag.Int("gpus", 0, "GPUs per task")
+		dataset     = flag.String("dataset", "mnist", "mnist | cifar (cost model)")
+		algo        = flag.String("algo", "grid", "grid | random")
+		budget      = flag.Int("budget", 27, "trial count for -algo random")
+		policy      = flag.String("policy", "fifo", "fifo | priority | lifo | locality")
+		seed        = flag.Uint64("seed", 1, "random-search seed")
+		width       = flag.Int("width", 80, "gantt width")
+		rows        = flag.Int("rows", 32, "max gantt rows")
+	)
+	flag.Parse()
+	if err := run(*preset, *nodes, *clusterFile, *cores, *gpus, *dataset, *algo,
+		*budget, *policy, *seed, *width, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, nodes int, clusterFile string, cores, gpus int,
+	dataset, algo string, budget int, policyName string, seed uint64, width, rows int) error {
+
+	var spec cluster.Spec
+	var err error
+	if clusterFile != "" {
+		raw, err := os.ReadFile(clusterFile)
+		if err != nil {
+			return err
+		}
+		spec, err = cluster.ParseSpecJSON(raw)
+		if err != nil {
+			return err
+		}
+	} else {
+		spec, err = cluster.Preset(preset, nodes)
+		if err != nil {
+			return err
+		}
+	}
+	policy, err := rt.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+
+	space, err := hpo.ParseSpaceJSON([]byte(`{
+	  "optimizer": ["Adam", "SGD", "RMSprop"],
+	  "num_epochs": [20, 50, 100],
+	  "batch_size": [32, 64, 128]
+	}`))
+	if err != nil {
+		return err
+	}
+	var configs []hpo.Config
+	switch algo {
+	case "grid":
+		configs = hpo.NewGridSearch(space).Ask(0)
+	case "random":
+		configs = hpo.NewRandomSearch(space, budget, seed).Ask(0)
+	default:
+		return fmt.Errorf("unknown algo %q (grid or random)", algo)
+	}
+
+	rec := trace.NewRecorder()
+	runtime, err := rt.New(rt.Options{
+		Cluster:  spec,
+		Backend:  rt.Sim,
+		Policy:   policy,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	err = runtime.Register(rt.TaskDef{
+		Name:       "experiment",
+		Constraint: rt.Constraint{Cores: cores, GPUs: gpus},
+		Cost: func(args []interface{}, res rt.SimResources) time.Duration {
+			cfg := args[0].(hpo.Config)
+			var c perfmodel.TaskCost
+			if dataset == "cifar" || dataset == "cifar10" {
+				c = perfmodel.CIFARCost(cfg.Int("num_epochs", 50), cfg.Int("batch_size", 64))
+			} else {
+				c = perfmodel.MNISTCost(cfg.Int("num_epochs", 50), cfg.Int("batch_size", 64))
+			}
+			return c.Duration(perfmodel.Resources{
+				Cores: res.Cores, GPUs: res.GPUs,
+				CoreSpeed: res.CoreSpeed, GPUSpeed: res.GPUSpeed,
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("simulate: %d %s tasks (%dc/%dg each) on %s, %s policy\n",
+		len(configs), dataset, cores, gpus, spec, policy)
+	for _, cfg := range configs {
+		if _, err := runtime.Submit("experiment", cfg); err != nil {
+			return err
+		}
+	}
+	runtime.Barrier()
+	st := runtime.Stats()
+	runtime.Shutdown()
+
+	fmt.Printf("makespan: %.1f min (%.2f h)\n\n", st.Makespan.Minutes(), st.Makespan.Hours())
+	fmt.Print(trace.RenderGantt(rec, trace.GanttOptions{Width: width, MaxRows: rows, ShowEvents: true}))
+	fmt.Println()
+	fmt.Print(trace.RenderSummary(rec))
+	return nil
+}

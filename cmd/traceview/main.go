@@ -1,0 +1,47 @@
+// Command traceview renders a Paraver .prv trace (as written by the runtime
+// or cmd/hpo) as an ASCII Gantt chart plus utilisation statistics — a
+// terminal-sized stand-in for the Paraver views in the paper's Figures 4-6.
+//
+//	traceview -width 100 run.prv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	width := flag.Int("width", 96, "chart width in columns")
+	maxRows := flag.Int("rows", 64, "maximum core rows to draw (0 = all)")
+	events := flag.Bool("events", true, "overlay task-start event flags")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-width N] [-rows N] file.prv")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *width, *maxRows, *events); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, width, maxRows int, events bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := trace.ReadParaver(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.RenderGantt(rec, trace.GanttOptions{
+		Width: width, MaxRows: maxRows, ShowEvents: events,
+	}))
+	fmt.Println()
+	fmt.Print(trace.RenderSummary(rec))
+	return nil
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest complete HPO run — a 2×2×1 grid trained for real
+// on the local "node", mirroring the paper's Listing 2 structure:
+//
+//	register the experiment task  (@task + @constraint)
+//	submit one task per config    (the for-loop over configurations)
+//	wait on all results           (compss_wait_on)
+//	print the best configuration
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/datasets"
+	"repro/internal/hpo"
+	"repro/internal/runtime"
+)
+
+func main() {
+	space, err := hpo.ParseSpaceJSON([]byte(`{
+	  "optimizer": ["Adam", "SGD"],
+	  "num_epochs": [3, 5],
+	  "batch_size": [32]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rt, err := runtime.New(runtime.Options{
+		Cluster: cluster.Local(4), // a 4-core "node"
+		Backend: runtime.Real,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	study, err := hpo.NewStudy(hpo.StudyOptions{
+		Sampler:    hpo.NewGridSearch(space),
+		Objective:  &hpo.MLObjective{Dataset: datasets.MNISTLike(400, 1), Hidden: []int{16}},
+		Runtime:    rt,
+		Constraint: runtime.Constraint{Cores: 1}, // each experiment gets 1 computing unit
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Shutdown()
+
+	fmt.Print(hpo.RenderTable(res.Trials))
+	fmt.Printf("\nbest config: %s (val_acc %.3f)\n", res.Best.Config, res.Best.BestAcc)
+}

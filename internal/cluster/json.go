@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// specJSON is the on-disk cluster description accepted by ParseSpecJSON:
+//
+//	{"name": "mycluster",
+//	 "nodes": [{"count": 4, "cores": 48, "gpus": 0,
+//	            "core_speed": 1.0, "gpu_speed": 1.0}]}
+//
+// or a shorthand preset reference: {"preset": "marenostrum4", "count": 14}.
+type specJSON struct {
+	Name   string          `json:"name"`
+	Nodes  []nodeGroupJSON `json:"nodes"`
+	Preset string          `json:"preset"`
+	Count  int             `json:"count"`
+}
+
+type nodeGroupJSON struct {
+	Count     int     `json:"count"`
+	Cores     int     `json:"cores"`
+	GPUs      int     `json:"gpus"`
+	CoreSpeed float64 `json:"core_speed"`
+	GPUSpeed  float64 `json:"gpu_speed"`
+}
+
+// ParseSpecJSON loads a cluster specification from JSON, either as explicit
+// node groups or as a named preset with a node count.
+func ParseSpecJSON(data []byte) (Spec, error) {
+	var raw specJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Spec{}, fmt.Errorf("cluster: parsing spec: %w", err)
+	}
+	if raw.Preset != "" {
+		return Preset(raw.Preset, raw.Count)
+	}
+	if raw.Name == "" {
+		raw.Name = "custom"
+	}
+	spec := Spec{Name: raw.Name}
+	id := 0
+	for gi, g := range raw.Nodes {
+		if g.Count <= 0 {
+			g.Count = 1
+		}
+		if g.Cores <= 0 {
+			return Spec{}, fmt.Errorf("cluster: node group %d needs cores > 0", gi)
+		}
+		coreSpeed := g.CoreSpeed
+		if coreSpeed <= 0 {
+			coreSpeed = 1
+		}
+		gpuSpeed := g.GPUSpeed
+		if gpuSpeed <= 0 {
+			gpuSpeed = 1
+		}
+		for i := 0; i < g.Count; i++ {
+			spec.Nodes = append(spec.Nodes, NodeSpec{
+				ID:    id,
+				Name:  fmt.Sprintf("%s-%02d", strings.ToLower(raw.Name), id),
+				Cores: g.Cores, GPUs: g.GPUs,
+				CoreSpeed: coreSpeed, GPUSpeed: gpuSpeed,
+			})
+			id++
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// Preset returns a named machine preset with n nodes: "marenostrum4",
+// "minotauro" or "power9" (case-insensitive).
+func Preset(name string, n int) (Spec, error) {
+	if n < 1 {
+		n = 1
+	}
+	switch strings.ToLower(name) {
+	case "marenostrum4", "mn4":
+		return MareNostrum4(n), nil
+	case "minotauro":
+		return MinoTauro(n), nil
+	case "power9", "cte-power9", "p9":
+		return Power9(n), nil
+	default:
+		return Spec{}, fmt.Errorf("cluster: unknown preset %q (want marenostrum4, minotauro or power9)", name)
+	}
+}

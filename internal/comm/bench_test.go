@@ -1,0 +1,78 @@
+package comm
+
+import (
+	"testing"
+)
+
+// BenchmarkMemRoundTrip measures the in-process transport's message cost —
+// the floor for single-machine master/worker traffic.
+func BenchmarkMemRoundTrip(b *testing.B) {
+	a, w := NewMemPair(1)
+	defer a.Close()
+	msg := &Message{Type: MsgSubmitTask, TaskID: 1, TaskName: "experiment", Units: 1}
+	done := &Message{Type: MsgTaskDone, TaskID: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Recv(); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Send(done); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPRoundTrip measures a gob-encoded task submission round trip
+// over loopback TCP, the distributed deployment's per-task communication
+// cost.
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	acc := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err == nil {
+			acc <- tr
+		}
+	}()
+	client, err := Dial(ln.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	server := <-acc
+	defer server.Close()
+
+	msg := &Message{
+		Type: MsgSubmitTask, TaskID: 1, TaskName: "experiment",
+		Args:  []interface{}{map[string]interface{}{"optimizer": "Adam", "num_epochs": 50, "batch_size": 64}},
+		Units: 1,
+	}
+	done := &Message{Type: MsgTaskDone, TaskID: 1, Args: []interface{}{0.97}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			b.Fatal(err)
+		}
+		if err := server.Send(done); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

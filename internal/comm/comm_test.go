@@ -1,0 +1,239 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMsgTypeStrings(t *testing.T) {
+	types := []MsgType{MsgRegister, MsgRegisterAck, MsgSubmitTask, MsgTaskDone,
+		MsgTaskFailed, MsgHeartbeat, MsgCancelTask, MsgShutdown, MsgDataTransfer}
+	seen := map[string]bool{}
+	for _, m := range types {
+		s := m.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if MsgType(99).String() == "" {
+		t.Fatal("unknown type should render")
+	}
+}
+
+func TestMemPairRoundTrip(t *testing.T) {
+	a, b := NewMemPair(1)
+	want := &Message{Type: MsgSubmitTask, TaskID: 7, TaskName: "experiment", Units: 4}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TaskID != 7 || got.TaskName != "experiment" || got.Units != 4 {
+		t.Fatalf("got %+v", got)
+	}
+	// And the reverse direction.
+	if err := b.Send(&Message{Type: MsgTaskDone, TaskID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = a.Recv(); err != nil || got.Type != MsgTaskDone {
+		t.Fatalf("reverse direction: %+v, %v", got, err)
+	}
+}
+
+func TestMemPairCloseUnblocksRecv(t *testing.T) {
+	a, b := NewMemPair(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv error = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+	if err := a.Send(&Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v", err)
+	}
+}
+
+func TestMemPairConcurrentTraffic(t *testing.T) {
+	a, b := NewMemPair(16)
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(&Message{Type: MsgHeartbeat, Seq: int64(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	seen := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			m, err := b.Recv()
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if m.Seq != int64(i) {
+				t.Errorf("out of order: got %d want %d", m.Seq, i)
+				return
+			}
+			seen++
+		}
+	}()
+	wg.Wait()
+	if seen != n {
+		t.Fatalf("received %d/%d", seen, n)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	serverSide := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		serverSide <- tr
+	}()
+
+	client, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-serverSide
+	defer server.Close()
+
+	want := &Message{
+		Type: MsgSubmitTask, TaskID: 3, TaskName: "experiment",
+		Args:  []interface{}{map[string]interface{}{"optimizer": "Adam", "batch_size": 64}},
+		Units: 2, GPUs: 1,
+	}
+	if err := client.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TaskName != "experiment" || got.Units != 2 || got.GPUs != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	cfg, ok := got.Args[0].(map[string]interface{})
+	if !ok {
+		t.Fatalf("args decoded as %T", got.Args[0])
+	}
+	if cfg["optimizer"] != "Adam" {
+		t.Fatalf("config = %v", cfg)
+	}
+}
+
+func TestTCPRecvAfterPeerClose(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acc := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err == nil {
+			acc <- tr
+		}
+	}()
+	client, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acc
+	client.Close()
+	if _, err := server.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after peer close = %v, want ErrClosed", err)
+	}
+	server.Close()
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acc := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err == nil {
+			acc <- tr
+		}
+	}()
+	client, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-acc
+	defer server.Close()
+
+	const senders, per = 4, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := client.Send(&Message{Type: MsgHeartbeat, WorkerID: s, Seq: int64(i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	got := 0
+	recvDone := make(chan bool)
+	go func() {
+		for got < senders*per {
+			if _, err := server.Recv(); err != nil {
+				t.Errorf("recv: %v", err)
+				break
+			}
+			got++
+		}
+		recvDone <- true
+	}()
+	wg.Wait()
+	select {
+	case <-recvDone:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timeout: received %d/%d", got, senders*per)
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("expected connection error")
+	}
+}

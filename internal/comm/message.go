@@ -1,0 +1,97 @@
+// Package comm implements the wire protocol between the runtime master and
+// its workers: message types for task submission, completion, failure,
+// heartbeats and shutdown, plus two interchangeable transports — an
+// in-memory channel pair for single-process deployments and a TCP transport
+// (gob-encoded) that ships tasks across a real byte boundary, standing in
+// for the COMPSs master/worker communication layer.
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType int
+
+// Protocol message types.
+const (
+	MsgRegister MsgType = iota + 1
+	MsgRegisterAck
+	MsgSubmitTask
+	MsgTaskDone
+	MsgTaskFailed
+	MsgHeartbeat
+	MsgCancelTask
+	MsgShutdown
+	MsgDataTransfer
+)
+
+// String names the message type for logs.
+func (m MsgType) String() string {
+	switch m {
+	case MsgRegister:
+		return "Register"
+	case MsgRegisterAck:
+		return "RegisterAck"
+	case MsgSubmitTask:
+		return "SubmitTask"
+	case MsgTaskDone:
+		return "TaskDone"
+	case MsgTaskFailed:
+		return "TaskFailed"
+	case MsgHeartbeat:
+		return "Heartbeat"
+	case MsgCancelTask:
+		return "CancelTask"
+	case MsgShutdown:
+		return "Shutdown"
+	case MsgDataTransfer:
+		return "DataTransfer"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(m))
+	}
+}
+
+// Message is the protocol envelope. Exactly one payload field is meaningful
+// per message type; the envelope is kept flat so gob encoding stays simple.
+type Message struct {
+	Type MsgType
+	// WorkerID identifies the sending or target worker.
+	WorkerID int
+	// TaskID identifies the task for Submit/Done/Failed/Cancel.
+	TaskID int
+	// TaskName is the registered task-definition name for SubmitTask.
+	TaskName string
+	// Args carries gob-encoded task arguments for SubmitTask and results
+	// for TaskDone. Values must be gob-encodable; RegisterGobTypes registers
+	// the concrete types used by this repository.
+	Args []interface{}
+	// Err carries the failure description for TaskFailed.
+	Err string
+	// Units/GPUs carry resource grants with SubmitTask.
+	Units int
+	GPUs  int
+	// Payload carries opaque bytes for DataTransfer.
+	Payload []byte
+	// Seq is a heartbeat sequence number.
+	Seq int64
+}
+
+// RegisterGobTypes registers the concrete argument/result types that cross
+// the TCP transport. Call before first use of a gob transport; it is safe to
+// call multiple times with the same types.
+func RegisterGobTypes(values ...interface{}) {
+	for _, v := range values {
+		gob.Register(v)
+	}
+}
+
+func init() {
+	// Types every deployment needs.
+	RegisterGobTypes(
+		int(0), int64(0), float64(0), "", true,
+		[]float64(nil), []int(nil), []string(nil),
+		map[string]interface{}(nil), []interface{}(nil),
+	)
+}

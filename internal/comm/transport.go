@@ -1,0 +1,174 @@
+package comm
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ErrClosed is returned by Send/Recv after the transport closes.
+var ErrClosed = errors.New("comm: transport closed")
+
+// Transport is a bidirectional, message-oriented connection between a master
+// and a worker. Implementations must be safe for one concurrent sender and
+// one concurrent receiver.
+type Transport interface {
+	Send(*Message) error
+	// Recv blocks until a message arrives or the transport closes.
+	Recv() (*Message, error)
+	Close() error
+}
+
+// --- In-memory transport ---
+
+// memShared is the state shared by both endpoints of an in-memory pair;
+// close-once must be shared so closing either (or both) endpoints is safe.
+type memShared struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func (s *memShared) close() { s.once.Do(func() { close(s.done) }) }
+
+// memTransport is one endpoint of an in-process channel pair.
+type memTransport struct {
+	out    chan *Message
+	in     chan *Message
+	shared *memShared
+}
+
+// NewMemPair returns two connected in-memory transports: whatever one sends,
+// the other receives. buffer sets the channel depth (0 = synchronous).
+// Closing either endpoint closes the pair.
+func NewMemPair(buffer int) (a, b Transport) {
+	ab := make(chan *Message, buffer)
+	ba := make(chan *Message, buffer)
+	shared := &memShared{done: make(chan struct{})}
+	return &memTransport{out: ab, in: ba, shared: shared},
+		&memTransport{out: ba, in: ab, shared: shared}
+}
+
+func (t *memTransport) Send(m *Message) error {
+	// Check closedness first: a send attempted after Close must fail
+	// deterministically (the two-way select below picks randomly when both
+	// cases are ready, which would let messages leak past a dead link).
+	select {
+	case <-t.shared.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-t.shared.done:
+		return ErrClosed
+	case t.out <- m:
+		return nil
+	}
+}
+
+func (t *memTransport) Recv() (*Message, error) {
+	select {
+	case <-t.shared.done:
+		// Drain any message racing with close so shutdown is not lossy.
+		select {
+		case m := <-t.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	case m := <-t.in:
+		return m, nil
+	}
+}
+
+func (t *memTransport) Close() error {
+	t.shared.close()
+	return nil
+}
+
+// --- TCP transport ---
+
+// tcpTransport frames messages with encoding/gob over a net.Conn.
+type tcpTransport struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+	once sync.Once
+}
+
+// NewConnTransport wraps an established connection (either side).
+func NewConnTransport(conn net.Conn) Transport {
+	return &tcpTransport{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+}
+
+func (t *tcpTransport) Send(m *Message) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if err := t.enc.Encode(m); err != nil {
+		return fmt.Errorf("comm: send: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpTransport) Recv() (*Message, error) {
+	var m Message
+	if err := t.dec.Decode(&m); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("comm: recv: %w", err)
+	}
+	return &m, nil
+}
+
+func (t *tcpTransport) Close() error {
+	var err error
+	t.once.Do(func() { err = t.conn.Close() })
+	return err
+}
+
+// Listener accepts worker connections for a master.
+type Listener struct {
+	ln net.Listener
+}
+
+// Listen starts a TCP listener on addr ("127.0.0.1:0" for an ephemeral
+// port).
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept blocks for the next worker connection.
+func (l *Listener) Accept() (Transport, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConnTransport(conn), nil
+}
+
+// Close stops accepting connections.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Dial connects a worker to a master at addr.
+func Dial(addr string) (Transport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
+	}
+	return NewConnTransport(conn), nil
+}

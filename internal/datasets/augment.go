@@ -1,0 +1,118 @@
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Transform perturbs one flattened image sample in place. Transforms model
+// the CPU-side preprocessing pipeline whose cost dominates a GPU task at
+// low core counts (§6.1 — the behaviour perfmodel charges PreprocPerEpoch
+// for).
+type Transform interface {
+	Apply(sample []float64, shape [3]int, rng *tensor.RNG)
+	Name() string
+}
+
+// RandomShift translates the image by up to Max pixels in each direction,
+// zero-filling the exposed border.
+type RandomShift struct{ Max int }
+
+// Apply implements Transform.
+func (t RandomShift) Apply(sample []float64, shape [3]int, rng *tensor.RNG) {
+	if t.Max <= 0 {
+		return
+	}
+	h, w, c := shape[0], shape[1], shape[2]
+	dy := rng.Intn(2*t.Max+1) - t.Max
+	dx := rng.Intn(2*t.Max+1) - t.Max
+	if dy == 0 && dx == 0 {
+		return
+	}
+	src := append([]float64(nil), sample...)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sy, sx := y+dy, x+dx
+			for ch := 0; ch < c; ch++ {
+				v := 0.0
+				if sy >= 0 && sy < h && sx >= 0 && sx < w {
+					v = src[(sy*w+sx)*c+ch]
+				}
+				sample[(y*w+x)*c+ch] = v
+			}
+		}
+	}
+}
+
+// Name implements Transform.
+func (t RandomShift) Name() string { return fmt.Sprintf("shift(%d)", t.Max) }
+
+// HorizontalFlip mirrors the image left-right with probability P.
+type HorizontalFlip struct{ P float64 }
+
+// Apply implements Transform.
+func (t HorizontalFlip) Apply(sample []float64, shape [3]int, rng *tensor.RNG) {
+	if rng.Float64() >= t.P {
+		return
+	}
+	h, w, c := shape[0], shape[1], shape[2]
+	for y := 0; y < h; y++ {
+		for x := 0; x < w/2; x++ {
+			for ch := 0; ch < c; ch++ {
+				a := (y*w+x)*c + ch
+				b := (y*w+(w-1-x))*c + ch
+				sample[a], sample[b] = sample[b], sample[a]
+			}
+		}
+	}
+}
+
+// Name implements Transform.
+func (t HorizontalFlip) Name() string { return fmt.Sprintf("hflip(%.2f)", t.P) }
+
+// GaussianNoise adds zero-mean noise with the given standard deviation.
+type GaussianNoise struct{ Std float64 }
+
+// Apply implements Transform.
+func (t GaussianNoise) Apply(sample []float64, shape [3]int, rng *tensor.RNG) {
+	if t.Std <= 0 {
+		return
+	}
+	for i := range sample {
+		sample[i] += rng.NormFloat64() * t.Std
+	}
+}
+
+// Name implements Transform.
+func (t GaussianNoise) Name() string { return fmt.Sprintf("noise(%.2f)", t.Std) }
+
+// Augmenter applies a transform chain to fresh copies of dataset samples,
+// deterministic per (seed, epoch, index).
+type Augmenter struct {
+	Transforms []Transform
+	Seed       uint64
+}
+
+// AugmentEpoch returns a transformed copy of the dataset for one epoch;
+// the original is untouched. Distinct epochs yield distinct augmentations.
+func (a *Augmenter) AugmentEpoch(d *Dataset, epoch int) *Dataset {
+	if len(a.Transforms) == 0 {
+		return d
+	}
+	x := d.X.Clone()
+	out := &Dataset{
+		Name: d.Name + "/aug", X: x, Y: d.Y,
+		Classes: d.Classes, ImageShape: d.ImageShape,
+	}
+	cols := d.Features()
+	xd := x.Data()
+	rng := tensor.NewRNG(a.Seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+	for i := 0; i < d.Len(); i++ {
+		sample := xd[i*cols : (i+1)*cols]
+		for _, tr := range a.Transforms {
+			tr.Apply(sample, d.ImageShape, rng)
+		}
+	}
+	return out
+}

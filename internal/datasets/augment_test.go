@@ -1,0 +1,125 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRandomShiftMovesContent(t *testing.T) {
+	// A single bright pixel at the centre must end up displaced (or zeroed
+	// at the border) but total mass can only shrink, never grow.
+	shape := [3]int{5, 5, 1}
+	rng := tensor.NewRNG(1)
+	moved := 0
+	for trial := 0; trial < 50; trial++ {
+		sample := make([]float64, 25)
+		sample[12] = 1 // centre
+		RandomShift{Max: 2}.Apply(sample, shape, rng)
+		sum := 0.0
+		for _, v := range sample {
+			sum += v
+		}
+		if sum > 1+1e-12 {
+			t.Fatalf("shift created mass: %v", sum)
+		}
+		if sample[12] != 1 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("shift never moved the pixel in 50 draws")
+	}
+}
+
+func TestHorizontalFlipInvolution(t *testing.T) {
+	shape := [3]int{2, 4, 1}
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]float64(nil), sample...)
+	always := HorizontalFlip{P: 1.0}
+	rng := tensor.NewRNG(2)
+	always.Apply(sample, shape, rng)
+	if sample[0] != 4 || sample[3] != 1 || sample[4] != 8 {
+		t.Fatalf("flip wrong: %v", sample)
+	}
+	always.Apply(sample, shape, rng)
+	for i := range orig {
+		if sample[i] != orig[i] {
+			t.Fatal("double flip should restore the original")
+		}
+	}
+	// P=0 never flips.
+	HorizontalFlip{P: 0}.Apply(sample, shape, rng)
+	for i := range orig {
+		if sample[i] != orig[i] {
+			t.Fatal("P=0 flipped")
+		}
+	}
+}
+
+func TestGaussianNoiseStd(t *testing.T) {
+	shape := [3]int{10, 10, 1}
+	sample := make([]float64, 100)
+	rng := tensor.NewRNG(3)
+	GaussianNoise{Std: 0.5}.Apply(sample, shape, rng)
+	variance := 0.0
+	for _, v := range sample {
+		variance += v * v
+	}
+	variance /= 100
+	if math.Abs(variance-0.25) > 0.15 {
+		t.Fatalf("noise variance = %v, want ~0.25", variance)
+	}
+	before := append([]float64(nil), sample...)
+	GaussianNoise{Std: 0}.Apply(sample, shape, rng)
+	for i := range before {
+		if sample[i] != before[i] {
+			t.Fatal("zero-std noise changed the sample")
+		}
+	}
+}
+
+func TestAugmenterEpochDeterminismAndIsolation(t *testing.T) {
+	ds := MNISTLike(30, 7)
+	orig := ds.X.Clone()
+	a := &Augmenter{
+		Transforms: []Transform{RandomShift{Max: 2}, GaussianNoise{Std: 0.1}},
+		Seed:       9,
+	}
+	e0a := a.AugmentEpoch(ds, 0)
+	e0b := a.AugmentEpoch(ds, 0)
+	e1 := a.AugmentEpoch(ds, 1)
+
+	if !ds.X.Equal(orig) {
+		t.Fatal("augmentation mutated the source dataset")
+	}
+	if !e0a.X.Equal(e0b.X) {
+		t.Fatal("same epoch should be deterministic")
+	}
+	if e0a.X.Equal(e1.X) {
+		t.Fatal("different epochs should differ")
+	}
+	if e0a.X.Equal(orig) {
+		t.Fatal("augmentation did nothing")
+	}
+	if e0a.Len() != ds.Len() || e0a.Classes != ds.Classes {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestAugmenterEmptyChainIsIdentity(t *testing.T) {
+	ds := MNISTLike(10, 8)
+	a := &Augmenter{}
+	if a.AugmentEpoch(ds, 0) != ds {
+		t.Fatal("empty augmenter should return the dataset unchanged")
+	}
+}
+
+func TestTransformNames(t *testing.T) {
+	for _, tr := range []Transform{RandomShift{Max: 2}, HorizontalFlip{P: 0.5}, GaussianNoise{Std: 0.1}} {
+		if tr.Name() == "" {
+			t.Fatal("empty transform name")
+		}
+	}
+}

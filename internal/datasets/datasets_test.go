@@ -1,0 +1,264 @@
+package datasets
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestMNISTLikeShape(t *testing.T) {
+	ds := MNISTLike(100, 1)
+	if ds.Len() != 100 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.Features() != 28*28 {
+		t.Fatalf("Features = %d, want 784", ds.Features())
+	}
+	if ds.Classes != 10 {
+		t.Fatalf("Classes = %d", ds.Classes)
+	}
+	if ds.ImageShape != [3]int{28, 28, 1} {
+		t.Fatalf("ImageShape = %v", ds.ImageShape)
+	}
+}
+
+func TestCIFARLikeShape(t *testing.T) {
+	ds := CIFARLike(50, 1)
+	if ds.Features() != 32*32*3 {
+		t.Fatalf("Features = %d, want 3072", ds.Features())
+	}
+	if ds.ImageShape != [3]int{32, 32, 3} {
+		t.Fatalf("ImageShape = %v", ds.ImageShape)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := MNISTLike(50, 99)
+	b := MNISTLike(50, 99)
+	if !a.X.Equal(b.X) {
+		t.Fatal("same seed should give identical features")
+	}
+	c := MNISTLike(50, 100)
+	if a.X.Equal(c.X) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSyntheticBalancedLabels(t *testing.T) {
+	ds := MNISTLike(100, 3)
+	counts := make([]int, 10)
+	for _, y := range ds.Y {
+		if y < 0 || y >= 10 {
+			t.Fatalf("label %d out of range", y)
+		}
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10 (round-robin balance)", c, n)
+		}
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	ds := MNISTLike(100, 4)
+	rng := tensor.NewRNG(5)
+	tr, va := ds.Split(0.8, rng)
+	if tr.Len() != 80 || va.Len() != 20 {
+		t.Fatalf("split sizes = %d/%d", tr.Len(), va.Len())
+	}
+	if tr.Classes != 10 || va.Features() != ds.Features() {
+		t.Fatal("split lost metadata")
+	}
+}
+
+func TestSplitBadFracPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for trainFrac=1")
+		}
+	}()
+	MNISTLike(10, 1).Split(1.0, tensor.NewRNG(1))
+}
+
+func TestSubsample(t *testing.T) {
+	ds := MNISTLike(100, 6)
+	sub := ds.Subsample(30, tensor.NewRNG(7))
+	if sub.Len() != 30 {
+		t.Fatalf("Subsample len = %d", sub.Len())
+	}
+	same := ds.Subsample(1000, tensor.NewRNG(7))
+	if same != ds {
+		t.Fatal("oversized Subsample should return the original")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mnist", "mnist-like", "cifar10", "cifar", "cifar-like"} {
+		if _, err := ByName(name, 10, 1); err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("imagenet", 10, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Nearest-centroid classification on the training prototypes should beat
+	// chance by a wide margin for the MNIST-like set: this is the property
+	// that makes Figure 7's >90%-accuracy curves reproducible.
+	ds := MNISTLike(500, 8)
+	f := ds.Features()
+	centroids := make([][]float64, 10)
+	counts := make([]int, 10)
+	for i := range centroids {
+		centroids[i] = make([]float64, f)
+	}
+	xd := ds.X.Data()
+	for i, y := range ds.Y {
+		for j := 0; j < f; j++ {
+			centroids[y][j] += xd[i*f+j]
+		}
+		counts[y]++
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i, y := range ds.Y {
+		best, bc := -1.0, -1
+		for c := range centroids {
+			dot := 0.0
+			for j := 0; j < f; j++ {
+				dot += xd[i*f+j] * centroids[c][j]
+			}
+			if bc < 0 || dot > best {
+				best, bc = dot, c
+			}
+		}
+		if bc == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Len())
+	if acc < 0.6 {
+		t.Fatalf("nearest-centroid accuracy = %v, dataset not separable enough", acc)
+	}
+}
+
+func TestIDXRoundTrip(t *testing.T) {
+	dims := []int{3, 4, 5}
+	data := make([]byte, 60)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteIDX(&buf, dims, data); err != nil {
+		t.Fatal(err)
+	}
+	gotDims, gotData, err := ReadIDX(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotDims) != 3 || gotDims[0] != 3 || gotDims[2] != 5 {
+		t.Fatalf("dims = %v", gotDims)
+	}
+	if !bytes.Equal(gotData, data) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestIDXRejectsBadMagic(t *testing.T) {
+	if _, _, err := ReadIDX(bytes.NewReader([]byte{1, 2, 3, 4})); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, _, err := ReadIDX(bytes.NewReader([]byte{0, 0, 0x0D, 1, 0, 0, 0, 1})); err == nil {
+		t.Fatal("expected error for unsupported type")
+	}
+}
+
+func TestWriteIDXValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIDX(&buf, []int{2}, []byte{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if err := WriteIDX(&buf, nil, nil); err == nil {
+		t.Fatal("expected dimensionality error")
+	}
+}
+
+func TestLoadMNISTFromSyntheticIDXFiles(t *testing.T) {
+	dir := t.TempDir()
+	n, h, w := 7, 28, 28
+	imgs := make([]byte, n*h*w)
+	for i := range imgs {
+		imgs[i] = byte(i % 256)
+	}
+	labels := make([]byte, n)
+	for i := range labels {
+		labels[i] = byte(i % 10)
+	}
+	writeFile := func(name string, dims []int, data []byte) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := WriteIDX(f, dims, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("train-images-idx3-ubyte", []int{n, h, w}, imgs)
+	writeFile("train-labels-idx1-ubyte", []int{n}, labels)
+
+	ds, err := LoadMNIST(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != n || ds.Features() != h*w {
+		t.Fatalf("loaded %d×%d", ds.Len(), ds.Features())
+	}
+	if ds.Y[3] != 3 {
+		t.Fatalf("label = %d", ds.Y[3])
+	}
+	// Pixels must be scaled to [0,1].
+	if ds.X.Max() > 1 || ds.X.Min() < 0 {
+		t.Fatalf("pixel range [%v, %v]", ds.X.Min(), ds.X.Max())
+	}
+}
+
+func TestLoadMNISTMissingFiles(t *testing.T) {
+	if _, err := LoadMNIST(t.TempDir()); err == nil {
+		t.Fatal("expected error for empty directory")
+	}
+}
+
+// Property: subsets always preserve feature width, class count and label
+// validity.
+func TestSubsetInvariantsProperty(t *testing.T) {
+	ds := CIFARLike(60, 11)
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(59)
+		sub := ds.Subsample(n, rng)
+		if sub.Len() != n || sub.Features() != ds.Features() || sub.Classes != ds.Classes {
+			return false
+		}
+		for _, y := range sub.Y {
+			if y < 0 || y >= sub.Classes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

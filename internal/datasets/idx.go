@@ -1,0 +1,176 @@
+package datasets
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// IDX magic constants: the third byte encodes the element type and the
+// fourth the number of dimensions. MNIST uses unsigned bytes (0x08) with
+// 1 dimension for labels and 3 for images.
+const (
+	idxTypeUByte = 0x08
+)
+
+// ReadIDX parses an IDX-format stream (the format of the original MNIST
+// distribution at yann.lecun.com) and returns the dimension sizes and raw
+// unsigned-byte payload.
+func ReadIDX(r io.Reader) (dims []int, data []byte, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("datasets: reading IDX magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 {
+		return nil, nil, fmt.Errorf("datasets: bad IDX magic %v", magic)
+	}
+	if magic[2] != idxTypeUByte {
+		return nil, nil, fmt.Errorf("datasets: unsupported IDX element type 0x%02x (only unsigned byte supported)", magic[2])
+	}
+	nDims := int(magic[3])
+	if nDims == 0 || nDims > 4 {
+		return nil, nil, fmt.Errorf("datasets: unsupported IDX dimensionality %d", nDims)
+	}
+	dims = make([]int, nDims)
+	total := 1
+	for i := range dims {
+		var d uint32
+		if err := binary.Read(r, binary.BigEndian, &d); err != nil {
+			return nil, nil, fmt.Errorf("datasets: reading IDX dimension %d: %w", i, err)
+		}
+		dims[i] = int(d)
+		total *= int(d)
+	}
+	data = make([]byte, total)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, nil, fmt.Errorf("datasets: reading IDX payload: %w", err)
+	}
+	return dims, data, nil
+}
+
+// openMaybeGzip opens path, transparently decompressing .gz files.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("datasets: opening gzip %s: %w", path, err)
+	}
+	return &gzipReadCloser{gz: gz, f: f}, nil
+}
+
+type gzipReadCloser struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.gz.Read(p) }
+
+func (g *gzipReadCloser) Close() error {
+	gzErr := g.gz.Close()
+	fErr := g.f.Close()
+	if gzErr != nil {
+		return gzErr
+	}
+	return fErr
+}
+
+// LoadMNIST reads the real MNIST training set from dir, accepting either the
+// raw or gzipped official file names. Pixels are scaled to [0, 1]. This path
+// is exercised when the genuine dataset is present; otherwise callers use
+// MNISTLike.
+func LoadMNIST(dir string) (*Dataset, error) {
+	imgPath, err := firstExisting(dir, "train-images-idx3-ubyte", "train-images-idx3-ubyte.gz")
+	if err != nil {
+		return nil, err
+	}
+	lblPath, err := firstExisting(dir, "train-labels-idx1-ubyte", "train-labels-idx1-ubyte.gz")
+	if err != nil {
+		return nil, err
+	}
+
+	ir, err := openMaybeGzip(imgPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ir.Close()
+	imgDims, imgData, err := ReadIDX(ir)
+	if err != nil {
+		return nil, err
+	}
+	if len(imgDims) != 3 {
+		return nil, fmt.Errorf("datasets: MNIST images should be 3-D, got %v", imgDims)
+	}
+
+	lr, err := openMaybeGzip(lblPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lr.Close()
+	lblDims, lblData, err := ReadIDX(lr)
+	if err != nil {
+		return nil, err
+	}
+	if len(lblDims) != 1 || lblDims[0] != imgDims[0] {
+		return nil, fmt.Errorf("datasets: MNIST labels %v do not match images %v", lblDims, imgDims)
+	}
+
+	n, h, w := imgDims[0], imgDims[1], imgDims[2]
+	x := tensor.New(n, h*w)
+	xd := x.Data()
+	for i, b := range imgData {
+		xd[i] = float64(b) / 255.0
+	}
+	y := make([]int, n)
+	for i, b := range lblData {
+		y[i] = int(b)
+	}
+	return &Dataset{Name: "mnist", X: x, Y: y, Classes: 10, ImageShape: [3]int{h, w, 1}}, nil
+}
+
+func firstExisting(dir string, names ...string) (string, error) {
+	for _, n := range names {
+		p := filepath.Join(dir, n)
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("datasets: none of %v found in %s", names, dir)
+}
+
+// WriteIDX serialises dims and unsigned-byte data in IDX format; used by
+// tests and by tooling that exports synthetic data for external inspection.
+func WriteIDX(w io.Writer, dims []int, data []byte) error {
+	if len(dims) == 0 || len(dims) > 4 {
+		return fmt.Errorf("datasets: unsupported dimensionality %d", len(dims))
+	}
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	if total != len(data) {
+		return fmt.Errorf("datasets: data length %d does not match dims %v", len(data), dims)
+	}
+	if _, err := w.Write([]byte{0, 0, idxTypeUByte, byte(len(dims))}); err != nil {
+		return err
+	}
+	for _, d := range dims {
+		if err := binary.Write(w, binary.BigEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(data)
+	return err
+}

@@ -1,0 +1,245 @@
+package hpo
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BayesOpt is Gaussian-process Bayesian optimisation with the expected
+// improvement acquisition function (Snoek et al., the paper's reference
+// [19]): configs are encoded into the unit hypercube, a GP with an RBF
+// kernel models validation accuracy, and each Ask proposes the candidates
+// maximising EI over a random candidate pool.
+type BayesOpt struct {
+	space  *Space
+	budget int
+	drawn  int
+	rng    *tensor.RNG
+
+	// Warmup random trials before the surrogate takes over.
+	Warmup int
+	// Candidates is the size of the random pool scored per proposal.
+	Candidates int
+	// LengthScale and Noise are the RBF kernel hyperparameters.
+	LengthScale float64
+	Noise       float64
+	// Xi is the EI exploration bonus.
+	Xi float64
+
+	xs [][]float64
+	ys []float64
+}
+
+// NewBayesOpt builds a Bayesian-optimisation sampler with the given trial
+// budget.
+func NewBayesOpt(space *Space, budget int, seed uint64) *BayesOpt {
+	return &BayesOpt{
+		space: space, budget: budget, rng: tensor.NewRNG(seed),
+		Warmup: 5, Candidates: 256, LengthScale: 0.25, Noise: 1e-4, Xi: 0.01,
+	}
+}
+
+// Name implements Sampler.
+func (b *BayesOpt) Name() string { return "bayes" }
+
+// Done implements Sampler.
+func (b *BayesOpt) Done() bool { return b.drawn >= b.budget }
+
+// Tell implements Sampler.
+func (b *BayesOpt) Tell(trials []TrialResult) {
+	for _, t := range trials {
+		if t.Err != "" {
+			continue // failed trials carry no signal for the surrogate
+		}
+		b.xs = append(b.xs, b.space.Encode(t.Config))
+		b.ys = append(b.ys, t.BestAcc)
+	}
+}
+
+// Ask implements Sampler.
+func (b *BayesOpt) Ask(n int) []Config {
+	var out []Config
+	for b.drawn < b.budget && (n <= 0 || len(out) < n) {
+		var cfg Config
+		if len(b.xs) < b.Warmup {
+			cfg = b.space.Sample(b.rng)
+		} else {
+			cfg = b.propose()
+		}
+		out = append(out, cfg)
+		b.drawn++
+	}
+	return out
+}
+
+// propose scores a random candidate pool by expected improvement under the
+// current GP posterior and returns the best.
+func (b *BayesOpt) propose() Config {
+	gp := newGP(b.xs, b.ys, b.LengthScale, b.Noise)
+	best := b.ys[0]
+	for _, y := range b.ys[1:] {
+		if y > best {
+			best = y
+		}
+	}
+	var bestCfg Config
+	bestEI := math.Inf(-1)
+	for i := 0; i < b.Candidates; i++ {
+		cfg := b.space.Sample(b.rng)
+		x := b.space.Encode(cfg)
+		mu, sigma := gp.predict(x)
+		ei := expectedImprovement(mu, sigma, best, b.Xi)
+		if ei > bestEI {
+			bestEI, bestCfg = ei, cfg
+		}
+	}
+	return bestCfg
+}
+
+// expectedImprovement for maximisation.
+func expectedImprovement(mu, sigma, best, xi float64) float64 {
+	if sigma < 1e-12 {
+		return 0
+	}
+	z := (mu - best - xi) / sigma
+	return (mu-best-xi)*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// gp is a minimal Gaussian-process regressor with an RBF kernel, fitted by
+// Cholesky factorisation of the kernel matrix.
+type gp struct {
+	xs    [][]float64
+	l     [][]float64 // Cholesky factor of K + noise·I
+	alpha []float64   // (K + noise·I)⁻¹ y
+	scale float64     // RBF length scale
+	mean  float64     // constant prior mean (sample mean of y)
+}
+
+func newGP(xs [][]float64, ys []float64, lengthScale, noise float64) *gp {
+	n := len(xs)
+	g := &gp{xs: xs, scale: lengthScale}
+	for _, y := range ys {
+		g.mean += y
+	}
+	g.mean /= float64(n)
+
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = rbf(xs[i], xs[j], lengthScale)
+		}
+		k[i][i] += noise
+	}
+	g.l = cholesky(k)
+
+	centred := make([]float64, n)
+	for i, y := range ys {
+		centred[i] = y - g.mean
+	}
+	g.alpha = choleskySolve(g.l, centred)
+	return g
+}
+
+// predict returns the posterior mean and standard deviation at x.
+func (g *gp) predict(x []float64) (mu, sigma float64) {
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i, xi := range g.xs {
+		kstar[i] = rbf(x, xi, g.scale)
+	}
+	mu = g.mean
+	for i := range kstar {
+		mu += kstar[i] * g.alpha[i]
+	}
+	// v = L⁻¹ k*, var = k(x,x) − vᵀv.
+	v := forwardSolve(g.l, kstar)
+	variance := rbf(x, x, g.scale)
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mu, math.Sqrt(variance)
+}
+
+func rbf(a, b []float64, scale float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * scale * scale))
+}
+
+// cholesky returns the lower-triangular factor L with A = L·Lᵀ. The kernel
+// matrix is symmetric positive definite by construction (noise on the
+// diagonal), so the factorisation exists; tiny negatives from rounding are
+// clamped.
+func cholesky(a [][]float64) [][]float64 {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum < 1e-12 {
+					sum = 1e-12
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l
+}
+
+// forwardSolve solves L·x = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// backSolve solves Lᵀ·x = b for lower-triangular L.
+func backSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// choleskySolve solves (L·Lᵀ)·x = b.
+func choleskySolve(l [][]float64, b []float64) []float64 {
+	return backSolve(l, forwardSolve(l, b))
+}

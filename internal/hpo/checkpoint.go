@@ -1,0 +1,84 @@
+package hpo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// checkpointFile is the JSON schema of a study checkpoint.
+type checkpointFile struct {
+	Version int               `json:"version"`
+	Trials  []checkpointTrial `json:"trials"`
+}
+
+// checkpointTrial flattens TrialResult for stable JSON.
+type checkpointTrial struct {
+	ID            int                    `json:"id"`
+	Config        map[string]interface{} `json:"config"`
+	FinalAcc      float64                `json:"final_acc"`
+	BestAcc       float64                `json:"best_acc"`
+	FinalLoss     float64                `json:"final_loss"`
+	Epochs        int                    `json:"epochs"`
+	ValAccHistory []float64              `json:"val_acc_history,omitempty"`
+	Stopped       bool                   `json:"stopped,omitempty"`
+	StopReason    string                 `json:"stop_reason,omitempty"`
+	DurationNS    int64                  `json:"duration_ns"`
+	Err           string                 `json:"err,omitempty"`
+	Canceled      bool                   `json:"canceled,omitempty"`
+}
+
+func encodeCheckpoint(trials []TrialResult) ([]byte, error) {
+	f := checkpointFile{Version: 1}
+	for _, t := range trials {
+		f.Trials = append(f.Trials, checkpointTrial{
+			ID: t.ID, Config: t.Config,
+			FinalAcc: t.FinalAcc, BestAcc: t.BestAcc, FinalLoss: t.FinalLoss,
+			Epochs: t.Epochs, ValAccHistory: t.ValAccHistory,
+			Stopped: t.Stopped, StopReason: t.StopReason,
+			DurationNS: int64(t.Duration), Err: t.Err, Canceled: t.Canceled,
+		})
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+func decodeCheckpoint(raw []byte) ([]TrialResult, error) {
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("hpo: parsing checkpoint: %w", err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("hpo: unsupported checkpoint version %d", f.Version)
+	}
+	out := make([]TrialResult, 0, len(f.Trials))
+	for _, t := range f.Trials {
+		out = append(out, TrialResult{
+			ID:     t.ID,
+			Config: normaliseConfig(t.Config),
+			TrialMetrics: TrialMetrics{
+				FinalAcc: t.FinalAcc, BestAcc: t.BestAcc, FinalLoss: t.FinalLoss,
+				Epochs: t.Epochs, ValAccHistory: t.ValAccHistory,
+				Stopped: t.Stopped, StopReason: t.StopReason,
+			},
+			Duration: time.Duration(t.DurationNS),
+			Err:      t.Err,
+			Canceled: t.Canceled,
+		})
+	}
+	return out, nil
+}
+
+// normaliseConfig restores integer types lost by JSON (20 → 20.0), keeping
+// fingerprints identical across a save/load cycle.
+func normaliseConfig(m map[string]interface{}) Config {
+	cfg := make(Config, len(m))
+	for k, v := range m {
+		if f, ok := v.(float64); ok && f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			cfg[k] = int(f)
+			continue
+		}
+		cfg[k] = v
+	}
+	return cfg
+}

@@ -1,0 +1,78 @@
+package hpo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is one hyperparameter assignment — the "config" passed to each
+// experiment task in the paper's Listing 2. Keys beginning with "_" are
+// sampler-internal bookkeeping and are ignored by objectives and displays.
+type Config map[string]interface{}
+
+// Int reads an integer-valued parameter, accepting int or float64 storage;
+// def is returned when the key is absent.
+func (c Config) Int(key string, def int) int {
+	v, ok := c[key]
+	if !ok {
+		return def
+	}
+	if f, ok := toFloat(v); ok {
+		return int(f)
+	}
+	return def
+}
+
+// Float reads a float parameter with a default.
+func (c Config) Float(key string, def float64) float64 {
+	v, ok := c[key]
+	if !ok {
+		return def
+	}
+	if f, ok := toFloat(v); ok {
+		return f
+	}
+	return def
+}
+
+// Str reads a string parameter with a default.
+func (c Config) Str(key, def string) string {
+	if v, ok := c[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Clone returns a shallow copy.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Fingerprint returns a deterministic string identity for the visible
+// (non-underscore) parameters, used for deduplication and display.
+func (c Config) Fingerprint() string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		if strings.HasPrefix(k, "_") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, c[k])
+	}
+	return b.String()
+}
+
+// String renders the config for tables and logs.
+func (c Config) String() string { return "{" + c.Fingerprint() + "}" }

@@ -1,0 +1,129 @@
+package hpo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datasets"
+	"repro/internal/tensor"
+)
+
+func TestCVObjectiveRuns(t *testing.T) {
+	obj := &CVObjective{Dataset: datasets.MNISTLike(150, 13), Folds: 3, Hidden: []int{8}}
+	var reported int
+	m, err := obj.Run(ObjectiveContext{
+		Config: Config{"optimizer": "Adam", "num_epochs": 2, "batch_size": 25},
+		Seed:   13,
+		Report: func(epoch int, acc float64) { reported++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epochs != 2 || len(m.ValAccHistory) != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.BestAcc <= 0.2 {
+		t.Fatalf("CV accuracy = %v", m.BestAcc)
+	}
+	if reported != 2 {
+		t.Fatalf("reported %d mean epochs", reported)
+	}
+	if obj.Name() != "cv3/mnist-like" {
+		t.Fatalf("name = %q", obj.Name())
+	}
+}
+
+func TestCVObjectiveDefaultsAndErrors(t *testing.T) {
+	obj := &CVObjective{Dataset: datasets.MNISTLike(20, 1)}
+	if obj.folds() != 5 {
+		t.Fatalf("default folds = %d", obj.folds())
+	}
+	if _, err := obj.Run(ObjectiveContext{Config: Config{"num_epochs": 0, "batch_size": 8}}); err == nil {
+		t.Fatal("expected invalid-config error")
+	}
+	small := &CVObjective{Dataset: datasets.MNISTLike(3, 1), Folds: 5}
+	if _, err := small.Run(ObjectiveContext{Config: Config{"num_epochs": 1, "batch_size": 1}}); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+	bad := &CVObjective{Dataset: datasets.MNISTLike(50, 1), Folds: 2}
+	if _, err := bad.Run(ObjectiveContext{Config: Config{"optimizer": "Adagrad", "num_epochs": 1, "batch_size": 8}}); err == nil {
+		t.Fatal("expected unknown-optimizer error")
+	}
+}
+
+func TestCVLessNoisyThanSingleSplit(t *testing.T) {
+	// Variance of the CV estimate across seeds should not exceed the
+	// single-split estimate's variance (the point of cross-validation).
+	ds := datasets.MNISTLike(200, 30)
+	cfg := Config{"optimizer": "SGD", "num_epochs": 2, "batch_size": 20}
+	variance := func(obj Objective) float64 {
+		var accs []float64
+		for seed := uint64(0); seed < 4; seed++ {
+			m, err := obj.Run(ObjectiveContext{Config: cfg, Seed: seed*7 + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accs = append(accs, m.FinalAcc)
+		}
+		mean := 0.0
+		for _, a := range accs {
+			mean += a
+		}
+		mean /= float64(len(accs))
+		v := 0.0
+		for _, a := range accs {
+			v += (a - mean) * (a - mean)
+		}
+		return v / float64(len(accs))
+	}
+	vCV := variance(&CVObjective{Dataset: ds, Folds: 4, Hidden: []int{8}})
+	vSingle := variance(&MLObjective{Dataset: ds, Hidden: []int{8}, TrainFrac: 0.75})
+	if vCV > vSingle*2 {
+		t.Fatalf("CV variance %v much larger than single-split %v", vCV, vSingle)
+	}
+}
+
+// Property: fold splits partition the index set exactly — no loss, no
+// duplication, correct validation block sizes.
+func TestFoldSplitPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 10 + rng.Intn(90)
+		k := 2 + rng.Intn(5)
+		perm := rng.Perm(n)
+		seen := make([]int, n)
+		totalVal := 0
+		for fold := 0; fold < k; fold++ {
+			train, val := foldSplit(perm, k, fold)
+			if len(train)+len(val) != n {
+				return false
+			}
+			totalVal += len(val)
+			for _, v := range val {
+				seen[v]++
+			}
+			// train and val are disjoint.
+			inVal := map[int]bool{}
+			for _, v := range val {
+				inVal[v] = true
+			}
+			for _, tr := range train {
+				if inVal[tr] {
+					return false
+				}
+			}
+		}
+		if totalVal != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false // every sample validates exactly once
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

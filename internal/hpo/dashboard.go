@@ -1,0 +1,105 @@
+package hpo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderCurves draws the per-trial validation-accuracy curves as an ASCII
+// chart — the textual analogue of the paper's Figures 7 and 8 ("when all
+// tasks are done, we plot the results [on] the same figure for easier
+// comparison"). Each trial is one base-36 digit; the Y axis is accuracy
+// 0..1, the X axis is the epoch index.
+func RenderCurves(trials []TrialResult, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	maxEpochs := 0
+	for _, t := range trials {
+		if len(t.ValAccHistory) > maxEpochs {
+			maxEpochs = len(t.ValAccHistory)
+		}
+	}
+	if maxEpochs == 0 {
+		return "(no trial histories)\n"
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	for _, t := range trials {
+		if t.Err != "" {
+			continue
+		}
+		ch := digits[t.ID%36]
+		for e, acc := range t.ValAccHistory {
+			x := 0
+			if maxEpochs > 1 {
+				x = e * (width - 1) / (maxEpochs - 1)
+			}
+			y := int((1 - acc) * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = ch
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("val_acc\n")
+	for i, row := range grid {
+		label := "      "
+		switch i {
+		case 0:
+			label = " 1.00 "
+		case height / 2:
+			label = " 0.50 "
+		case height - 1:
+			label = " 0.00 "
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "      +%s+\n       epoch 1 .. %d (one digit per trial id mod 36)\n",
+		strings.Repeat("-", width), maxEpochs)
+	return b.String()
+}
+
+// RenderTable renders a leaderboard of trials sorted by best accuracy, with
+// the winning configuration spelled out.
+func RenderTable(trials []TrialResult) string {
+	sorted := append([]TrialResult(nil), trials...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if (sorted[i].Err == "") != (sorted[j].Err == "") {
+			return sorted[i].Err == ""
+		}
+		if sorted[i].BestAcc != sorted[j].BestAcc {
+			return sorted[i].BestAcc > sorted[j].BestAcc
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	var b strings.Builder
+	b.WriteString("rank  trial  best_acc  final_acc  epochs  status  config\n")
+	for i, t := range sorted {
+		status := "ok"
+		switch {
+		case t.Canceled:
+			status = "canceled"
+		case t.Err != "":
+			status = "failed"
+		case t.Stopped:
+			status = "early-stop"
+		}
+		fmt.Fprintf(&b, "%4d  %5d  %8.4f  %9.4f  %6d  %-10s  %s\n",
+			i+1, t.ID, t.BestAcc, t.FinalAcc, t.Epochs, status, t.Config.Fingerprint())
+	}
+	return b.String()
+}

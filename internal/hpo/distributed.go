@@ -1,0 +1,50 @@
+package hpo
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/runtime"
+)
+
+// RegisterWireTypes registers the HPO types that cross gob transports when
+// a study runs on the Remote backend. Call once in both master and worker
+// processes before attaching workers.
+func RegisterWireTypes() {
+	comm.RegisterGobTypes(Config{}, TrialResult{}, TrialMetrics{})
+}
+
+// ExperimentTaskDef builds the worker-side "experiment" task definition for
+// distributed studies: the same (trialID, config) → TrialResult contract the
+// Study submits, executed against a worker-local objective (each worker
+// holds its own dataset copy, as COMPSs workers read from the PFS).
+//
+// Per-epoch streaming callbacks do not cross the wire; trials still stop
+// themselves at targetAcc, and the master-side Study stops the whole run
+// when a returned result reaches its target.
+func ExperimentTaskDef(obj Objective, constraint runtime.Constraint, seed uint64, targetAcc float64) runtime.TaskDef {
+	return runtime.TaskDef{
+		Name:       taskName,
+		Returns:    1,
+		Constraint: constraint,
+		Fn: func(ctx *runtime.TaskContext, args []interface{}) ([]interface{}, error) {
+			trialID := args[0].(int)
+			cfg := args[1].(Config)
+			t0 := time.Now()
+			metrics, err := obj.Run(ObjectiveContext{
+				Config:         cfg,
+				Parallelism:    ctx.Cores,
+				Seed:           seed + uint64(trialID)*0x9e37,
+				TargetAccuracy: targetAcc,
+			})
+			res := TrialResult{
+				ID: trialID, Config: cfg, TrialMetrics: metrics,
+				Duration: time.Since(t0),
+			}
+			if err != nil {
+				res.Err = err.Error()
+			}
+			return []interface{}{res}, nil
+		},
+	}
+}

@@ -1,0 +1,194 @@
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Hyperband implements Hyperband (Li et al.) via successive halving: random
+// configurations start with a small epoch budget; each rung keeps the top
+// 1/eta fraction and multiplies their budget by eta. It generalises the
+// paper's early-stopping discussion (§6.2) into a principled budget
+// allocation and plugs into the same Study machinery because the epoch
+// budget travels inside the config ("num_epochs").
+type Hyperband struct {
+	space *Space
+	// MaxBudget R is the largest per-trial epoch budget.
+	MaxBudget int
+	// Eta is the halving factor (default 3).
+	Eta int
+	rng *tensor.RNG
+
+	brackets []*shaBracket
+	cur      int
+	finished bool
+	nextID   int
+}
+
+// shaBracket is one successive-halving bracket.
+type shaBracket struct {
+	// configs still alive in the current rung, keyed by hidden _hb id.
+	alive map[string]Config
+	// results collected for the current rung.
+	results map[string]float64
+	// expected number of results to finish the rung.
+	expect int
+	// budget is the per-trial epoch budget of the current rung.
+	budget int
+	// queue holds the current rung's configs not yet handed out, so Ask
+	// can respect its batch cap.
+	queue []Config
+	// asked reports whether the current rung's queue was built.
+	asked bool
+	eta   int
+	maxR  int
+}
+
+// NewHyperband builds a Hyperband sampler. maxBudget is R (largest epoch
+// budget per trial); eta the halving factor.
+func NewHyperband(space *Space, maxBudget, eta int, seed uint64) *Hyperband {
+	if maxBudget < 1 {
+		maxBudget = 27
+	}
+	if eta < 2 {
+		eta = 3
+	}
+	h := &Hyperband{space: space, MaxBudget: maxBudget, Eta: eta, rng: tensor.NewRNG(seed)}
+	sMax := int(math.Floor(math.Log(float64(maxBudget)) / math.Log(float64(eta))))
+	for s := sMax; s >= 0; s-- {
+		n := int(math.Ceil(float64(sMax+1) / float64(s+1) * math.Pow(float64(eta), float64(s))))
+		budget := maxBudget / intPow(eta, s)
+		if budget < 1 {
+			budget = 1
+		}
+		b := &shaBracket{
+			alive:   make(map[string]Config, n),
+			results: make(map[string]float64),
+			budget:  budget,
+			eta:     eta,
+			maxR:    maxBudget,
+		}
+		for i := 0; i < n; i++ {
+			cfg := space.Sample(h.rng)
+			id := fmt.Sprintf("b%d-%d", s, h.nextID)
+			h.nextID++
+			cfg["_hb"] = id
+			b.alive[id] = cfg
+		}
+		h.brackets = append(h.brackets, b)
+	}
+	return h
+}
+
+func intPow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// Name implements Sampler.
+func (h *Hyperband) Name() string { return "hyperband" }
+
+// Done implements Sampler.
+func (h *Hyperband) Done() bool { return h.finished }
+
+// Ask implements Sampler. It hands out the current rung of the current
+// bracket (budget embedded as "num_epochs"), at most n configs per call,
+// and returns empty while waiting for that rung's results.
+func (h *Hyperband) Ask(n int) []Config {
+	if h.finished || h.cur >= len(h.brackets) {
+		h.finished = true
+		return nil
+	}
+	b := h.brackets[h.cur]
+	if !b.asked {
+		b.asked = true
+		b.expect = len(b.alive)
+		b.results = make(map[string]float64)
+		ids := make([]string, 0, len(b.alive))
+		for id := range b.alive {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids) // determinism
+		b.queue = b.queue[:0]
+		for _, id := range ids {
+			cfg := b.alive[id].Clone()
+			cfg["num_epochs"] = b.budget
+			b.queue = append(b.queue, cfg)
+		}
+	}
+	if len(b.queue) == 0 {
+		return nil // rung fully handed out; wait for Tell
+	}
+	take := len(b.queue)
+	if n > 0 && take > n {
+		take = n
+	}
+	out := b.queue[:take]
+	b.queue = b.queue[take:]
+	return out
+}
+
+// Tell implements Sampler: it records rung results and, when the rung
+// completes, promotes the top 1/eta configs with eta× budget.
+func (h *Hyperband) Tell(trials []TrialResult) {
+	if h.cur >= len(h.brackets) {
+		return
+	}
+	b := h.brackets[h.cur]
+	for _, t := range trials {
+		id, _ := t.Config["_hb"].(string)
+		if id == "" {
+			continue
+		}
+		if _, mine := b.alive[id]; !mine {
+			continue
+		}
+		acc := t.BestAcc
+		if t.Err != "" {
+			acc = -1 // failed trials lose the rung
+		}
+		b.results[id] = acc
+	}
+	if len(b.results) < b.expect {
+		return // rung incomplete
+	}
+
+	// Promote survivors.
+	type scored struct {
+		id  string
+		acc float64
+	}
+	var ranked []scored
+	for id, acc := range b.results {
+		ranked = append(ranked, scored{id, acc})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].acc != ranked[j].acc {
+			return ranked[i].acc > ranked[j].acc
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	keep := len(ranked) / b.eta
+	nextBudget := b.budget * b.eta
+	if keep < 1 || nextBudget > b.maxR {
+		// Bracket finished; move on.
+		h.cur++
+		if h.cur >= len(h.brackets) {
+			h.finished = true
+		}
+		return
+	}
+	survivors := make(map[string]Config, keep)
+	for _, s := range ranked[:keep] {
+		survivors[s.id] = b.alive[s.id]
+	}
+	b.alive = survivors
+	b.budget = nextBudget
+	b.asked = false
+}

@@ -1,0 +1,162 @@
+package hpo
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ObjectiveContext carries everything one trial needs.
+type ObjectiveContext struct {
+	// Config is the hyperparameter assignment under evaluation.
+	Config Config
+	// Parallelism is the number of computing units granted to the task;
+	// objectives should bound their internal parallelism by it.
+	Parallelism int
+	// Seed makes the trial deterministic.
+	Seed uint64
+	// Report, when non-nil, streams per-epoch validation accuracy to the
+	// study (drives the dashboard and study-level early stopping).
+	Report func(epoch int, valAcc float64)
+	// TargetAccuracy stops the trial itself once reached (0 = disabled).
+	TargetAccuracy float64
+}
+
+// TrialMetrics is what an objective returns.
+type TrialMetrics struct {
+	FinalAcc  float64
+	BestAcc   float64
+	FinalLoss float64
+	Epochs    int
+	// ValAccHistory is the per-epoch validation accuracy curve plotted by
+	// Figures 7-8.
+	ValAccHistory []float64
+	Stopped       bool
+	StopReason    string
+}
+
+// Objective evaluates one configuration — the create_model + model.train
+// body of the paper's experiment task (Listing 2).
+type Objective interface {
+	Name() string
+	Run(ctx ObjectiveContext) (TrialMetrics, error)
+}
+
+// MLObjective trains a neural network on a dataset, playing the role of the
+// paper's TensorFlow training. Hyperparameters read from the config:
+//
+//	optimizer     string  ("Adam" | "SGD" | "RMSprop")
+//	num_epochs    int
+//	batch_size    int
+//	learning_rate float64 (optional; optimiser default when absent)
+//	hidden_units  int     (optional; width of the hidden layer)
+//	model         string  (optional; "mlp" default, or "cnn" for a small
+//	                       conv → pool → dense network over the dataset's
+//	                       image geometry)
+//	filters       int     (optional; CNN conv filters, default 8)
+type MLObjective struct {
+	// Dataset is the full labelled set; each trial re-splits it with its
+	// own seed.
+	Dataset *datasets.Dataset
+	// Hidden is the default hidden layer widths (config may override the
+	// first width via hidden_units).
+	Hidden []int
+	// TrainFrac is the train/validation split fraction (default 0.8).
+	TrainFrac float64
+}
+
+// Name implements Objective.
+func (o *MLObjective) Name() string { return "ml/" + o.Dataset.Name }
+
+// Run implements Objective.
+func (o *MLObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
+	cfg := ctx.Config
+	epochs := cfg.Int("num_epochs", 10)
+	batch := cfg.Int("batch_size", 32)
+	optName := cfg.Str("optimizer", "Adam")
+	lr := cfg.Float("learning_rate", 0)
+	if epochs <= 0 || batch <= 0 {
+		return TrialMetrics{}, fmt.Errorf("hpo: invalid config %s", cfg)
+	}
+
+	opt, err := nn.NewOptimizer(optName, lr)
+	if err != nil {
+		return TrialMetrics{}, err
+	}
+
+	frac := o.TrainFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.8
+	}
+	splitRNG := tensor.NewRNG(ctx.Seed)
+	train, val := o.Dataset.Split(frac, splitRNG)
+
+	hidden := append([]int(nil), o.Hidden...)
+	if len(hidden) == 0 {
+		hidden = []int{32}
+	}
+	if hu := cfg.Int("hidden_units", 0); hu > 0 {
+		hidden[0] = hu
+	}
+
+	modelRNG := tensor.NewRNG(ctx.Seed ^ 0xabcdef)
+	var model *nn.Sequential
+	switch kind := cfg.Str("model", "mlp"); kind {
+	case "mlp":
+		model = nn.NewMLP(modelRNG, o.Dataset.Features(), hidden, o.Dataset.Classes)
+	case "cnn":
+		shape := o.Dataset.ImageShape
+		if shape[0] == 0 || shape[1] == 0 || shape[2] == 0 {
+			return TrialMetrics{}, fmt.Errorf("hpo: dataset %s has no image geometry for a CNN", o.Dataset.Name)
+		}
+		filters := cfg.Int("filters", 8)
+		model = nn.NewCNN(modelRNG, shape[0], shape[1], shape[2], filters, hidden[0], o.Dataset.Classes)
+	default:
+		return TrialMetrics{}, fmt.Errorf("hpo: unknown model kind %q", kind)
+	}
+	if ctx.Parallelism > 0 {
+		model.SetParallelism(ctx.Parallelism)
+	}
+
+	var callbacks []nn.Callback
+	if ctx.Report != nil {
+		callbacks = append(callbacks, &nn.EpochReporter{Report: func(epoch int, vl, va float64) {
+			ctx.Report(epoch, va)
+		}})
+	}
+	if ctx.TargetAccuracy > 0 {
+		callbacks = append(callbacks, &nn.TargetAccuracy{Target: ctx.TargetAccuracy})
+	}
+
+	h, err := model.Fit(train.X, train.Y, val.X, val.Y, nn.FitConfig{
+		Epochs: epochs, BatchSize: batch, Optimizer: opt,
+		Shuffle: true, RNG: modelRNG, Callbacks: callbacks,
+	})
+	if err != nil {
+		return TrialMetrics{}, err
+	}
+	return TrialMetrics{
+		FinalAcc:      h.Final(),
+		BestAcc:       h.BestValAcc(),
+		FinalLoss:     h.ValLoss[len(h.ValLoss)-1],
+		Epochs:        h.Epochs,
+		ValAccHistory: append([]float64(nil), h.ValAcc...),
+		Stopped:       h.Stopped,
+		StopReason:    h.StopReason,
+	}, nil
+}
+
+// FuncObjective adapts a plain function, for tests and synthetic benchmark
+// surfaces.
+type FuncObjective struct {
+	ObjName string
+	Fn      func(ctx ObjectiveContext) (TrialMetrics, error)
+}
+
+// Name implements Objective.
+func (f *FuncObjective) Name() string { return f.ObjName }
+
+// Run implements Objective.
+func (f *FuncObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) { return f.Fn(ctx) }

@@ -1,0 +1,118 @@
+package hpo
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/runtime"
+)
+
+// Task names of the Figure-3 pipeline stages.
+const (
+	visTaskName  = "visualisation"
+	plotTaskName = "plot"
+)
+
+// registerPipeline adds the visualisation and plot tasks that recreate the
+// paper's application structure (Figure 2/3): "for immediate and interactive
+// action, the performance measure returned can be visualised using another
+// task. When all tasks are completed, we plot the graphs" (§4).
+func (s *Study) registerPipeline() error {
+	rt := s.opts.Runtime
+	if !rt.Registered(visTaskName) {
+		if err := rt.Register(runtime.TaskDef{
+			Name:    visTaskName,
+			Returns: 1,
+			Fn: func(ctx *runtime.TaskContext, args []interface{}) ([]interface{}, error) {
+				res, ok := args[0].(TrialResult)
+				if !ok {
+					return []interface{}{"(trial unavailable)"}, nil
+				}
+				line := fmt.Sprintf("trial %2d  best %.4f  final %.4f  epochs %2d  %s",
+					res.ID, res.BestAcc, res.FinalAcc, res.Epochs, res.Config.Fingerprint())
+				if res.Err != "" {
+					line = fmt.Sprintf("trial %2d  FAILED: %s", res.ID, res.Err)
+				}
+				return []interface{}{line}, nil
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	if !rt.Registered(plotTaskName) {
+		if err := rt.Register(runtime.TaskDef{
+			Name:    plotTaskName,
+			Returns: 1,
+			Fn: func(ctx *runtime.TaskContext, args []interface{}) ([]interface{}, error) {
+				lines := make([]string, 0, len(args))
+				for _, a := range args {
+					if s, ok := a.(string); ok {
+						lines = append(lines, s)
+					}
+				}
+				sort.Strings(lines)
+				return []interface{}{"=== study plot ===\n" + strings.Join(lines, "\n")}, nil
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadCheckpoint reads previously finished trials keyed by config
+// fingerprint; a missing file is an empty checkpoint.
+func (s *Study) loadCheckpoint() (map[string]TrialResult, error) {
+	out := map[string]TrialResult{}
+	if s.opts.CheckpointPath == "" {
+		return out, nil
+	}
+	raw, err := os.ReadFile(s.opts.CheckpointPath)
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hpo: reading checkpoint: %w", err)
+	}
+	trials, err := decodeCheckpoint(raw)
+	if err != nil {
+		return nil, err
+	}
+	maxID := -1
+	for _, t := range trials {
+		if t.Err != "" || t.Canceled {
+			continue // rerun failures and cancellations
+		}
+		out[t.Config.Fingerprint()] = t
+		if t.ID > maxID {
+			maxID = t.ID
+		}
+	}
+	s.mu.Lock()
+	if s.nextID <= maxID {
+		s.nextID = maxID + 1
+	}
+	s.mu.Unlock()
+	return out, nil
+}
+
+// saveCheckpoint persists all results so far; atomic-rename so a crash mid
+// write never corrupts the previous checkpoint.
+func (s *Study) saveCheckpoint() error {
+	if s.opts.CheckpointPath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	raw, err := encodeCheckpoint(s.results)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	tmp := s.opts.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("hpo: writing checkpoint: %w", err)
+	}
+	return os.Rename(tmp, s.opts.CheckpointPath)
+}

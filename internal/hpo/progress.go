@@ -1,0 +1,127 @@
+package hpo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ProgressBoard is the live study dashboard the paper lists among the
+// essential HPO-tool features ("visualisation dashboards to enable
+// researchers make sense of the output", §1). Wire its OnEpoch method into
+// StudyOptions.OnEpoch and Render (or Flush) it whenever a progress view is
+// wanted; it is safe for concurrent trials.
+type ProgressBoard struct {
+	mu     sync.Mutex
+	trials map[int]*trialProgress
+	target float64
+	out    io.Writer
+}
+
+type trialProgress struct {
+	id      int
+	epoch   int
+	lastAcc float64
+	bestAcc float64
+}
+
+// NewProgressBoard creates a board; out may be nil if only Render is used.
+// target draws a goal marker when > 0.
+func NewProgressBoard(out io.Writer, target float64) *ProgressBoard {
+	return &ProgressBoard{trials: make(map[int]*trialProgress), target: target, out: out}
+}
+
+// OnEpoch records one streamed epoch result; signature matches
+// StudyOptions.OnEpoch.
+func (b *ProgressBoard) OnEpoch(trial, epoch int, acc float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tp, ok := b.trials[trial]
+	if !ok {
+		tp = &trialProgress{id: trial}
+		b.trials[trial] = tp
+	}
+	tp.epoch = epoch
+	tp.lastAcc = acc
+	if acc > tp.bestAcc {
+		tp.bestAcc = acc
+	}
+}
+
+// Trials returns the number of trials seen so far.
+func (b *ProgressBoard) Trials() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.trials)
+}
+
+// Best returns the best accuracy streamed so far.
+func (b *ProgressBoard) Best() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	best := 0.0
+	for _, tp := range b.trials {
+		if tp.bestAcc > best {
+			best = tp.bestAcc
+		}
+	}
+	return best
+}
+
+// Render draws one bar per trial: current accuracy as a filled bar with the
+// best-so-far tick and the optional target marker.
+func (b *ProgressBoard) Render(width int) string {
+	if width <= 10 {
+		width = 40
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	ids := make([]int, 0, len(b.trials))
+	for id := range b.trials {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "live progress (%d trials)\n", len(ids))
+	for _, id := range ids {
+		tp := b.trials[id]
+		bar := make([]byte, width)
+		fill := int(tp.lastAcc * float64(width))
+		if fill > width {
+			fill = width
+		}
+		for i := range bar {
+			switch {
+			case i < fill:
+				bar[i] = '#'
+			default:
+				bar[i] = '.'
+			}
+		}
+		if b.target > 0 {
+			t := int(b.target * float64(width))
+			if t >= width {
+				t = width - 1
+			}
+			if bar[t] == '.' {
+				bar[t] = '|'
+			}
+		}
+		fmt.Fprintf(&sb, "trial %3d e%3d [%s] %.3f (best %.3f)\n",
+			tp.id, tp.epoch+1, bar, tp.lastAcc, tp.bestAcc)
+	}
+	return sb.String()
+}
+
+// Flush writes the rendered board to the configured writer (no-op when out
+// is nil).
+func (b *ProgressBoard) Flush(width int) {
+	if b.out == nil {
+		return
+	}
+	fmt.Fprint(b.out, b.Render(width))
+}

@@ -1,0 +1,111 @@
+package hpo
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/runtime"
+)
+
+func TestProgressBoardRecordsAndRenders(t *testing.T) {
+	b := NewProgressBoard(nil, 0.9)
+	b.OnEpoch(0, 0, 0.3)
+	b.OnEpoch(0, 1, 0.7)
+	b.OnEpoch(1, 0, 0.5)
+	b.OnEpoch(0, 2, 0.6) // regression: best stays 0.7
+
+	if b.Trials() != 2 {
+		t.Fatalf("trials = %d", b.Trials())
+	}
+	if b.Best() != 0.7 {
+		t.Fatalf("best = %v", b.Best())
+	}
+	out := b.Render(40)
+	if !strings.Contains(out, "live progress (2 trials)") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(best 0.700)") {
+		t.Fatalf("best marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatalf("target marker missing:\n%s", out)
+	}
+}
+
+func TestProgressBoardFlush(t *testing.T) {
+	var buf bytes.Buffer
+	b := NewProgressBoard(&buf, 0)
+	b.OnEpoch(3, 0, 0.42)
+	b.Flush(30)
+	if !strings.Contains(buf.String(), "trial   3") {
+		t.Fatalf("flush output: %q", buf.String())
+	}
+	// Nil writer must be a no-op.
+	NewProgressBoard(nil, 0).Flush(30)
+}
+
+func TestProgressBoardConcurrent(t *testing.T) {
+	b := NewProgressBoard(nil, 0)
+	var wg sync.WaitGroup
+	for trial := 0; trial < 8; trial++ {
+		wg.Add(1)
+		go func(trial int) {
+			defer wg.Done()
+			for e := 0; e < 50; e++ {
+				b.OnEpoch(trial, e, float64(e)/50)
+			}
+		}(trial)
+	}
+	wg.Wait()
+	if b.Trials() != 8 {
+		t.Fatalf("trials = %d", b.Trials())
+	}
+	if b.Best() < 0.97 {
+		t.Fatalf("best = %v", b.Best())
+	}
+}
+
+func TestProgressBoardWiredIntoStudy(t *testing.T) {
+	board := NewProgressBoard(nil, 0)
+	space := tinySpace(t)
+	rt := newStudyRuntime(t, 2)
+	obj := &MLObjective{Dataset: datasets.MNISTLike(100, 6), Hidden: []int{8}}
+	st, err := NewStudy(StudyOptions{
+		Sampler: NewRandomSearch(space, 2, 1), Objective: obj, Runtime: rt,
+		Constraint: runtime.Constraint{Cores: 1},
+		OnEpoch:    board.OnEpoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if board.Trials() != 2 || board.Best() == 0 {
+		t.Fatalf("board saw %d trials, best %v", board.Trials(), board.Best())
+	}
+}
+
+func TestMLObjectiveCNNModel(t *testing.T) {
+	obj := &MLObjective{Dataset: datasets.MNISTLike(120, 9), Hidden: []int{8}}
+	m, err := obj.Run(ObjectiveContext{
+		Config: Config{"model": "cnn", "filters": 2, "num_epochs": 2, "batch_size": 24, "optimizer": "Adam"},
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epochs != 2 || m.FinalAcc <= 0.1 {
+		t.Fatalf("CNN objective metrics = %+v", m)
+	}
+	if _, err := obj.Run(ObjectiveContext{
+		Config: Config{"model": "transformer", "num_epochs": 1, "batch_size": 8},
+		Seed:   9,
+	}); err == nil {
+		t.Fatal("expected error for unknown model kind")
+	}
+}

@@ -1,0 +1,103 @@
+package hpo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteReport renders a complete Markdown study report — the shareable
+// artifact a researcher keeps from an HPO run: summary, leaderboard,
+// accuracy curves, per-optimizer aggregates and failure list.
+func WriteReport(w io.Writer, res *StudyResult) error {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# HPO study report — %s search\n\n", res.Algorithm)
+	fmt.Fprintf(&b, "- trials: %d (%d resumed from checkpoint)\n", len(res.Trials), res.Resumed)
+	fmt.Fprintf(&b, "- wall time: %v\n", res.Duration.Round(time.Millisecond))
+	if res.Stopped {
+		fmt.Fprintf(&b, "- stopped early: target accuracy reached\n")
+	}
+	if res.Best != nil {
+		fmt.Fprintf(&b, "- best: **%.4f** with `%s` (trial %d, %d epochs)\n",
+			res.Best.BestAcc, res.Best.Config.Fingerprint(), res.Best.ID, res.Best.Epochs)
+	}
+	b.WriteString("\n## Leaderboard\n\n```\n")
+	b.WriteString(RenderTable(res.Trials))
+	b.WriteString("```\n\n## Accuracy curves\n\n```\n")
+	b.WriteString(RenderCurves(res.Trials, 72, 16))
+	b.WriteString("```\n")
+
+	// Per-categorical-value aggregates for every string-valued parameter
+	// (e.g. mean accuracy per optimizer) — the comparison Figures 7-8
+	// invite the reader to make.
+	aggregates := categoricalAggregates(res.Trials)
+	if len(aggregates) > 0 {
+		b.WriteString("\n## Parameter aggregates (mean best accuracy)\n\n")
+		keys := make([]string, 0, len(aggregates))
+		for k := range aggregates {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, param := range keys {
+			fmt.Fprintf(&b, "### %s\n\n", param)
+			vals := aggregates[param]
+			names := make([]string, 0, len(vals))
+			for v := range vals {
+				names = append(names, v)
+			}
+			sort.Strings(names)
+			for _, v := range names {
+				a := vals[v]
+				fmt.Fprintf(&b, "- `%s`: %.4f over %d trials\n", v, a.sum/float64(a.n), a.n)
+			}
+			b.WriteString("\n")
+		}
+	}
+
+	var failures []TrialResult
+	for _, t := range res.Trials {
+		if t.Err != "" && !t.Canceled {
+			failures = append(failures, t)
+		}
+	}
+	if len(failures) > 0 {
+		b.WriteString("## Failures\n\n")
+		for _, t := range failures {
+			fmt.Fprintf(&b, "- trial %d `%s`: %s\n", t.ID, t.Config.Fingerprint(), t.Err)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+type agg struct {
+	sum float64
+	n   int
+}
+
+func categoricalAggregates(trials []TrialResult) map[string]map[string]agg {
+	out := map[string]map[string]agg{}
+	for _, t := range trials {
+		if t.Err != "" {
+			continue
+		}
+		for k, v := range t.Config {
+			s, ok := v.(string)
+			if !ok || strings.HasPrefix(k, "_") {
+				continue
+			}
+			if out[k] == nil {
+				out[k] = map[string]agg{}
+			}
+			a := out[k][s]
+			a.sum += t.BestAcc
+			a.n++
+			out[k][s] = a
+		}
+	}
+	return out
+}

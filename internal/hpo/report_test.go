@@ -1,0 +1,82 @@
+package hpo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleStudyResult() *StudyResult {
+	best := TrialResult{
+		ID: 1, Config: Config{"optimizer": "Adam", "batch_size": 32},
+		TrialMetrics: TrialMetrics{BestAcc: 0.97, FinalAcc: 0.95, Epochs: 5,
+			ValAccHistory: []float64{0.5, 0.8, 0.9, 0.95, 0.95}},
+	}
+	return &StudyResult{
+		Algorithm: "grid",
+		Trials: []TrialResult{
+			{ID: 0, Config: Config{"optimizer": "SGD", "batch_size": 32},
+				TrialMetrics: TrialMetrics{BestAcc: 0.81, FinalAcc: 0.8, Epochs: 5,
+					ValAccHistory: []float64{0.3, 0.5, 0.7, 0.8, 0.8}}},
+			best,
+			{ID: 2, Config: Config{"optimizer": "RMSprop", "batch_size": 64}, Err: "nan loss"},
+			{ID: 3, Config: Config{"optimizer": "Adam", "batch_size": 64},
+				TrialMetrics: TrialMetrics{BestAcc: 0.9, FinalAcc: 0.9, Epochs: 5,
+					ValAccHistory: []float64{0.4, 0.6, 0.8, 0.85, 0.9}}},
+		},
+		Best:     &best,
+		Duration: 1500 * time.Millisecond,
+		Resumed:  1,
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var b strings.Builder
+	if err := WriteReport(&b, sampleStudyResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HPO study report — grid search",
+		"trials: 4 (1 resumed from checkpoint)",
+		"best: **0.9700**",
+		"## Leaderboard",
+		"## Accuracy curves",
+		"## Parameter aggregates",
+		"### optimizer",
+		"`Adam`: 0.9350 over 2 trials",
+		"`SGD`: 0.8100 over 1 trials",
+		"## Failures",
+		"nan loss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The failed trial must not pollute aggregates.
+	if strings.Contains(out, "`RMSprop`:") {
+		t.Fatal("failed trial leaked into aggregates")
+	}
+}
+
+func TestWriteReportEmptyStudy(t *testing.T) {
+	var b strings.Builder
+	if err := WriteReport(&b, &StudyResult{Algorithm: "random"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "random search") {
+		t.Fatal("empty report malformed")
+	}
+}
+
+func TestWriteReportStoppedStudy(t *testing.T) {
+	res := sampleStudyResult()
+	res.Stopped = true
+	var b strings.Builder
+	if err := WriteReport(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "stopped early") {
+		t.Fatal("stop marker missing")
+	}
+}

@@ -1,0 +1,188 @@
+package hpo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// paperSpaceJSON is the paper's Listing 1 config file, verbatim.
+const paperSpaceJSON = `{
+  "optimizer": ["Adam", "SGD", "RMSprop"],
+  "num_epochs": [20, 50, 100],
+  "batch_size": [32, 64, 128]
+}`
+
+func paperSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := ParseSpaceJSON([]byte(paperSpaceJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParsePaperListing1(t *testing.T) {
+	s := paperSpace(t)
+	if len(s.Params) != 3 {
+		t.Fatalf("params = %d", len(s.Params))
+	}
+	if s.Size() != 27 {
+		t.Fatalf("grid size = %d, want 27 (paper: '27 different experiments are created')", s.Size())
+	}
+	// JSON integers must come back as ints, not float64.
+	epochs := s.ByName("num_epochs")
+	if epochs == nil {
+		t.Fatal("num_epochs missing")
+	}
+	if _, ok := epochs.GridValues()[0].(int); !ok {
+		t.Fatalf("epochs decoded as %T, want int", epochs.GridValues()[0])
+	}
+	opt := s.ByName("optimizer")
+	if opt.GridValues()[0].(string) != "Adam" {
+		t.Fatalf("optimizer[0] = %v", opt.GridValues()[0])
+	}
+}
+
+func TestParseExtendedTypes(t *testing.T) {
+	src := `{
+	  "learning_rate": {"type": "float", "min": 0.0001, "max": 0.1, "log": true},
+	  "hidden_units": {"type": "int", "min": 16, "max": 128, "step": 16}
+	}`
+	s, err := ParseSpaceJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hu := s.ByName("hidden_units")
+	vals := hu.GridValues()
+	if len(vals) != 8 || vals[0].(int) != 16 || vals[7].(int) != 128 {
+		t.Fatalf("hidden grid = %v", vals)
+	}
+	lr := s.ByName("learning_rate").(FloatRange)
+	if !lr.Log {
+		t.Fatal("log flag lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"x": []}`,
+		`{"x": {"type": "banana", "min": 0, "max": 1}}`,
+		`{"x": {"type": "float", "min": 5, "max": 1}}`,
+		`{"x": {"type": "float", "min": 0, "max": 1, "log": true}}`,
+	}
+	for _, c := range cases {
+		if _, err := ParseSpaceJSON([]byte(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}
+
+func TestCategoricalEncodeDecodeRoundTrip(t *testing.T) {
+	c := Categorical{Key: "opt", Values: []interface{}{"Adam", "SGD", "RMSprop"}}
+	for _, v := range c.Values {
+		x := c.Encode(v)
+		if got := c.DecodeNearest(x); got != v {
+			t.Fatalf("round trip %v → %v → %v", v, x, got)
+		}
+	}
+}
+
+func TestIntRangeEncodeDecode(t *testing.T) {
+	p := IntRange{Key: "n", Min: 10, Max: 20}
+	if p.Encode(10) != 0 || p.Encode(20) != 1 {
+		t.Fatal("endpoints encode to 0/1")
+	}
+	if p.DecodeNearest(0.5).(int) != 15 {
+		t.Fatalf("decode(0.5) = %v", p.DecodeNearest(0.5))
+	}
+	if p.DecodeNearest(2.0).(int) != 20 {
+		t.Fatal("decode should clamp")
+	}
+}
+
+func TestFloatRangeLogScale(t *testing.T) {
+	p := FloatRange{Key: "lr", Min: 1e-4, Max: 1e-1, Log: true}
+	mid := p.DecodeNearest(0.5).(float64)
+	// Log midpoint of [1e-4, 1e-1] is 10^-2.5.
+	want := math.Pow(10, -2.5)
+	if math.Abs(mid-want)/want > 1e-9 {
+		t.Fatalf("log midpoint = %v, want %v", mid, want)
+	}
+	if x := p.Encode(mid); math.Abs(x-0.5) > 1e-9 {
+		t.Fatalf("encode(midpoint) = %v", x)
+	}
+}
+
+func TestSpaceSampleInRange(t *testing.T) {
+	s := paperSpace(t)
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		cfg := s.Sample(rng)
+		if cfg.Int("num_epochs", -1) == -1 {
+			t.Fatalf("sample missing num_epochs: %v", cfg)
+		}
+		e := cfg.Int("num_epochs", 0)
+		if e != 20 && e != 50 && e != 100 {
+			t.Fatalf("epochs = %d not in grid", e)
+		}
+		o := cfg.Str("optimizer", "")
+		if o != "Adam" && o != "SGD" && o != "RMSprop" {
+			t.Fatalf("optimizer = %q", o)
+		}
+	}
+}
+
+// Property: Encode ∘ DecodeNearest maps every point back into [0,1] and
+// decoding is idempotent (decode(encode(decode(x))) == decode(x)).
+func TestEncodeDecodeIdempotentProperty(t *testing.T) {
+	s, err := ParseSpaceJSON([]byte(`{
+	  "a": ["x", "y", "z"],
+	  "b": {"type": "int", "min": 0, "max": 9},
+	  "c": {"type": "float", "min": 0.5, "max": 2.0}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []float64) bool {
+		x := make([]float64, len(s.Params))
+		for i := range x {
+			if i < len(raw) {
+				x[i] = math.Abs(math.Mod(raw[i], 1))
+			}
+		}
+		cfg := s.Decode(x)
+		enc := s.Encode(cfg)
+		cfg2 := s.Decode(enc)
+		return cfg.Fingerprint() == cfg2.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := Config{"a": 5, "b": 2.5, "c": "hi", "_hidden": 1}
+	if cfg.Int("a", 0) != 5 || cfg.Int("missing", 7) != 7 {
+		t.Fatal("Int getter wrong")
+	}
+	if cfg.Float("b", 0) != 2.5 {
+		t.Fatal("Float getter wrong")
+	}
+	if cfg.Str("c", "") != "hi" || cfg.Str("missing", "d") != "d" {
+		t.Fatal("Str getter wrong")
+	}
+	fp := cfg.Fingerprint()
+	if fp != "a=5,b=2.5,c=hi" {
+		t.Fatalf("fingerprint = %q (hidden keys must be excluded)", fp)
+	}
+	clone := cfg.Clone()
+	clone["a"] = 6
+	if cfg.Int("a", 0) != 5 {
+		t.Fatal("Clone should not alias")
+	}
+}

@@ -1,0 +1,318 @@
+package hpo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// TrialResult is the outcome of one experiment task.
+type TrialResult struct {
+	ID     int
+	Config Config
+	TrialMetrics
+	Duration time.Duration
+	// Err is the failure text ("" on success); kept as a string so results
+	// cross gob transports.
+	Err string
+	// Canceled marks trials dropped by study-level early stopping.
+	Canceled bool
+}
+
+// StudyResult aggregates a finished study.
+type StudyResult struct {
+	Algorithm string
+	Trials    []TrialResult
+	// Best is the successful trial with the highest BestAcc.
+	Best *TrialResult
+	// Stopped reports study-level early stopping (target accuracy reached).
+	Stopped  bool
+	Duration time.Duration
+	// Plot holds the final plot task's output when Visualise was set.
+	Plot string
+	// Resumed counts trials restored from the checkpoint instead of run.
+	Resumed int
+}
+
+// BestAccuracy returns the best accuracy or 0.
+func (r *StudyResult) BestAccuracy() float64 {
+	if r.Best == nil {
+		return 0
+	}
+	return r.Best.BestAcc
+}
+
+// StudyOptions configures Run.
+type StudyOptions struct {
+	// Space defines the hyperparameters (used by samplers; Grid/Random
+	// already hold it, so this may be nil).
+	Space *Space
+	// Sampler proposes configurations.
+	Sampler Sampler
+	// Objective evaluates them.
+	Objective Objective
+	// Runtime executes experiment tasks; the study registers its task
+	// definitions on it. Must use a Real or Remote backend (training needs
+	// to actually run).
+	Runtime *runtime.Runtime
+	// Constraint is the per-experiment resource requirement, the paper's
+	// @constraint decorator.
+	Constraint runtime.Constraint
+	// BatchSize bounds how many configs are in flight between Ask/Tell
+	// cycles; 0 means "everything the sampler offers at once", the natural
+	// choice for grid/random (the paper submits all tasks in one loop).
+	BatchSize int
+	// TargetAccuracy, when > 0, stops the study as soon as any trial
+	// reports it (§6.1: "the process can be stopped as soon as one task
+	// achieves a specified accuracy"). Running trials also stop themselves.
+	TargetAccuracy float64
+	// Seed drives per-trial seeds.
+	Seed uint64
+	// OnEpoch, when non-nil, observes streamed per-epoch accuracy from all
+	// trials (trialID, epoch, accuracy). Local backends only — epoch
+	// streams do not cross Remote transports.
+	OnEpoch func(trial, epoch int, acc float64)
+	// Visualise, when true, rebuilds the paper's Figure-3 application
+	// shape for real: each experiment feeds a visualisation task and a
+	// final plot task aggregates them; the plot output lands in
+	// StudyResult.Plot. Real backend only.
+	Visualise bool
+	// CheckpointPath, when non-empty, persists finished trials as JSON
+	// after every round and resumes from it on the next Run — master-side
+	// fault tolerance complementing the runtime's task retries.
+	CheckpointPath string
+}
+
+// Study orchestrates an HPO run on the task runtime: one task per config,
+// exactly the application structure of the paper's Figure 2.
+type Study struct {
+	opts StudyOptions
+
+	mu       sync.Mutex
+	results  []TrialResult
+	stopped  bool
+	nextID   int
+	reported map[int]bool
+}
+
+// NewStudy validates options and builds a study.
+func NewStudy(opts StudyOptions) (*Study, error) {
+	if opts.Sampler == nil {
+		return nil, errors.New("hpo: study needs a Sampler")
+	}
+	if opts.Objective == nil {
+		return nil, errors.New("hpo: study needs an Objective")
+	}
+	if opts.Runtime == nil {
+		return nil, errors.New("hpo: study needs a Runtime")
+	}
+	return &Study{opts: opts, reported: make(map[int]bool)}, nil
+}
+
+// taskName is the registered experiment task type.
+const taskName = "experiment"
+
+// Run executes the study to completion (or early stop) and returns the
+// aggregated result.
+func (s *Study) Run() (*StudyResult, error) {
+	rt := s.opts.Runtime
+	// In distributed deployments the master pre-registers the experiment
+	// task via ExperimentTaskDef; otherwise register the local wrapper.
+	if !rt.Registered(taskName) {
+		def := runtime.TaskDef{
+			Name:       taskName,
+			Returns:    1,
+			Constraint: s.opts.Constraint,
+			Fn:         s.experimentTask,
+		}
+		if err := rt.Register(def); err != nil {
+			return nil, err
+		}
+	}
+	if s.opts.Visualise {
+		if err := s.registerPipeline(); err != nil {
+			return nil, err
+		}
+	}
+
+	checkpoint, err := s.loadCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	resumed := 0
+	start := time.Now()
+
+	var visFuts []*runtime.Future
+	batch := s.opts.BatchSize
+	for {
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			break
+		}
+		configs := s.opts.Sampler.Ask(batch)
+		if len(configs) == 0 {
+			if s.opts.Sampler.Done() {
+				break
+			}
+			// Sampler is waiting on results it has not seen; nothing in
+			// flight means a stuck sampler, which is a bug worth surfacing.
+			return nil, fmt.Errorf("hpo: sampler %q stalled (asked nothing while idle)", s.opts.Sampler.Name())
+		}
+
+		roundResults := make([]TrialResult, 0, len(configs))
+		futs := make([]*runtime.Future, 0, len(configs))
+		ids := make([]int, 0, len(configs))
+		pendingCfgs := make([]Config, 0, len(configs))
+		for _, cfg := range configs {
+			if cached, ok := checkpoint[cfg.Fingerprint()]; ok {
+				roundResults = append(roundResults, cached)
+				resumed++
+				continue
+			}
+			s.mu.Lock()
+			id := s.nextID
+			s.nextID++
+			s.mu.Unlock()
+			fut, err := rt.Submit1(taskName, id, cfg)
+			if err != nil {
+				return nil, err
+			}
+			futs = append(futs, fut)
+			ids = append(ids, id)
+			pendingCfgs = append(pendingCfgs, cfg)
+			if s.opts.Visualise {
+				vf, err := rt.Submit1(visTaskName, fut)
+				if err != nil {
+					return nil, err
+				}
+				visFuts = append(visFuts, vf)
+			}
+		}
+
+		vals, _ := rt.WaitOn(futs...) // per-trial errors live in the results
+		for i, v := range vals {
+			var res TrialResult
+			if tr, ok := v.(TrialResult); ok {
+				res = tr
+			} else {
+				// Task failed or was canceled: synthesise a result.
+				res = TrialResult{ID: ids[i], Config: pendingCfgs[i]}
+				s.mu.Lock()
+				stopped := s.stopped
+				s.mu.Unlock()
+				if stopped {
+					res.Canceled = true
+					res.Err = "canceled: study target reached"
+				} else {
+					res.Err = "task failed"
+				}
+			}
+			roundResults = append(roundResults, res)
+		}
+
+		s.mu.Lock()
+		s.results = append(s.results, roundResults...)
+		s.mu.Unlock()
+		if err := s.saveCheckpoint(); err != nil {
+			return nil, err
+		}
+		s.opts.Sampler.Tell(roundResults)
+
+		// Remote backends cannot stream epochs, so also honour the target
+		// on completed results.
+		if s.opts.TargetAccuracy > 0 {
+			for _, res := range roundResults {
+				if res.Err == "" && res.BestAcc >= s.opts.TargetAccuracy {
+					s.triggerStop()
+					break
+				}
+			}
+		}
+	}
+
+	var plot string
+	if s.opts.Visualise && len(visFuts) > 0 {
+		args := make([]interface{}, len(visFuts))
+		for i, f := range visFuts {
+			args[i] = f
+		}
+		plotFut, err := rt.Submit1(plotTaskName, args...)
+		if err != nil {
+			return nil, err
+		}
+		if vals, err := rt.WaitOn(plotFut); err == nil {
+			plot, _ = vals[0].(string)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &StudyResult{
+		Algorithm: s.opts.Sampler.Name(),
+		Trials:    append([]TrialResult(nil), s.results...),
+		Stopped:   s.stopped,
+		Duration:  time.Since(start),
+		Plot:      plot,
+		Resumed:   resumed,
+	}
+	sort.Slice(out.Trials, func(i, j int) bool { return out.Trials[i].ID < out.Trials[j].ID })
+	for i := range out.Trials {
+		t := &out.Trials[i]
+		if t.Err == "" && (out.Best == nil || t.BestAcc > out.Best.BestAcc) {
+			out.Best = t
+		}
+	}
+	return out, nil
+}
+
+// experimentTask is the runtime task body wrapping the objective — the
+// analogue of the paper's decorated experiment() function.
+func (s *Study) experimentTask(ctx *runtime.TaskContext, args []interface{}) ([]interface{}, error) {
+	trialID := args[0].(int)
+	cfg := args[1].(Config)
+	t0 := time.Now()
+
+	metrics, err := s.opts.Objective.Run(ObjectiveContext{
+		Config:         cfg,
+		Parallelism:    ctx.Cores,
+		Seed:           s.opts.Seed + uint64(trialID)*0x9e37,
+		TargetAccuracy: s.opts.TargetAccuracy,
+		Report: func(epoch int, acc float64) {
+			if s.opts.OnEpoch != nil {
+				s.opts.OnEpoch(trialID, epoch, acc)
+			}
+			if s.opts.TargetAccuracy > 0 && acc >= s.opts.TargetAccuracy {
+				s.triggerStop()
+			}
+		},
+	})
+	res := TrialResult{
+		ID: trialID, Config: cfg, TrialMetrics: metrics,
+		Duration: time.Since(t0),
+	}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	// The task never errors at the runtime level for objective failures:
+	// a failed experiment is a result, not a scheduling fault (a Python
+	// exception in one training would not crash the COMPSs master).
+	return []interface{}{res}, nil
+}
+
+// triggerStop cancels all pending work once (study-level early stop).
+func (s *Study) triggerStop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.opts.Runtime.CancelPending()
+}

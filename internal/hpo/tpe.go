@@ -1,0 +1,154 @@
+package hpo
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// TPE implements the Tree-structured Parzen Estimator (Bergstra et al. 2011,
+// the paper's reference [4]): observed trials are split into a "good" set
+// (top Gamma quantile by accuracy) and a "bad" set; each Ask samples
+// candidates from a Parzen density fitted to the good set and keeps the
+// candidate maximising the density ratio l(x)/g(x).
+type TPE struct {
+	space  *Space
+	budget int
+	drawn  int
+	rng    *tensor.RNG
+
+	// Warmup random trials before the estimator activates.
+	Warmup int
+	// Gamma is the good-set quantile (default 0.25).
+	Gamma float64
+	// Candidates per proposal.
+	Candidates int
+	// Bandwidth of the per-dimension Gaussian kernels in encoded space.
+	Bandwidth float64
+
+	xs [][]float64
+	ys []float64
+}
+
+// NewTPE builds a TPE sampler with the given trial budget.
+func NewTPE(space *Space, budget int, seed uint64) *TPE {
+	return &TPE{
+		space: space, budget: budget, rng: tensor.NewRNG(seed),
+		Warmup: 5, Gamma: 0.25, Candidates: 64, Bandwidth: 0.15,
+	}
+}
+
+// Name implements Sampler.
+func (t *TPE) Name() string { return "tpe" }
+
+// Done implements Sampler.
+func (t *TPE) Done() bool { return t.drawn >= t.budget }
+
+// Tell implements Sampler.
+func (t *TPE) Tell(trials []TrialResult) {
+	for _, tr := range trials {
+		if tr.Err != "" {
+			continue
+		}
+		t.xs = append(t.xs, t.space.Encode(tr.Config))
+		t.ys = append(t.ys, tr.BestAcc)
+	}
+}
+
+// Ask implements Sampler.
+func (t *TPE) Ask(n int) []Config {
+	var out []Config
+	for t.drawn < t.budget && (n <= 0 || len(out) < n) {
+		var cfg Config
+		if len(t.xs) < t.Warmup {
+			cfg = t.space.Sample(t.rng)
+		} else {
+			cfg = t.propose()
+		}
+		out = append(out, cfg)
+		t.drawn++
+	}
+	return out
+}
+
+func (t *TPE) propose() Config {
+	good, bad := t.split()
+	// Anneal the kernel bandwidth as evidence accumulates so proposals
+	// sharpen around the good region (standard Parzen-window shrinkage).
+	bw := t.Bandwidth * math.Pow(float64(len(t.xs)), -0.25)
+	if bw < 0.02 {
+		bw = 0.02
+	}
+	bestScore := math.Inf(-1)
+	var bestX []float64
+	for c := 0; c < t.Candidates; c++ {
+		// Sample from the good density: pick a good point, jitter it.
+		base := good[t.rng.Intn(len(good))]
+		x := make([]float64, len(base))
+		for i := range x {
+			v := base[i] + t.rng.NormFloat64()*bw
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			x[i] = v
+		}
+		score := parzenLogDensity(x, good, bw) - parzenLogDensity(x, bad, bw)
+		if score > bestScore {
+			bestScore, bestX = score, x
+		}
+	}
+	return t.space.Decode(bestX)
+}
+
+// split partitions observations into good (top Gamma fraction by accuracy)
+// and bad sets; both are guaranteed non-empty.
+func (t *TPE) split() (good, bad [][]float64) {
+	idx := make([]int, len(t.ys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return t.ys[idx[a]] > t.ys[idx[b]] })
+	nGood := int(math.Ceil(t.Gamma * float64(len(idx))))
+	if nGood < 1 {
+		nGood = 1
+	}
+	if nGood >= len(idx) {
+		nGood = len(idx) - 1
+		if nGood < 1 {
+			nGood = 1
+		}
+	}
+	for i, j := range idx {
+		if i < nGood {
+			good = append(good, t.xs[j])
+		} else {
+			bad = append(bad, t.xs[j])
+		}
+	}
+	if len(bad) == 0 {
+		bad = good
+	}
+	return good, bad
+}
+
+// parzenLogDensity evaluates a log kernel-density estimate with isotropic
+// Gaussian kernels at the sample points.
+func parzenLogDensity(x []float64, pts [][]float64, bw float64) float64 {
+	if len(pts) == 0 {
+		return math.Inf(-1)
+	}
+	sum := 0.0
+	for _, p := range pts {
+		d2 := 0.0
+		for i := range x {
+			d := x[i] - p[i]
+			d2 += d * d
+		}
+		sum += math.Exp(-d2 / (2 * bw * bw))
+	}
+	return math.Log(sum/float64(len(pts)) + 1e-300)
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalises each feature column over the batch during training
+// (learned scale γ and shift β), tracking running statistics for inference
+// — standard batch normalisation (Ioffe & Szegedy) as used between Dense
+// layers.
+type BatchNorm struct {
+	// Gamma (scale) and Beta (shift) are the learned parameters, 1×features.
+	Gamma, Beta *tensor.Tensor
+	// Momentum is the running-statistics EMA coefficient (default 0.9).
+	Momentum float64
+	// Eps stabilises the variance denominator.
+	Eps float64
+
+	runningMean *tensor.Tensor
+	runningVar  *tensor.Tensor
+
+	dGamma, dBeta *tensor.Tensor
+	// cached forward quantities for backward
+	lastXHat *tensor.Tensor
+	lastStd  []float64
+	features int
+}
+
+// NewBatchNorm builds a batch-norm layer for the given feature width.
+func NewBatchNorm(features int) *BatchNorm {
+	return &BatchNorm{
+		Gamma:       tensor.Ones(1, features),
+		Beta:        tensor.New(1, features),
+		Momentum:    0.9,
+		Eps:         1e-5,
+		runningMean: tensor.New(1, features),
+		runningVar:  tensor.Ones(1, features),
+		dGamma:      tensor.New(1, features),
+		dBeta:       tensor.New(1, features),
+		features:    features,
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, f := x.Dim(0), x.Dim(1)
+	if f != b.features {
+		panic(fmt.Sprintf("nn: BatchNorm width %d, got %d", b.features, f))
+	}
+	out := tensor.New(n, f)
+	xd, od := x.Data(), out.Data()
+	gd, bd := b.Gamma.Data(), b.Beta.Data()
+
+	if !train || n == 1 {
+		// Inference (or degenerate batch): use running statistics.
+		rm, rv := b.runningMean.Data(), b.runningVar.Data()
+		for j := 0; j < f; j++ {
+			inv := 1 / math.Sqrt(rv[j]+b.Eps)
+			for i := 0; i < n; i++ {
+				od[i*f+j] = gd[j]*(xd[i*f+j]-rm[j])*inv + bd[j]
+			}
+		}
+		b.lastXHat = nil
+		return out
+	}
+
+	b.lastXHat = tensor.New(n, f)
+	b.lastStd = make([]float64, f)
+	xh := b.lastXHat.Data()
+	rm, rv := b.runningMean.Data(), b.runningVar.Data()
+	for j := 0; j < f; j++ {
+		mean := 0.0
+		for i := 0; i < n; i++ {
+			mean += xd[i*f+j]
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for i := 0; i < n; i++ {
+			d := xd[i*f+j] - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		std := math.Sqrt(variance + b.Eps)
+		b.lastStd[j] = std
+		for i := 0; i < n; i++ {
+			h := (xd[i*f+j] - mean) / std
+			xh[i*f+j] = h
+			od[i*f+j] = gd[j]*h + bd[j]
+		}
+		rm[j] = b.Momentum*rm[j] + (1-b.Momentum)*mean
+		rv[j] = b.Momentum*rv[j] + (1-b.Momentum)*variance
+	}
+	return out
+}
+
+// Backward implements Layer with the standard batch-norm gradient.
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.lastXHat == nil {
+		// Inference-mode backward (unusual): pass scaled gradient through.
+		out := grad.Clone()
+		gd := b.Gamma.Data()
+		od := out.Data()
+		f := b.features
+		rv := b.runningVar.Data()
+		for i := 0; i < out.Dim(0); i++ {
+			for j := 0; j < f; j++ {
+				od[i*f+j] *= gd[j] / math.Sqrt(rv[j]+b.Eps)
+			}
+		}
+		return out
+	}
+	n, f := grad.Dim(0), grad.Dim(1)
+	gd := grad.Data()
+	xh := b.lastXHat.Data()
+	gam := b.Gamma.Data()
+	dg, db := b.dGamma.Data(), b.dBeta.Data()
+	out := tensor.New(n, f)
+	od := out.Data()
+
+	for j := 0; j < f; j++ {
+		sumDy, sumDyXh := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			sumDy += gd[i*f+j]
+			sumDyXh += gd[i*f+j] * xh[i*f+j]
+		}
+		dg[j] = sumDyXh
+		db[j] = sumDy
+		inv := gam[j] / (b.lastStd[j] * float64(n))
+		for i := 0; i < n; i++ {
+			od[i*f+j] = inv * (float64(n)*gd[i*f+j] - sumDy - xh[i*f+j]*sumDyXh)
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{b.Gamma, b.Beta} }
+
+// Grads implements Layer.
+func (b *BatchNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{b.dGamma, b.dBeta} }
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return fmt.Sprintf("BatchNorm(%d)", b.features) }

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBatchNormNormalisesTraining(t *testing.T) {
+	bn := NewBatchNorm(3)
+	r := tensor.NewRNG(1)
+	x := tensor.Randn(r, 64, 3).ScaleInPlace(5).AddScalar(10)
+	y := bn.Forward(x, true)
+	// Each column should be ~zero-mean, ~unit-variance (γ=1, β=0).
+	for j := 0; j < 3; j++ {
+		mean, variance := columnStats(y, j)
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("col %d mean = %v", j, mean)
+		}
+		if math.Abs(variance-1) > 0.01 {
+			t.Fatalf("col %d variance = %v", j, variance)
+		}
+	}
+}
+
+func columnStats(x *tensor.Tensor, j int) (mean, variance float64) {
+	n, f := x.Dim(0), x.Dim(1)
+	for i := 0; i < n; i++ {
+		mean += x.Data()[i*f+j]
+	}
+	mean /= float64(n)
+	for i := 0; i < n; i++ {
+		d := x.Data()[i*f+j] - mean
+		variance += d * d
+	}
+	return mean, variance / float64(n)
+}
+
+func TestBatchNormGammaBetaApplied(t *testing.T) {
+	bn := NewBatchNorm(2)
+	bn.Gamma.Fill(2)
+	bn.Beta.Fill(3)
+	r := tensor.NewRNG(2)
+	x := tensor.Randn(r, 32, 2)
+	y := bn.Forward(x, true)
+	for j := 0; j < 2; j++ {
+		mean, variance := columnStats(y, j)
+		if math.Abs(mean-3) > 1e-9 {
+			t.Fatalf("col %d mean = %v, want β=3", j, mean)
+		}
+		if math.Abs(variance-4) > 0.05 {
+			t.Fatalf("col %d variance = %v, want γ²=4", j, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm(1)
+	r := tensor.NewRNG(3)
+	// Train on shifted data so running stats move away from (0, 1).
+	for step := 0; step < 200; step++ {
+		x := tensor.Randn(r, 32, 1).AddScalar(5)
+		bn.Forward(x, true)
+	}
+	// Inference on the same distribution must normalise to ~N(0,1).
+	x := tensor.Randn(r, 256, 1).AddScalar(5)
+	y := bn.Forward(x, false)
+	mean, variance := columnStats(y, 0)
+	if math.Abs(mean) > 0.2 || math.Abs(variance-1) > 0.3 {
+		t.Fatalf("inference output mean %v variance %v, want ~(0,1)", mean, variance)
+	}
+}
+
+func TestBatchNormWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatchNorm(3).Forward(tensor.New(4, 5), true)
+}
+
+// Numerical gradient check through batch norm (γ and β).
+func TestBatchNormGradientNumerically(t *testing.T) {
+	bn := NewBatchNorm(2)
+	r := tensor.NewRNG(4)
+	x := tensor.Randn(r, 6, 2)
+	labels := []int{0, 1, 0, 1, 0, 1}
+	var loss SoftmaxCrossEntropy
+
+	forward := func() float64 {
+		logits := bn.Forward(x, true)
+		l, _ := loss.Loss(logits, labels)
+		return l
+	}
+	logits := bn.Forward(x, true)
+	_, g := loss.Loss(logits, labels)
+	dx := bn.Backward(g)
+	dGamma := bn.dGamma.Clone()
+
+	const eps = 1e-6
+	gd := bn.Gamma.Data()
+	for i := range gd {
+		orig := gd[i]
+		gd[i] = orig + eps
+		lp := forward()
+		gd[i] = orig - eps
+		lm := forward()
+		gd[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dGamma.Data()[i]) > 1e-5 {
+			t.Fatalf("dGamma[%d]: analytic %v vs numeric %v", i, dGamma.Data()[i], numeric)
+		}
+	}
+	// Input gradient check too.
+	xd := x.Data()
+	for i := 0; i < x.Size(); i++ {
+		orig := xd[i]
+		xd[i] = orig + eps
+		lp := forward()
+		xd[i] = orig - eps
+		lm := forward()
+		xd[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dx.Data()[i]) > 1e-5 {
+			t.Fatalf("dx[%d]: analytic %v vs numeric %v", i, dx.Data()[i], numeric)
+		}
+	}
+}
+
+func TestBatchNormInTrainingStack(t *testing.T) {
+	// MLP with batch norm must still learn a simple problem.
+	r := tensor.NewRNG(5)
+	m := NewSequential(
+		NewDense(r, 4, 16),
+		NewBatchNorm(16),
+		NewReLU(),
+		NewDense(r, 16, 2),
+	)
+	x := tensor.Randn(r, 120, 4)
+	y := make([]int, 120)
+	for i := range y {
+		if x.At(i, 0)-x.At(i, 3) > 0 {
+			y[i] = 1
+		}
+	}
+	opt, _ := NewOptimizer("Adam", 0.01)
+	h, err := m.Fit(x, y, x, y, FitConfig{Epochs: 30, BatchSize: 24, Optimizer: opt, Shuffle: true, RNG: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Final() < 0.85 {
+		t.Fatalf("batch-normed MLP accuracy = %v", h.Final())
+	}
+	if m.Summary() == "" || m.NumParams() != 4*16+16+16+16+16*2+2 {
+		t.Fatalf("params = %d", m.NumParams())
+	}
+}

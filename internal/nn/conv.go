@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over batches of H×W×C images flattened
+// row-major into the rows of the input tensor (the layout produced by
+// internal/datasets). Stride is 1 with no padding, which is sufficient for
+// the small MNIST/CIFAR-style models the paper trains.
+type Conv2D struct {
+	// W holds the kernels as (KH·KW·InC)×Filters — column f is filter f.
+	W *tensor.Tensor
+	// B is a 1×Filters bias row.
+	B *tensor.Tensor
+
+	InH, InW, InC int
+	KH, KW        int
+	Filters       int
+	OutH, OutW    int
+	dW, dB        *tensor.Tensor
+	lastCols      *tensor.Tensor // im2col of the last input (batch·outPos)×(KH·KW·InC)
+	lastBatch     int
+	units         int
+}
+
+// NewConv2D constructs a convolution layer for inH×inW×inC inputs with
+// filters kernels of size kh×kw, Glorot-initialised.
+func NewConv2D(r *tensor.RNG, inH, inW, inC, kh, kw, filters int) *Conv2D {
+	if kh > inH || kw > inW {
+		panic(fmt.Sprintf("nn: kernel %dx%d larger than input %dx%d", kh, kw, inH, inW))
+	}
+	fanIn := kh * kw * inC
+	return &Conv2D{
+		W:   tensor.GlorotUniform(r, fanIn, filters),
+		B:   tensor.New(1, filters),
+		InH: inH, InW: inW, InC: inC,
+		KH: kh, KW: kw, Filters: filters,
+		OutH: inH - kh + 1, OutW: inW - kw + 1,
+		dW:    tensor.New(fanIn, filters),
+		dB:    tensor.New(1, filters),
+		units: 1,
+	}
+}
+
+// OutFeatures returns the flattened output width (OutH·OutW·Filters).
+func (c *Conv2D) OutFeatures() int { return c.OutH * c.OutW * c.Filters }
+
+// SetParallelism bounds the goroutines used by the matrix products.
+func (c *Conv2D) SetParallelism(units int) { c.units = units }
+
+// Forward implements Layer via im2col + matmul: each output position's
+// receptive field becomes a row; convolution is then one matrix product.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	if x.Dim(1) != c.InH*c.InW*c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Dim(1), c.InH*c.InW*c.InC))
+	}
+	c.lastBatch = batch
+	cols := c.im2col(x)
+	c.lastCols = cols
+	// (batch·outPos)×fanIn × fanIn×filters → (batch·outPos)×filters.
+	out := tensor.MatMulParallel(cols, c.W, c.units).AddRowVector(c.B)
+	// Reshape to batch×(outH·outW·filters): rows are already grouped by
+	// batch then position, and position-major ordering matches HWC layout.
+	return out.Reshape(batch, c.OutH*c.OutW*c.Filters)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch := c.lastBatch
+	g := grad.Reshape(batch*c.OutH*c.OutW, c.Filters)
+	c.dW = tensor.MatMulParallel(c.lastCols.Transpose(), g, c.units)
+	c.dB = g.SumRows()
+	// Gradient w.r.t. the im2col matrix, then scatter back to image space.
+	dCols := tensor.MatMulParallel(g, c.W.Transpose(), c.units)
+	return c.col2im(dCols, batch)
+}
+
+// im2col unrolls receptive fields: output row (b·outH·outW + oy·outW + ox)
+// holds the KH×KW×InC patch at (oy, ox) of sample b.
+func (c *Conv2D) im2col(x *tensor.Tensor) *tensor.Tensor {
+	batch := x.Dim(0)
+	fanIn := c.KH * c.KW * c.InC
+	cols := tensor.New(batch*c.OutH*c.OutW, fanIn)
+	xd, cd := x.Data(), cols.Data()
+	inRow := c.InW * c.InC
+	for b := 0; b < batch; b++ {
+		src := xd[b*c.InH*inRow:]
+		for oy := 0; oy < c.OutH; oy++ {
+			for ox := 0; ox < c.OutW; ox++ {
+				dst := cd[((b*c.OutH+oy)*c.OutW+ox)*fanIn:]
+				di := 0
+				for ky := 0; ky < c.KH; ky++ {
+					start := (oy+ky)*inRow + ox*c.InC
+					copy(dst[di:di+c.KW*c.InC], src[start:start+c.KW*c.InC])
+					di += c.KW * c.InC
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im accumulates patch gradients back into image layout (the adjoint of
+// im2col).
+func (c *Conv2D) col2im(dCols *tensor.Tensor, batch int) *tensor.Tensor {
+	out := tensor.New(batch, c.InH*c.InW*c.InC)
+	od, dd := out.Data(), dCols.Data()
+	fanIn := c.KH * c.KW * c.InC
+	inRow := c.InW * c.InC
+	for b := 0; b < batch; b++ {
+		dst := od[b*c.InH*inRow:]
+		for oy := 0; oy < c.OutH; oy++ {
+			for ox := 0; ox < c.OutW; ox++ {
+				src := dd[((b*c.OutH+oy)*c.OutW+ox)*fanIn:]
+				si := 0
+				for ky := 0; ky < c.KH; ky++ {
+					start := (oy+ky)*inRow + ox*c.InC
+					for i := 0; i < c.KW*c.InC; i++ {
+						dst[start+i] += src[si+i]
+					}
+					si += c.KW * c.InC
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%dx%d, %dx%d→%d)", c.InH, c.InW, c.InC, c.KH, c.KW, c.Filters)
+}
+
+// MaxPool2D is a non-overlapping max pool over H×W×C feature maps.
+type MaxPool2D struct {
+	InH, InW, C int
+	Pool        int
+	OutH, OutW  int
+	lastArgmax  []int
+	lastBatch   int
+}
+
+// NewMaxPool2D constructs a pool×pool max pooling layer; input dimensions
+// must divide evenly.
+func NewMaxPool2D(inH, inW, c, pool int) *MaxPool2D {
+	if pool < 1 || inH%pool != 0 || inW%pool != 0 {
+		panic(fmt.Sprintf("nn: pool %d does not divide %dx%d", pool, inH, inW))
+	}
+	return &MaxPool2D{InH: inH, InW: inW, C: c, Pool: pool, OutH: inH / pool, OutW: inW / pool}
+}
+
+// OutFeatures returns the flattened output width.
+func (p *MaxPool2D) OutFeatures() int { return p.OutH * p.OutW * p.C }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	p.lastBatch = batch
+	out := tensor.New(batch, p.OutFeatures())
+	p.lastArgmax = make([]int, batch*p.OutFeatures())
+	xd, od := x.Data(), out.Data()
+	inRow := p.InW * p.C
+	for b := 0; b < batch; b++ {
+		src := xd[b*p.InH*inRow:]
+		for oy := 0; oy < p.OutH; oy++ {
+			for ox := 0; ox < p.OutW; ox++ {
+				for ch := 0; ch < p.C; ch++ {
+					bestIdx := -1
+					best := 0.0
+					for ky := 0; ky < p.Pool; ky++ {
+						for kx := 0; kx < p.Pool; kx++ {
+							idx := (oy*p.Pool+ky)*inRow + (ox*p.Pool+kx)*p.C + ch
+							if bestIdx < 0 || src[idx] > best {
+								best, bestIdx = src[idx], idx
+							}
+						}
+					}
+					oi := b*p.OutFeatures() + (oy*p.OutW+ox)*p.C + ch
+					od[oi] = best
+					p.lastArgmax[oi] = b*p.InH*inRow + bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient routes to each window's argmax.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(p.lastBatch, p.InH*p.InW*p.C)
+	od, gd := out.Data(), grad.Data()
+	for oi, src := range p.lastArgmax {
+		od[src] += gd[oi]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string {
+	return fmt.Sprintf("MaxPool2D(%d)", p.Pool)
+}
+
+// NewCNN builds the small convolutional model shape the paper's experiments
+// use on image benchmarks: conv → ReLU → pool → dense → ReLU → classes.
+func NewCNN(r *tensor.RNG, inH, inW, inC, filters, hidden, classes int) *Sequential {
+	conv := NewConv2D(r, inH, inW, inC, 3, 3, filters)
+	poolSize := 2
+	if conv.OutH%poolSize != 0 || conv.OutW%poolSize != 0 {
+		poolSize = 1
+	}
+	var layers []Layer
+	layers = append(layers, conv, NewReLU())
+	dense := conv.OutFeatures()
+	if poolSize > 1 {
+		pool := NewMaxPool2D(conv.OutH, conv.OutW, filters, poolSize)
+		layers = append(layers, pool)
+		dense = pool.OutFeatures()
+	}
+	layers = append(layers,
+		NewDense(r, dense, hidden), NewReLU(),
+		NewDense(r, hidden, classes))
+	return NewSequential(layers...)
+}

@@ -1,0 +1,199 @@
+// Package nn implements the neural-network substrate used by the HPO
+// experiments: layers, losses, the three optimisers the paper's search space
+// covers (SGD, Adam, RMSprop), and a minibatch training loop with per-epoch
+// history and early stopping. It plays the role TensorFlow plays in the
+// paper: the thing an "experiment" task trains.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Layer is a differentiable network stage. Forward consumes a batch
+// (rows = samples) and Backward consumes the gradient of the loss with
+// respect to the layer's output, returning the gradient with respect to its
+// input and accumulating parameter gradients internally.
+type Layer interface {
+	// Forward computes the layer output for input x. train reports whether
+	// the network is training (relevant for Dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward computes the input gradient given the output gradient.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned with Params.
+	Grads() []*tensor.Tensor
+	// Name identifies the layer type for summaries.
+	Name() string
+}
+
+// Dense is a fully connected layer computing y = x·W + b.
+type Dense struct {
+	W, B   *tensor.Tensor
+	dW, dB *tensor.Tensor
+	lastX  *tensor.Tensor
+	units  int // goroutine budget for the matrix products
+}
+
+// NewDense constructs a Dense layer with Glorot-uniform weights.
+func NewDense(r *tensor.RNG, in, out int) *Dense {
+	return &Dense{
+		W:     tensor.GlorotUniform(r, in, out),
+		B:     tensor.New(1, out),
+		dW:    tensor.New(in, out),
+		dB:    tensor.New(1, out),
+		units: 1,
+	}
+}
+
+// SetParallelism bounds the number of goroutines the layer's matrix products
+// may use. This is how a task's computing-unit constraint reaches the math.
+func (d *Dense) SetParallelism(units int) { d.units = units }
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.lastX = x
+	return tensor.MatMulParallel(x, d.W, d.units).AddRowVector(d.B)
+}
+
+// Backward accumulates dW = xᵀ·grad, dB = column sums of grad, and returns
+// grad·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	d.dW = tensor.MatMulParallel(d.lastX.Transpose(), grad, d.units)
+	d.dB = grad.SumRows()
+	return tensor.MatMulParallel(grad, d.W.Transpose(), d.units)
+}
+
+// Params returns the weight and bias tensors.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads returns the gradients for the weight and bias tensors.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
+
+// Name implements Layer.
+func (d *Dense) Name() string {
+	return fmt.Sprintf("Dense(%d→%d)", d.W.Dim(0), d.W.Dim(1))
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask *tensor.Tensor
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.mask = x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	})
+	return x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Mul(l.mask)
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return "ReLU" }
+
+// Tanh applies the hyperbolic tangent element-wise.
+type Tanh struct {
+	lastY *tensor.Tensor
+}
+
+// NewTanh constructs a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.lastY = x.Apply(tanh)
+	return l.lastY
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Mul(l.lastY.Apply(func(y float64) float64 { return 1 - y*y }))
+}
+
+// Params implements Layer.
+func (l *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Tanh) Name() string { return "Tanh" }
+
+func tanh(x float64) float64 {
+	// math.Tanh via exp identities; use the library for accuracy.
+	return mathTanh(x)
+}
+
+// Dropout randomly zeroes a fraction of activations during training and
+// rescales the survivors (inverted dropout), matching Keras semantics.
+type Dropout struct {
+	Rate float64
+	rng  *tensor.RNG
+	mask *tensor.Tensor
+}
+
+// NewDropout constructs a dropout layer with the given drop rate in [0, 1).
+func NewDropout(r *tensor.RNG, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: r}
+}
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.Rate == 0 {
+		l.mask = nil
+		return x
+	}
+	keep := 1 - l.Rate
+	l.mask = tensor.New(x.Shape()...)
+	md := l.mask.Data()
+	for i := range md {
+		if l.rng.Float64() < keep {
+			md[i] = 1 / keep
+		}
+	}
+	return x.Mul(l.mask)
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return grad
+	}
+	return grad.Mul(l.mask)
+}
+
+// Params implements Layer.
+func (l *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (l *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", l.Rate) }

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Sequential is a feed-forward stack of layers trained with softmax
+// cross-entropy, the model shape used by the paper's MNIST and CIFAR-10
+// experiments.
+type Sequential struct {
+	Layers []Layer
+	loss   SoftmaxCrossEntropy
+	units  int
+}
+
+// NewSequential builds a model from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers, units: 1}
+}
+
+// NewMLP builds a multi-layer perceptron: in → hidden... → classes, with
+// ReLU between Dense layers. It is the standard model for the synthetic
+// MNIST/CIFAR workloads.
+func NewMLP(r *tensor.RNG, in int, hidden []int, classes int) *Sequential {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(r, prev, h), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense(r, prev, classes))
+	return NewSequential(layers...)
+}
+
+// SetParallelism bounds the goroutine budget of every layer that supports
+// internal parallelism. It corresponds to the ComputingUnits constraint a
+// COMPSs task is granted: "if a task has built-in parallelism, PyCOMPSs will
+// not interfere with this" (paper §3).
+func (m *Sequential) SetParallelism(units int) {
+	if units < 1 {
+		units = 1
+	}
+	m.units = units
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			t.SetParallelism(units)
+		case *Conv2D:
+			t.SetParallelism(units)
+		}
+	}
+}
+
+// Parallelism returns the current goroutine budget.
+func (m *Sequential) Parallelism() int { return m.units }
+
+// Forward runs the full stack on a batch.
+func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through the stack.
+func (m *Sequential) Backward(grad *tensor.Tensor) {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+}
+
+// Params collects every trainable tensor in the model.
+func (m *Sequential) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads collects gradients aligned with Params.
+func (m *Sequential) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// NumParams returns the total number of trainable scalars.
+func (m *Sequential) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// Evaluate returns the mean loss and accuracy on a labelled set.
+func (m *Sequential) Evaluate(x *tensor.Tensor, labels []int) (loss, acc float64) {
+	logits := m.Forward(x, false)
+	loss, _ = m.loss.Loss(logits, labels)
+	return loss, Accuracy(logits, labels)
+}
+
+// Predict returns the argmax class per row.
+func (m *Sequential) Predict(x *tensor.Tensor) []int {
+	return m.Forward(x, false).ArgMaxRows()
+}
+
+// Summary renders a human-readable description of the stack.
+func (m *Sequential) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sequential (%d params)\n", m.NumParams())
+	for i, l := range m.Layers {
+		fmt.Fprintf(&b, "  %2d: %s\n", i, l.Name())
+	}
+	return b.String()
+}

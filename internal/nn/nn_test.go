@@ -1,0 +1,266 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	r := tensor.NewRNG(1)
+	d := NewDense(r, 2, 2)
+	d.W = tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	d.B = tensor.FromSlice([]float64{0.5, -0.5}, 1, 2)
+	x := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	y := d.Forward(x, true)
+	if y.At(0, 0) != 4.5 || y.At(0, 1) != 5.5 {
+		t.Fatalf("Dense forward = %v", y.Data())
+	}
+}
+
+func TestDenseBackwardShapes(t *testing.T) {
+	r := tensor.NewRNG(2)
+	d := NewDense(r, 3, 4)
+	x := tensor.Randn(r, 5, 3)
+	d.Forward(x, true)
+	gin := d.Backward(tensor.Randn(r, 5, 4))
+	if gin.Dim(0) != 5 || gin.Dim(1) != 3 {
+		t.Fatalf("input grad shape = %v", gin.Shape())
+	}
+	if d.dW.Dim(0) != 3 || d.dW.Dim(1) != 4 {
+		t.Fatalf("dW shape = %v", d.dW.Shape())
+	}
+	if d.dB.Size() != 4 {
+		t.Fatalf("dB size = %d", d.dB.Size())
+	}
+}
+
+// Numerical gradient check: analytic dW must match finite differences.
+func TestDenseGradientNumerically(t *testing.T) {
+	r := tensor.NewRNG(3)
+	d := NewDense(r, 3, 2)
+	x := tensor.Randn(r, 4, 3)
+	labels := []int{0, 1, 0, 1}
+	var loss SoftmaxCrossEntropy
+
+	forward := func() float64 {
+		logits := d.Forward(x, true)
+		l, _ := loss.Loss(logits, labels)
+		return l
+	}
+
+	logits := d.Forward(x, true)
+	_, grad := loss.Loss(logits, labels)
+	d.Backward(grad)
+	analytic := d.dW.Clone()
+
+	const eps = 1e-6
+	wd := d.W.Data()
+	for i := 0; i < d.W.Size(); i++ {
+		orig := wd[i]
+		wd[i] = orig + eps
+		lp := forward()
+		wd[i] = orig - eps
+		lm := forward()
+		wd[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-analytic.Data()[i]) > 1e-5 {
+			t.Fatalf("dW[%d]: analytic %v vs numeric %v", i, analytic.Data()[i], numeric)
+		}
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	l := NewReLU()
+	x := tensor.FromSlice([]float64{-1, 0, 2}, 1, 3)
+	y := l.Forward(x, true)
+	if y.At(0, 0) != 0 || y.At(0, 2) != 2 {
+		t.Fatalf("ReLU forward = %v", y.Data())
+	}
+	g := l.Backward(tensor.FromSlice([]float64{5, 5, 5}, 1, 3))
+	if g.At(0, 0) != 0 || g.At(0, 2) != 5 {
+		t.Fatalf("ReLU backward = %v", g.Data())
+	}
+}
+
+func TestTanhRange(t *testing.T) {
+	l := NewTanh()
+	x := tensor.FromSlice([]float64{-10, 0, 10}, 1, 3)
+	y := l.Forward(x, true)
+	if y.At(0, 0) > -0.99 || math.Abs(y.At(0, 1)) > 1e-12 || y.At(0, 2) < 0.99 {
+		t.Fatalf("Tanh forward = %v", y.Data())
+	}
+	// Gradient at 0 is 1.
+	g := l.Backward(tensor.FromSlice([]float64{1, 1, 1}, 1, 3))
+	if math.Abs(g.At(0, 1)-1) > 1e-12 {
+		t.Fatalf("Tanh backward at 0 = %v", g.At(0, 1))
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	r := tensor.NewRNG(4)
+	l := NewDropout(r, 0.5)
+	x := tensor.Ones(1, 1000)
+	yTrain := l.Forward(x, true)
+	zeros := 0
+	for _, v := range yTrain.Data() {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 300 || zeros > 700 {
+		t.Fatalf("dropout zeroed %d/1000, want ~500", zeros)
+	}
+	// Inverted dropout preserves expected activation.
+	if m := yTrain.Mean(); math.Abs(m-1) > 0.15 {
+		t.Fatalf("dropout mean = %v, want ~1", m)
+	}
+	yEval := l.Forward(x, false)
+	if !yEval.Equal(x) {
+		t.Fatal("dropout must be identity in eval mode")
+	}
+}
+
+func TestDropoutBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate 1.0")
+		}
+	}()
+	NewDropout(tensor.NewRNG(1), 1.0)
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	var l SoftmaxCrossEntropy
+	// Uniform logits over 4 classes → loss = ln(4).
+	logits := tensor.New(2, 4)
+	loss, grad := l.Loss(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-9 {
+		t.Fatalf("uniform loss = %v, want ln4", loss)
+	}
+	// Gradient rows sum to 0 (softmax sums to 1, minus one-hot).
+	for r := 0; r < 2; r++ {
+		s := 0.0
+		for c := 0; c < 4; c++ {
+			s += grad.At(r, c)
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("grad row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float64{
+		2, 1, 0,
+		0, 2, 1,
+		1, 0, 2,
+		2, 0, 1,
+	}, 4, 3)
+	got := Accuracy(logits, []int{0, 1, 2, 1})
+	if got != 0.75 {
+		t.Fatalf("Accuracy = %v, want 0.75", got)
+	}
+	if Accuracy(tensor.New(0, 3), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	var l MSE
+	pred := tensor.FromSlice([]float64{1, 2}, 2)
+	target := tensor.FromSlice([]float64{0, 0}, 2)
+	loss, grad := l.Loss(pred, target)
+	if math.Abs(loss-2.5) > 1e-12 {
+		t.Fatalf("MSE = %v, want 2.5", loss)
+	}
+	if math.Abs(grad.Data()[1]-2) > 1e-12 {
+		t.Fatalf("MSE grad = %v", grad.Data())
+	}
+}
+
+func TestNewOptimizerNames(t *testing.T) {
+	for _, name := range []string{"SGD", "Adam", "RMSprop"} {
+		o, err := NewOptimizer(name, 0)
+		if err != nil {
+			t.Fatalf("NewOptimizer(%s): %v", name, err)
+		}
+		if o.Name() != name {
+			t.Fatalf("optimizer name %q != %q", o.Name(), name)
+		}
+	}
+	if _, err := NewOptimizer("Adagrad", 0); err == nil {
+		t.Fatal("expected error for unknown optimizer")
+	}
+}
+
+// Every optimiser must reduce a simple convex loss f(w) = ||w||².
+func TestOptimizersReduceConvexLoss(t *testing.T) {
+	for _, name := range []string{"SGD", "Adam", "RMSprop"} {
+		opt, err := NewOptimizer(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := tensor.FromSlice([]float64{3, -2, 1}, 3)
+		params := []*tensor.Tensor{w}
+		initial := w.Norm()
+		for step := 0; step < 200; step++ {
+			grads := []*tensor.Tensor{w.Scale(2)} // ∇||w||² = 2w
+			opt.Step(params, grads)
+		}
+		if w.Norm() > initial*0.1 {
+			t.Fatalf("%s failed to descend: |w| %v → %v", name, initial, w.Norm())
+		}
+	}
+}
+
+func TestSequentialSummaryAndParams(t *testing.T) {
+	r := tensor.NewRNG(5)
+	m := NewMLP(r, 10, []int{8}, 3)
+	// Dense(10→8): 80+8; Dense(8→3): 24+3.
+	if got := m.NumParams(); got != 115 {
+		t.Fatalf("NumParams = %d, want 115", got)
+	}
+	if m.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+	if len(m.Params()) != len(m.Grads()) {
+		t.Fatal("Params/Grads misaligned")
+	}
+}
+
+func TestSetParallelismPropagates(t *testing.T) {
+	r := tensor.NewRNG(6)
+	m := NewMLP(r, 4, []int{4}, 2)
+	m.SetParallelism(8)
+	if m.Parallelism() != 8 {
+		t.Fatalf("Parallelism = %d", m.Parallelism())
+	}
+	for _, l := range m.Layers {
+		if d, ok := l.(*Dense); ok && d.units != 8 {
+			t.Fatal("SetParallelism did not reach Dense layer")
+		}
+	}
+	m.SetParallelism(0)
+	if m.Parallelism() != 1 {
+		t.Fatalf("Parallelism floor = %d, want 1", m.Parallelism())
+	}
+}
+
+// Property: model forward output shape is (batch, classes) for random sizes.
+func TestForwardShapeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		in := 1 + r.Intn(10)
+		classes := 2 + r.Intn(5)
+		batch := 1 + r.Intn(8)
+		m := NewMLP(r, in, []int{1 + r.Intn(8)}, classes)
+		out := m.Forward(tensor.Randn(r, batch, in), false)
+		return out.Dim(0) == batch && out.Dim(1) == classes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from gradients. The three implementations
+// correspond exactly to the "optimizer" axis of the paper's search space
+// (Listing 1: Adam, SGD, RMSprop).
+type Optimizer interface {
+	// Step applies one update. params and grads are aligned slices collected
+	// from every layer in the model.
+	Step(params, grads []*tensor.Tensor)
+	// Name returns the canonical optimiser name as it appears in configs.
+	Name() string
+}
+
+// NewOptimizer constructs an optimiser by its config-file name
+// ("SGD", "Adam", "RMSprop"; case-sensitive, as in the paper's JSON).
+// lr <= 0 selects a per-optimiser default matching Keras defaults.
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "SGD":
+		if lr <= 0 {
+			lr = 0.01
+		}
+		return &SGD{LR: lr, Momentum: 0.9}, nil
+	case "Adam":
+		if lr <= 0 {
+			lr = 0.001
+		}
+		return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}, nil
+	case "RMSprop":
+		if lr <= 0 {
+			lr = 0.001
+		}
+		return &RMSprop{LR: lr, Rho: 0.9, Eps: 1e-8}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q (want SGD, Adam or RMSprop)", name)
+	}
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []*tensor.Tensor
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params, grads []*tensor.Tensor) {
+	if o.velocity == nil {
+		o.velocity = zerosLike(params)
+	}
+	for i, p := range params {
+		v := o.velocity[i]
+		g := grads[i]
+		pd, vd, gd := p.Data(), v.Data(), g.Data()
+		for j := range pd {
+			vd[j] = o.Momentum*vd[j] - o.LR*gd[j]
+			pd[j] += vd[j]
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return "SGD" }
+
+// Adam is the Adam optimiser (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	m, v                  []*tensor.Tensor
+	t                     int
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params, grads []*tensor.Tensor) {
+	if o.m == nil {
+		o.m = zerosLike(params)
+		o.v = zerosLike(params)
+	}
+	o.t++
+	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
+	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		pd := p.Data()
+		md := o.m[i].Data()
+		vd := o.v[i].Data()
+		gd := grads[i].Data()
+		for j := range pd {
+			g := gd[j]
+			md[j] = o.Beta1*md[j] + (1-o.Beta1)*g
+			vd[j] = o.Beta2*vd[j] + (1-o.Beta2)*g*g
+			mhat := md[j] / b1c
+			vhat := vd[j] / b2c
+			pd[j] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "Adam" }
+
+// RMSprop is the RMSprop optimiser (Tieleman & Hinton).
+type RMSprop struct {
+	LR, Rho, Eps float64
+	cache        []*tensor.Tensor
+}
+
+// Step implements Optimizer.
+func (o *RMSprop) Step(params, grads []*tensor.Tensor) {
+	if o.cache == nil {
+		o.cache = zerosLike(params)
+	}
+	for i, p := range params {
+		pd := p.Data()
+		cd := o.cache[i].Data()
+		gd := grads[i].Data()
+		for j := range pd {
+			g := gd[j]
+			cd[j] = o.Rho*cd[j] + (1-o.Rho)*g*g
+			pd[j] -= o.LR * g / (math.Sqrt(cd[j]) + o.Eps)
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *RMSprop) Name() string { return "RMSprop" }
+
+func zerosLike(params []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		out[i] = tensor.New(p.Shape()...)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LRSchedule adjusts a learning rate over epochs. Schedules compose with
+// any optimiser through the LRScheduler callback.
+type LRSchedule interface {
+	// Rate returns the learning rate for the given zero-based epoch.
+	Rate(epoch int) float64
+	// Name identifies the schedule for logs.
+	Name() string
+}
+
+// ConstantLR keeps the initial rate.
+type ConstantLR struct{ LR float64 }
+
+// Rate implements LRSchedule.
+func (s ConstantLR) Rate(int) float64 { return s.LR }
+
+// Name implements LRSchedule.
+func (s ConstantLR) Name() string { return "constant" }
+
+// StepDecay multiplies the rate by Factor every Every epochs — the classic
+// staircase schedule.
+type StepDecay struct {
+	Initial float64
+	Factor  float64
+	Every   int
+}
+
+// Rate implements LRSchedule.
+func (s StepDecay) Rate(epoch int) float64 {
+	if s.Every <= 0 {
+		return s.Initial
+	}
+	return s.Initial * math.Pow(s.Factor, float64(epoch/s.Every))
+}
+
+// Name implements LRSchedule.
+func (s StepDecay) Name() string {
+	return fmt.Sprintf("step(%.3g×/%d)", s.Factor, s.Every)
+}
+
+// CosineDecay anneals from Initial to Floor over Period epochs.
+type CosineDecay struct {
+	Initial float64
+	Floor   float64
+	Period  int
+}
+
+// Rate implements LRSchedule.
+func (s CosineDecay) Rate(epoch int) float64 {
+	if s.Period <= 0 {
+		return s.Initial
+	}
+	t := float64(epoch) / float64(s.Period)
+	if t > 1 {
+		t = 1
+	}
+	return s.Floor + (s.Initial-s.Floor)*0.5*(1+math.Cos(math.Pi*t))
+}
+
+// Name implements LRSchedule.
+func (s CosineDecay) Name() string { return fmt.Sprintf("cosine(%d)", s.Period) }
+
+// LRScheduler is a training callback that applies a schedule to the
+// optimiser before each upcoming epoch (the rate for epoch 0 should be set
+// as the optimiser's initial LR).
+type LRScheduler struct {
+	Schedule LRSchedule
+	Opt      Optimizer
+}
+
+// OnEpochEnd implements Callback.
+func (s *LRScheduler) OnEpochEnd(epoch int, h *History) error {
+	next := s.Schedule.Rate(epoch + 1)
+	switch o := s.Opt.(type) {
+	case *SGD:
+		o.LR = next
+	case *Adam:
+		o.LR = next
+	case *RMSprop:
+		o.LR = next
+	default:
+		return fmt.Errorf("nn: LRScheduler does not support optimiser %T", s.Opt)
+	}
+	return nil
+}
+
+// WeightDecay applies decoupled L2 weight decay after each optimiser step
+// (AdamW-style decoupling: decay is independent of the gradient scaling).
+// Wrap the underlying optimiser with NewWeightDecay.
+type WeightDecay struct {
+	Inner Optimizer
+	// Lambda is the per-step decay coefficient.
+	Lambda float64
+}
+
+// NewWeightDecay wraps an optimiser with decoupled weight decay.
+func NewWeightDecay(inner Optimizer, lambda float64) *WeightDecay {
+	return &WeightDecay{Inner: inner, Lambda: lambda}
+}
+
+// Step implements Optimizer: the inner update runs first, then every
+// parameter shrinks by (1 − λ).
+func (w *WeightDecay) Step(params, grads []*tensor.Tensor) {
+	w.Inner.Step(params, grads)
+	shrink := 1 - w.Lambda
+	for _, p := range params {
+		p.ScaleInPlace(shrink)
+	}
+}
+
+// Name implements Optimizer.
+func (w *WeightDecay) Name() string {
+	return w.Inner.Name() + fmt.Sprintf("+wd(%.3g)", w.Lambda)
+}

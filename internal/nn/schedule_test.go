@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := StepDecay{Initial: 0.1, Factor: 0.5, Every: 2}
+	want := []float64{0.1, 0.1, 0.05, 0.05, 0.025}
+	for epoch, w := range want {
+		if got := s.Rate(epoch); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("epoch %d rate = %v, want %v", epoch, got, w)
+		}
+	}
+	// Degenerate Every keeps the rate constant.
+	if (StepDecay{Initial: 0.1, Factor: 0.5}).Rate(7) != 0.1 {
+		t.Fatal("Every=0 should be constant")
+	}
+}
+
+func TestCosineDecaySchedule(t *testing.T) {
+	s := CosineDecay{Initial: 1.0, Floor: 0.1, Period: 10}
+	if got := s.Rate(0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("rate(0) = %v", got)
+	}
+	if got := s.Rate(10); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("rate(Period) = %v, want floor", got)
+	}
+	if got := s.Rate(25); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("rate beyond period = %v, want floor", got)
+	}
+	// Midpoint is halfway between initial and floor.
+	if got := s.Rate(5); math.Abs(got-0.55) > 1e-9 {
+		t.Fatalf("rate(mid) = %v, want 0.55", got)
+	}
+	// Monotone non-increasing within the period.
+	prev := s.Rate(0)
+	for e := 1; e <= 10; e++ {
+		cur := s.Rate(e)
+		if cur > prev+1e-12 {
+			t.Fatalf("cosine rate rose at epoch %d", e)
+		}
+		prev = cur
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR{LR: 0.01}
+	if s.Rate(0) != 0.01 || s.Rate(99) != 0.01 || s.Name() != "constant" {
+		t.Fatal("constant schedule wrong")
+	}
+}
+
+func TestLRSchedulerUpdatesOptimizers(t *testing.T) {
+	for _, name := range []string{"SGD", "Adam", "RMSprop"} {
+		opt, _ := NewOptimizer(name, 0.1)
+		cb := &LRScheduler{Schedule: StepDecay{Initial: 0.1, Factor: 0.1, Every: 1}, Opt: opt}
+		h := &History{ValAcc: []float64{0.5}, ValLoss: []float64{1}}
+		if err := cb.OnEpochEnd(0, h); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var lr float64
+		switch o := opt.(type) {
+		case *SGD:
+			lr = o.LR
+		case *Adam:
+			lr = o.LR
+		case *RMSprop:
+			lr = o.LR
+		}
+		if math.Abs(lr-0.01) > 1e-12 {
+			t.Fatalf("%s LR after schedule = %v, want 0.01", name, lr)
+		}
+	}
+}
+
+type fakeOpt struct{}
+
+func (fakeOpt) Step(_, _ []*tensor.Tensor) {}
+func (fakeOpt) Name() string               { return "fake" }
+
+func TestLRSchedulerUnknownOptimizer(t *testing.T) {
+	cb := &LRScheduler{Schedule: ConstantLR{LR: 1}, Opt: fakeOpt{}}
+	h := &History{ValAcc: []float64{0.5}, ValLoss: []float64{1}}
+	if err := cb.OnEpochEnd(0, h); err == nil {
+		t.Fatal("expected error for unsupported optimiser")
+	}
+}
+
+func TestWeightDecayShrinksParams(t *testing.T) {
+	inner, _ := NewOptimizer("SGD", 0.0) // default lr, but zero grads below
+	wd := NewWeightDecay(inner, 0.1)
+	p := tensor.FromSlice([]float64{10, -10}, 2)
+	g := tensor.New(2) // zero gradient: only decay acts
+	wd.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	if math.Abs(p.Data()[0]-9) > 1e-12 || math.Abs(p.Data()[1]+9) > 1e-12 {
+		t.Fatalf("decayed params = %v, want ±9", p.Data())
+	}
+	if wd.Name() != "SGD+wd(0.1)" {
+		t.Fatalf("name = %q", wd.Name())
+	}
+}
+
+func TestWeightDecayRegularises(t *testing.T) {
+	// On a noisy tiny problem, weight decay must reduce the final weight
+	// norm versus the bare optimiser.
+	train := func(lambda float64) float64 {
+		r := tensor.NewRNG(31)
+		m := NewMLP(r, 10, []int{16}, 2)
+		x := tensor.Randn(r, 64, 10)
+		y := make([]int, 64)
+		for i := range y {
+			if x.At(i, 0) > 0 {
+				y[i] = 1
+			}
+		}
+		var opt Optimizer
+		opt, _ = NewOptimizer("Adam", 0)
+		if lambda > 0 {
+			opt = NewWeightDecay(opt, lambda)
+		}
+		if _, err := m.Fit(x, y, x, y, FitConfig{Epochs: 20, BatchSize: 16, Optimizer: opt}); err != nil {
+			t.Fatal(err)
+		}
+		norm := 0.0
+		for _, p := range m.Params() {
+			norm += p.Norm() * p.Norm()
+		}
+		return math.Sqrt(norm)
+	}
+	bare := train(0)
+	decayed := train(0.01)
+	if decayed >= bare {
+		t.Fatalf("weight decay did not shrink weights: %v vs %v", decayed, bare)
+	}
+}
+
+func TestScheduleWithFit(t *testing.T) {
+	// A full Fit run with a scheduler callback must not error and must
+	// still learn.
+	r := tensor.NewRNG(33)
+	m := NewMLP(r, 4, []int{8}, 2)
+	x := tensor.Randn(r, 80, 4)
+	y := make([]int, 80)
+	for i := range y {
+		if x.At(i, 1)+x.At(i, 2) > 0 {
+			y[i] = 1
+		}
+	}
+	opt, _ := NewOptimizer("SGD", 0.1)
+	h, err := m.Fit(x, y, x, y, FitConfig{
+		Epochs: 15, BatchSize: 16, Optimizer: opt,
+		Callbacks: []Callback{&LRScheduler{Schedule: CosineDecay{Initial: 0.1, Floor: 0.001, Period: 15}, Opt: opt}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Final() < 0.8 {
+		t.Fatalf("scheduled training accuracy = %v", h.Final())
+	}
+}

@@ -1,0 +1,292 @@
+package paperrepro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/datasets"
+	"repro/internal/hpo"
+	"repro/internal/runtime"
+	"repro/internal/trace"
+)
+
+// --- A1: scheduler policy ablation ---
+
+// SchedAblationResult compares makespans of the scheduling policies on a
+// contended node (8 cores, 27 mixed-duration tasks), where queue ordering
+// matters.
+type SchedAblationResult struct {
+	Policies  []string
+	Makespans []time.Duration
+}
+
+// String implements fmt.Stringer.
+func (r SchedAblationResult) String() string {
+	var rows [][]string
+	for i := range r.Policies {
+		rows = append(rows, []string{r.Policies[i], formatDuration(r.Makespans[i])})
+	}
+	return "Ablation A1 — scheduler policy (27 MNIST tasks on 8 cores)\n" +
+		table([]string{"policy", "makespan"}, rows)
+}
+
+// AblationScheduler runs the grid under each policy. The priority run marks
+// the 100-epoch tasks priority=true, approximating longest-processing-time
+// ordering, which should not be worse than plain FIFO.
+func AblationScheduler() (SchedAblationResult, error) {
+	var r SchedAblationResult
+	for _, policy := range []runtime.Policy{runtime.PolicyFIFO, runtime.PolicyLIFO, runtime.PolicyPriority, runtime.PolicyLocality} {
+		ms, err := schedRun(policy)
+		if err != nil {
+			return r, err
+		}
+		r.Policies = append(r.Policies, policy.String())
+		r.Makespans = append(r.Makespans, ms)
+	}
+	return r, nil
+}
+
+func schedRun(policy runtime.Policy) (time.Duration, error) {
+	rt, err := runtime.New(runtime.Options{
+		Cluster: cluster.Uniform("small", 1, 8, 0, 1, 1),
+		Backend: runtime.Sim,
+		Policy:  policy,
+	})
+	if err != nil {
+		return 0, err
+	}
+	base := runtime.TaskDef{
+		Name:       "experiment",
+		Constraint: runtime.Constraint{Cores: 1},
+		Cost:       costFor("mnist"),
+	}
+	hi := base
+	hi.Name = "experiment_hi"
+	hi.Priority = true
+	rt.MustRegister(base)
+	rt.MustRegister(hi)
+
+	cfgs, err := gridConfigs()
+	if err != nil {
+		return 0, err
+	}
+	for _, cfg := range cfgs {
+		name := "experiment"
+		if policy == runtime.PolicyPriority && cfg.Int("num_epochs", 0) == 100 {
+			name = "experiment_hi"
+		}
+		if _, err := rt.Submit(name, cfg); err != nil {
+			return 0, err
+		}
+	}
+	rt.Barrier()
+	ms := rt.Stats().Makespan
+	rt.Shutdown()
+	return ms, nil
+}
+
+// --- A2: early stopping ablation ---
+
+// EarlyStopAblationResult quantifies the §6.2 claim that early stopping is
+// "of paramount significance" for MNIST-style workloads.
+type EarlyStopAblationResult struct {
+	TrialsWithout  int
+	TrialsWith     int
+	EpochsWithout  int
+	EpochsWith     int
+	BestAccWithout float64
+	BestAccWith    float64
+	CanceledTrials int
+}
+
+// String implements fmt.Stringer.
+func (r EarlyStopAblationResult) String() string {
+	return fmt.Sprintf("Ablation A2 — study-level early stopping (target 90%% val acc)\n"+
+		"  without: %d trials, %d total epochs, best %.3f\n"+
+		"  with:    %d trials ran (+%d canceled), %d total epochs, best %.3f\n"+
+		"  epoch savings: %.0f%%\n",
+		r.TrialsWithout, r.EpochsWithout, r.BestAccWithout,
+		r.TrialsWith, r.CanceledTrials, r.EpochsWith, r.BestAccWith,
+		100*(1-float64(r.EpochsWith)/float64(max(1, r.EpochsWithout))))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblationEarlyStopping runs the same real MNIST study with and without a
+// target accuracy and compares epochs spent.
+func AblationEarlyStopping() (EarlyStopAblationResult, error) {
+	var r EarlyStopAblationResult
+	run := func(target float64) (trials, epochs, canceled int, best float64, err error) {
+		space := &hpo.Space{Params: []hpo.Param{
+			hpo.Categorical{Key: "optimizer", Values: []interface{}{"Adam", "SGD", "RMSprop"}},
+			hpo.Categorical{Key: "num_epochs", Values: []interface{}{6, 10}},
+			hpo.Categorical{Key: "batch_size", Values: []interface{}{16, 32}},
+		}}
+		rt, err := runtime.New(runtime.Options{Cluster: cluster.Local(2), Backend: runtime.Real})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		st, err := hpo.NewStudy(hpo.StudyOptions{
+			Sampler:        hpo.NewGridSearch(space),
+			Objective:      &hpo.MLObjective{Dataset: datasets.MNISTLike(500, 17), Hidden: []int{24}},
+			Runtime:        rt,
+			Constraint:     runtime.Constraint{Cores: 1},
+			TargetAccuracy: target,
+			Seed:           3,
+		})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		res, err := st.Run()
+		rt.Shutdown()
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		for _, t := range res.Trials {
+			if t.Canceled {
+				canceled++
+				continue
+			}
+			trials++
+			epochs += t.Epochs
+			if t.BestAcc > best {
+				best = t.BestAcc
+			}
+		}
+		return trials, epochs, canceled, best, nil
+	}
+	var err error
+	r.TrialsWithout, r.EpochsWithout, _, r.BestAccWithout, err = run(0)
+	if err != nil {
+		return r, err
+	}
+	r.TrialsWith, r.EpochsWith, r.CanceledTrials, r.BestAccWith, err = run(0.9)
+	return r, err
+}
+
+// --- A3: tracing overhead ablation ---
+
+// TraceOverheadResult measures the recorder's cost on a task-dense workload
+// (the paper disables tracing for its timing runs, §5).
+type TraceOverheadResult struct {
+	Tasks          int
+	WallUntraced   time.Duration
+	WallTraced     time.Duration
+	OverheadPct    float64
+	RecordsWritten int
+}
+
+// String implements fmt.Stringer.
+func (r TraceOverheadResult) String() string {
+	return fmt.Sprintf("Ablation A3 — tracing overhead (%d no-op tasks, Real backend)\n"+
+		"  untraced: %v\n  traced:   %v (%d records)\n  overhead: %.1f%%\n",
+		r.Tasks, r.WallUntraced, r.WallTraced, r.RecordsWritten, r.OverheadPct)
+}
+
+// AblationTracing times a burst of trivial tasks with tracing on and off.
+func AblationTracing() (TraceOverheadResult, error) {
+	const tasks = 400
+	run := func(rec *trace.Recorder) (time.Duration, error) {
+		rt, err := runtime.New(runtime.Options{
+			Cluster:  cluster.Local(8),
+			Backend:  runtime.Real,
+			Recorder: rec,
+		})
+		if err != nil {
+			return 0, err
+		}
+		rt.MustRegister(runtime.TaskDef{
+			Name: "noop",
+			Fn:   func(*runtime.TaskContext, []interface{}) ([]interface{}, error) { return nil, nil },
+		})
+		start := time.Now()
+		for i := 0; i < tasks; i++ {
+			if _, err := rt.Submit("noop"); err != nil {
+				return 0, err
+			}
+		}
+		rt.Barrier()
+		wall := time.Since(start)
+		rt.Shutdown()
+		return wall, nil
+	}
+	untraced, err := run(nil)
+	if err != nil {
+		return TraceOverheadResult{}, err
+	}
+	rec := trace.NewRecorder()
+	traced, err := run(rec)
+	if err != nil {
+		return TraceOverheadResult{}, err
+	}
+	overhead := 0.0
+	if untraced > 0 {
+		overhead = (float64(traced)/float64(untraced) - 1) * 100
+	}
+	return TraceOverheadResult{
+		Tasks:          tasks,
+		WallUntraced:   untraced,
+		WallTraced:     traced,
+		OverheadPct:    overhead,
+		RecordsWritten: len(rec.Intervals()) + len(rec.Events()),
+	}, nil
+}
+
+// --- A4: fault tolerance ablation ---
+
+// FaultAblationResult measures the makespan penalty of injected node
+// faults under the retry/resubmit policy (§3).
+type FaultAblationResult struct {
+	CleanMakespan  time.Duration
+	FaultyMakespan time.Duration
+	Retries        int
+	Failed         int
+	PenaltyPct     float64
+	InjectedFaults int
+}
+
+// String implements fmt.Stringer.
+func (r FaultAblationResult) String() string {
+	return fmt.Sprintf("Ablation A4 — fault tolerance (27 CIFAR tasks on 13 nodes, every 5th task's\n"+
+		"first attempt killed)\n"+
+		"  clean:  %s\n  faulty: %s (%d retries, %d injected faults, %d permanent failures)\n"+
+		"  makespan penalty: %.1f%%\n",
+		formatDuration(r.CleanMakespan), formatDuration(r.FaultyMakespan),
+		r.Retries, r.InjectedFaults, r.Failed, r.PenaltyPct)
+}
+
+// AblationFaultTolerance compares the 13-node CIFAR run with and without
+// injected first-attempt failures; all tasks must still complete.
+func AblationFaultTolerance() (FaultAblationResult, error) {
+	clean, _, err := simGrid(cluster.MareNostrum4(13), 48, 0, "cifar", runtime.PolicyFIFO, nil)
+	if err != nil {
+		return FaultAblationResult{}, err
+	}
+	injected := 0
+	faults := func(task, attempt, node int) error {
+		if task%5 == 0 && attempt == 0 {
+			injected++
+			return errors.New("injected node fault")
+		}
+		return nil
+	}
+	faulty, _, err := simGrid(cluster.MareNostrum4(13), 48, 0, "cifar", runtime.PolicyFIFO, faults)
+	if err != nil {
+		return FaultAblationResult{}, err
+	}
+	return FaultAblationResult{
+		CleanMakespan:  clean.Makespan,
+		FaultyMakespan: faulty.Makespan,
+		Retries:        faulty.Retried,
+		Failed:         faulty.Failed,
+		InjectedFaults: injected,
+		PenaltyPct:     (float64(faulty.Makespan)/float64(clean.Makespan) - 1) * 100,
+	}, nil
+}

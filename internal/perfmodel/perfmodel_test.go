@@ -1,0 +1,147 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBatchFactor(t *testing.T) {
+	c := TaskCost{BatchSize: 64, RefBatch: 64}
+	if f := c.BatchFactor(); f != 1.0 {
+		t.Fatalf("ref batch factor = %v", f)
+	}
+	c.BatchSize = 32
+	if f := c.BatchFactor(); f != 1.25 {
+		t.Fatalf("half batch factor = %v, want 1.25", f)
+	}
+	c.BatchSize = 128
+	if f := c.BatchFactor(); f != 0.875 {
+		t.Fatalf("double batch factor = %v, want 0.875", f)
+	}
+	if (TaskCost{}).BatchFactor() != 1 {
+		t.Fatal("zero config should give factor 1")
+	}
+}
+
+func TestDurationMoreCoresFaster(t *testing.T) {
+	c := MNISTCost(50, 64)
+	prev := c.Duration(Resources{Cores: 1, CoreSpeed: 1})
+	for _, cores := range []int{2, 4, 8, 16} {
+		d := c.Duration(Resources{Cores: cores, CoreSpeed: 1})
+		if d >= prev {
+			t.Fatalf("duration did not drop at %d cores: %v >= %v", cores, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDurationDiminishingReturns(t *testing.T) {
+	// Amdahl: speedup from 1→2 cores must exceed speedup from 16→32.
+	c := MNISTCost(50, 64)
+	s12 := float64(c.Duration(Resources{Cores: 1})) / float64(c.Duration(Resources{Cores: 2}))
+	s1632 := float64(c.Duration(Resources{Cores: 16})) / float64(c.Duration(Resources{Cores: 32}))
+	if s12 <= s1632 {
+		t.Fatalf("no diminishing returns: 1→2 %.3f vs 16→32 %.3f", s12, s1632)
+	}
+}
+
+func TestGPUWithOneCoreBottlenecked(t *testing.T) {
+	// §6.1: a GPU task with a single CPU core is dominated by preprocessing,
+	// so granting more cores must still help substantially.
+	c := CIFARCost(50, 64)
+	one := c.Duration(Resources{Cores: 1, GPUs: 1})
+	many := c.Duration(Resources{Cores: 40, GPUs: 1})
+	if float64(one)/float64(many) < 3 {
+		t.Fatalf("GPU task not preprocessing-bound: 1-core %v vs 40-core %v", one, many)
+	}
+	// And a 1-core GPU run must be slower than a decently parallel pure-CPU
+	// run of the same task (the paper's surprising observation).
+	cpu := c.Duration(Resources{Cores: 48})
+	if one <= cpu {
+		t.Fatalf("1-core GPU (%v) should be slower than 48-core CPU (%v)", one, cpu)
+	}
+}
+
+func TestGPUAcceleratesCompute(t *testing.T) {
+	c := CIFARCost(50, 64)
+	gpu := c.Duration(Resources{Cores: 8, GPUs: 1})
+	cpu := c.Duration(Resources{Cores: 8})
+	if gpu >= cpu {
+		t.Fatalf("GPU run (%v) should beat CPU run (%v) at equal cores", gpu, cpu)
+	}
+}
+
+func TestEpochScaling(t *testing.T) {
+	short := MNISTCost(20, 64).Duration(Resources{Cores: 1})
+	long := MNISTCost(100, 64).Duration(Resources{Cores: 1})
+	ratio := float64(long-30*time.Second) / float64(short-30*time.Second)
+	if ratio < 4.9 || ratio > 5.1 {
+		t.Fatalf("epoch scaling ratio = %v, want ~5 (100/20 epochs)", ratio)
+	}
+}
+
+func TestCoreSpeedScaling(t *testing.T) {
+	c := MNISTCost(20, 64)
+	slow := c.Duration(Resources{Cores: 4, CoreSpeed: 0.5})
+	fast := c.Duration(Resources{Cores: 4, CoreSpeed: 2.0})
+	if slow <= fast {
+		t.Fatal("core speed should scale duration")
+	}
+}
+
+func TestZeroCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 cores")
+		}
+	}()
+	MNISTCost(1, 64).Duration(Resources{Cores: 0})
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// Paper Figure 4: single MNIST task on one core takes ≈29 minutes.
+	d := MNISTCost(20, 64).Duration(Resources{Cores: 1, CoreSpeed: 1})
+	if d < 25*time.Minute || d > 33*time.Minute {
+		t.Fatalf("single-task anchor = %v, want ≈29m", d)
+	}
+}
+
+// Property: duration is monotonically non-increasing in cores, for both CPU
+// and GPU tasks, across random configurations.
+func TestMonotoneCoresProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		epochs := int(seed%100) + 1
+		batch := []int{32, 64, 128}[seed%3]
+		gpus := int(seed % 2)
+		c := CIFARCost(epochs, batch)
+		prev := c.Duration(Resources{Cores: 1, GPUs: gpus})
+		for cores := 2; cores <= 64; cores *= 2 {
+			d := c.Duration(Resources{Cores: cores, GPUs: gpus})
+			if d > prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more epochs never means less time.
+func TestMonotoneEpochsProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ea, eb := int(a)+1, int(b)+1
+		if ea > eb {
+			ea, eb = eb, ea
+		}
+		da := MNISTCost(ea, 64).Duration(Resources{Cores: 4})
+		db := MNISTCost(eb, 64).Duration(Resources{Cores: 4})
+		return da <= db
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

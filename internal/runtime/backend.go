@@ -1,0 +1,164 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// backend abstracts execution and time. launch is always called with rt.mu
+// held (placement in inv.allocs is complete); drive is always called
+// without it and must evaluate pred under rt.mu.
+type backend interface {
+	now() time.Duration
+	launch(inv *invocation, args []interface{})
+	drive(pred func() bool)
+	close()
+}
+
+// --- Real backend: goroutines + wall clock ---
+
+type realBackend struct {
+	rt    *Runtime
+	start time.Time
+}
+
+func newRealBackend(rt *Runtime) *realBackend {
+	return &realBackend{rt: rt, start: time.Now()}
+}
+
+func (b *realBackend) now() time.Duration { return time.Since(b.start) }
+
+func (b *realBackend) launch(inv *invocation, args []interface{}) {
+	nodeIDs := make([]int, len(inv.allocs))
+	for i, al := range inv.allocs {
+		nodeIDs[i] = al.node
+	}
+	ctx := &TaskContext{
+		TaskID: inv.id, Node: inv.primaryNode(),
+		Cores: inv.def.Constraint.Cores, GPUs: inv.def.Constraint.GPUs,
+		CoreIDs: append([]int(nil), inv.allocs[0].coreIDs...),
+		NodeIDs: nodeIDs,
+		Attempt: inv.attempt,
+	}
+	fn := inv.def.Fn
+	if limit := inv.def.Timeout; limit > 0 {
+		launchWithTimeout(fn, ctx, args, limit, func(results []interface{}, err error) {
+			b.rt.onDone(inv, results, err, b.now())
+		})
+		return
+	}
+	go func() {
+		results, err := runSafely(fn, ctx, args)
+		b.rt.onDone(inv, results, err, b.now())
+	}()
+}
+
+// runSafely converts a task panic into an error so one bad experiment does
+// not take down the whole study (mirrors a Python exception failing only
+// its own task).
+func runSafely(fn TaskFunc, ctx *TaskContext, args []interface{}) (results []interface{}, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			results = nil
+			err = fmt.Errorf("runtime: task %d panicked: %v", ctx.TaskID, r)
+		}
+	}()
+	return fn(ctx, args)
+}
+
+func (b *realBackend) drive(pred func() bool) {
+	b.rt.mu.Lock()
+	for !pred() {
+		b.rt.cond.Wait()
+	}
+	b.rt.mu.Unlock()
+}
+
+func (b *realBackend) close() {}
+
+// --- Sim backend: discrete-event engine + virtual clock ---
+
+type simBackend struct {
+	rt     *Runtime
+	engine *cluster.Engine
+}
+
+func newSimBackend(rt *Runtime) *simBackend {
+	return &simBackend{rt: rt, engine: cluster.NewEngine()}
+}
+
+func (b *simBackend) now() time.Duration { return b.engine.Now() }
+
+func (b *simBackend) launch(inv *invocation, args []interface{}) {
+	node := b.rt.nodeByID(inv.primaryNode())
+	res := SimResources{
+		// A multi-node task sees its aggregate core/GPU grant.
+		Cores:     inv.def.Constraint.Cores * inv.def.Constraint.Nodes,
+		GPUs:      inv.def.Constraint.GPUs * inv.def.Constraint.Nodes,
+		CoreSpeed: node.spec.CoreSpeed,
+		GPUSpeed:  node.spec.GPUSpeed,
+		Node:      node.spec.ID,
+	}
+	dur := inv.def.Cost(args, res)
+	if dur < 0 {
+		dur = 0
+	}
+
+	// Transfer modelling: when inputs were produced on another node and no
+	// PFS is assumed, prepend a transfer stage.
+	if b.rt.opts.TransferBytesPerSec > 0 && inv.def.InputBytes > 0 {
+		remote := false
+		for _, a := range inv.args {
+			if f, ok := futureArg(a); ok && f.resolved && f.producedOn >= 0 && f.producedOn != node.spec.ID {
+				remote = true
+			}
+		}
+		if remote {
+			xfer := time.Duration(float64(inv.def.InputBytes) / b.rt.opts.TransferBytesPerSec * float64(time.Second))
+			b.rt.rec.RecordInterval(trace.Interval{
+				Node: node.spec.ID, Core: inv.allocs[0].coreIDs[0],
+				Start: b.now(), End: b.now() + xfer,
+				State: trace.StateXfer, TaskID: inv.id, Label: "transfer",
+			})
+			dur += xfer
+		}
+	}
+
+	var attemptErr error
+	if fi := b.rt.opts.FaultInjector; fi != nil {
+		attemptErr = fi(inv.id, inv.attempt, node.spec.ID)
+		if attemptErr != nil {
+			// A failing attempt dies partway through.
+			dur /= 2
+		}
+	}
+	if limit := inv.def.Timeout; limit > 0 && attemptErr == nil && dur > limit {
+		// The modelled duration exceeds the timeout: the attempt dies at
+		// the limit.
+		dur = limit
+		attemptErr = &errTimeout{taskID: inv.id, limit: limit, attempt: inv.attempt}
+	}
+	err := attemptErr
+	b.engine.After(dur, func() {
+		b.rt.onDone(inv, nil, err, b.engine.Now())
+	})
+}
+
+func (b *simBackend) drive(pred func() bool) {
+	for {
+		b.rt.mu.Lock()
+		ok := pred()
+		b.rt.mu.Unlock()
+		if ok {
+			return
+		}
+		if !b.engine.Step() {
+			return // drained; WaitOn reports unresolved futures if any
+		}
+	}
+}
+
+func (b *simBackend) close() {}

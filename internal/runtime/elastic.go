@@ -1,0 +1,85 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// AddNode grows the cluster at runtime — COMPSs-style elasticity for cloud
+// deployments ("distributed environments, such as grids, clusters, clouds",
+// §3). Queued tasks dispatch onto the new node immediately. Real and Sim
+// backends only; Remote nodes arrive via AttachWorker.
+func (rt *Runtime) AddNode(spec cluster.NodeSpec) error {
+	if rt.opts.Backend == Remote {
+		return fmt.Errorf("runtime: use AttachWorker to add Remote nodes")
+	}
+	if spec.Cores < 1 {
+		return fmt.Errorf("runtime: node %d needs at least one core", spec.ID)
+	}
+	if spec.CoreSpeed <= 0 {
+		spec.CoreSpeed = 1
+	}
+	if spec.GPUSpeed <= 0 {
+		spec.GPUSpeed = 1
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.nodeByID(spec.ID) != nil {
+		return fmt.Errorf("runtime: node id %d already exists", spec.ID)
+	}
+	rt.nodes = append(rt.nodes, newNodeState(spec))
+	rt.dispatch()
+	rt.cond.Broadcast()
+	return nil
+}
+
+// DrainNode marks a node unavailable for new placements. Tasks already
+// running there finish normally (graceful shrink); queued and future tasks
+// go elsewhere. It returns the number of tasks still running on the node.
+func (rt *Runtime) DrainNode(id int) (running int, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := rt.nodeByID(id)
+	if n == nil {
+		return 0, fmt.Errorf("runtime: no node %d", id)
+	}
+	if n.down {
+		return n.running, nil
+	}
+	n.down = true
+	// Anything still blocked/ready that could only run here fails fast at
+	// the next dispatch; tasks with alternatives re-route.
+	rt.dispatch()
+	rt.cond.Broadcast()
+	return n.running, nil
+}
+
+// NodeInfo is a point-in-time view of one node's state.
+type NodeInfo struct {
+	ID        int
+	Name      string
+	Cores     int
+	GPUs      int
+	FreeCores int
+	FreeGPUs  int
+	Running   int
+	Down      bool
+}
+
+// Nodes returns a snapshot of every node's occupancy, for dashboards and
+// elasticity controllers.
+func (rt *Runtime) Nodes() []NodeInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]NodeInfo, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		out = append(out, NodeInfo{
+			ID: n.spec.ID, Name: n.spec.Name,
+			Cores: n.spec.Cores, GPUs: n.spec.GPUs,
+			FreeCores: n.freeCores, FreeGPUs: n.freeGPUs,
+			Running: n.running, Down: n.down,
+		})
+	}
+	return out
+}

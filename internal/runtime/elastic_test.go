@@ -1,0 +1,112 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestAddNodeUnblocksQueue(t *testing.T) {
+	// One 1-core node, three 10s tasks → 30s. Adding two nodes after the
+	// first wave lets the remainder run in parallel.
+	rt := newSimRT(t, cluster.Uniform("solo", 1, 1, 0, 1, 1))
+	rt.MustRegister(TaskDef{Name: "t", Cost: fixedCost(10 * time.Second)})
+	for i := 0; i < 3; i++ {
+		rt.Submit("t")
+	}
+	// Grow the cluster immediately: all three should run in parallel.
+	if err := rt.AddNode(cluster.NodeSpec{ID: 10, Name: "new-a", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddNode(cluster.NodeSpec{ID: 11, Name: "new-b", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Barrier()
+	if rt.Now() != 10*time.Second {
+		t.Fatalf("makespan = %v, want 10s after elastic growth", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	rt := newSimRT(t, cluster.Uniform("solo", 1, 1, 0, 1, 1))
+	defer rt.Shutdown()
+	if err := rt.AddNode(cluster.NodeSpec{ID: 0, Cores: 1}); err == nil {
+		t.Fatal("expected duplicate-id error")
+	}
+	if err := rt.AddNode(cluster.NodeSpec{ID: 5, Cores: 0}); err == nil {
+		t.Fatal("expected zero-core error")
+	}
+	remote, err := New(Options{Backend: Remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.AddNode(cluster.NodeSpec{ID: 1, Cores: 1}); err == nil {
+		t.Fatal("expected Remote rejection")
+	}
+}
+
+func TestDrainNodeGraceful(t *testing.T) {
+	// Two nodes; drain node 1 mid-run: its running task finishes, the
+	// queue lands on node 0 only.
+	rt := newSimRT(t, cluster.Uniform("twin", 2, 1, 0, 1, 1))
+	rt.MustRegister(TaskDef{Name: "t", Returns: 1, Cost: fixedCost(10 * time.Second)})
+	f0, _ := rt.Submit1("t") // node 0
+	f1, _ := rt.Submit1("t") // node 1
+	running, err := rt.DrainNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if running != 1 {
+		t.Fatalf("running on drained node = %d, want 1", running)
+	}
+	// Two more tasks: both must use node 0 → finish at 20s and 30s.
+	rt.Submit("t")
+	rt.Submit("t")
+	rt.Barrier()
+	if rt.Now() != 30*time.Second {
+		t.Fatalf("makespan = %v, want 30s (drained node takes no new work)", rt.Now())
+	}
+	// The drained node's in-flight task still completed.
+	if _, err := rt.WaitOn(f0, f1); err != nil {
+		t.Fatalf("in-flight tasks on drained node failed: %v", err)
+	}
+	// Draining again is idempotent.
+	if _, err := rt.DrainNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.DrainNode(99); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+	rt.Shutdown()
+}
+
+func TestNodesSnapshot(t *testing.T) {
+	rt := newRealRT(t, 4, 2)
+	gate := make(chan struct{})
+	rt.MustRegister(TaskDef{
+		Name: "hold", Constraint: Constraint{Cores: 2, GPUs: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			<-gate
+			return nil, nil
+		},
+	})
+	rt.Submit("hold")
+	time.Sleep(20 * time.Millisecond)
+	nodes := rt.Nodes()
+	if len(nodes) != 1 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	n := nodes[0]
+	if n.FreeCores != 2 || n.FreeGPUs != 1 || n.Running != 1 {
+		t.Fatalf("snapshot = %+v", n)
+	}
+	close(gate)
+	rt.Barrier()
+	n = rt.Nodes()[0]
+	if n.FreeCores != 4 || n.Running != 0 {
+		t.Fatalf("post-completion snapshot = %+v", n)
+	}
+	rt.Shutdown()
+}

@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TaskGroup names a set of submitted tasks so they can be awaited or
+// cancelled together — the COMPSs task-group / compss_barrier_group
+// facility. Groups are handy for HPO rounds: each sampler batch can be its
+// own group.
+type TaskGroup struct {
+	rt   *Runtime
+	name string
+
+	mu   sync.Mutex
+	futs []*Future
+}
+
+// Group creates (or revisits) a named task group.
+func (rt *Runtime) Group(name string) *TaskGroup {
+	return &TaskGroup{rt: rt, name: name}
+}
+
+// Name returns the group's name.
+func (g *TaskGroup) Name() string { return g.name }
+
+// Submit enqueues a task whose futures belong to this group.
+func (g *TaskGroup) Submit(taskName string, args ...interface{}) ([]*Future, error) {
+	futs, err := g.rt.Submit(taskName, args...)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.futs = append(g.futs, futs...)
+	g.mu.Unlock()
+	return futs, nil
+}
+
+// Submit1 is Submit for single-future tasks.
+func (g *TaskGroup) Submit1(taskName string, args ...interface{}) (*Future, error) {
+	futs, err := g.Submit(taskName, args...)
+	if err != nil {
+		return nil, err
+	}
+	return futs[0], nil
+}
+
+// Size returns the number of futures tracked by the group.
+func (g *TaskGroup) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.futs)
+}
+
+// Barrier blocks until every task in the group finished, returning the
+// first error encountered (compss_barrier_group).
+func (g *TaskGroup) Barrier() error {
+	g.mu.Lock()
+	futs := append([]*Future(nil), g.futs...)
+	g.mu.Unlock()
+	_, err := g.rt.WaitOn(futs...)
+	if err != nil {
+		return fmt.Errorf("runtime: group %q: %w", g.name, err)
+	}
+	return nil
+}
+
+// Results waits for the group and returns every future's value in
+// submission order.
+func (g *TaskGroup) Results() ([]interface{}, error) {
+	g.mu.Lock()
+	futs := append([]*Future(nil), g.futs...)
+	g.mu.Unlock()
+	return g.rt.WaitOn(futs...)
+}
+
+// CancelPending cancels the group's not-yet-started tasks, leaving other
+// groups untouched. It returns the number cancelled.
+func (g *TaskGroup) CancelPending() int {
+	g.mu.Lock()
+	futs := append([]*Future(nil), g.futs...)
+	g.mu.Unlock()
+
+	rt := g.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// Collect the producing invocations of this group's futures.
+	mine := map[*invocation]bool{}
+	for _, f := range futs {
+		if f.producer != nil {
+			mine[f.producer] = true
+		}
+	}
+	n := 0
+	for inv := range mine {
+		if inv.state == stateReady || inv.state == stateBlocked {
+			rt.finishLocked(inv, nil, ErrCanceled, false)
+			inv.state = stateCanceled
+			rt.canceled++
+			rt.failed--
+			n++
+		}
+	}
+	if n > 0 {
+		// Drop cancelled invocations from the ready queue.
+		out := rt.ready[:0]
+		for _, inv := range rt.ready {
+			if inv != nil && inv.state == stateReady {
+				out = append(out, inv)
+			}
+		}
+		rt.ready = out
+		rt.cond.Broadcast()
+	}
+	return n
+}

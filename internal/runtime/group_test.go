@@ -1,0 +1,142 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGroupBarrierWaitsOnlyItsTasks(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	slowGate := make(chan struct{})
+	rt.MustRegister(TaskDef{
+		Name: "quick",
+		Fn:   func(*TaskContext, []interface{}) ([]interface{}, error) { return nil, nil },
+	})
+	rt.MustRegister(TaskDef{
+		Name: "slow",
+		Fn: func(*TaskContext, []interface{}) ([]interface{}, error) {
+			<-slowGate
+			return nil, nil
+		},
+	})
+	ga := rt.Group("round-a")
+	for i := 0; i < 3; i++ {
+		if _, err := ga.Submit("quick"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unrelated slow task outside the group must not block the barrier.
+	rt.Submit("slow")
+
+	done := make(chan error, 1)
+	go func() { done <- ga.Barrier() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("group barrier blocked on a task outside the group")
+	}
+	close(slowGate)
+	rt.Shutdown()
+}
+
+func TestGroupResultsOrdered(t *testing.T) {
+	rt := newRealRT(t, 4, 0)
+	rt.MustRegister(echoDef("echo"))
+	g := rt.Group("batch")
+	for i := 0; i < 5; i++ {
+		if _, err := g.Submit1("echo", i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Size() != 5 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	vals, err := g.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v.(int) != i*i {
+			t.Fatalf("vals[%d] = %v", i, v)
+		}
+	}
+	rt.Shutdown()
+}
+
+func TestGroupBarrierPropagatesError(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	rt.MustRegister(TaskDef{
+		Name: "bad", MaxRetries: 0,
+		Fn: func(*TaskContext, []interface{}) ([]interface{}, error) {
+			return nil, errors.New("broken")
+		},
+	})
+	g := rt.Group("g")
+	g.Submit("bad")
+	if err := g.Barrier(); err == nil {
+		t.Fatal("expected group error")
+	}
+	rt.Shutdown()
+}
+
+func TestGroupCancelPendingScoped(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	gate := make(chan struct{})
+	rt.MustRegister(TaskDef{
+		Name: "hold",
+		Fn: func(*TaskContext, []interface{}) ([]interface{}, error) {
+			<-gate
+			return nil, nil
+		},
+	})
+	// Occupy the single core.
+	blocker, _ := rt.Submit1("hold")
+	time.Sleep(20 * time.Millisecond)
+
+	ga := rt.Group("a")
+	gb := rt.Group("b")
+	for i := 0; i < 3; i++ {
+		ga.Submit("hold")
+		gb.Submit("hold")
+	}
+	// Cancel group a only: exactly its 3 queued tasks die.
+	if n := ga.CancelPending(); n != 3 {
+		t.Fatalf("canceled %d, want 3", n)
+	}
+	close(gate)
+	if err := gb.Barrier(); err != nil {
+		t.Fatalf("group b should be unaffected: %v", err)
+	}
+	if _, err := rt.WaitOn(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.Barrier(); err == nil || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("group a barrier = %v, want ErrCanceled", err)
+	}
+	st := rt.Stats()
+	// 1 blocker + 3 group-b complete; group a's 3 are canceled.
+	if st.Canceled != 3 || st.Completed != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	rt.Shutdown()
+}
+
+func TestGroupOnSimBackend(t *testing.T) {
+	rt := newSimRT(t, clusterUniform(2))
+	rt.MustRegister(TaskDef{Name: "t", Cost: fixedCost(5 * time.Second)})
+	g := rt.Group("sim")
+	for i := 0; i < 4; i++ {
+		g.Submit("t")
+	}
+	if err := g.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Now() != 10*time.Second {
+		t.Fatalf("makespan = %v", rt.Now())
+	}
+	rt.Shutdown()
+}

@@ -1,0 +1,71 @@
+package runtime
+
+import "fmt"
+
+// RegisterImplementation registers an alternative implementation for an
+// existing task — the paper's @implement decorator ("this decorator allows
+// the runtime to choose the most appropriate task considering the
+// resources", §3). A typical use registers a GPU implementation for a task
+// whose base version is CPU-only; at dispatch time the scheduler tries the
+// base definition first and falls back through alternatives in
+// registration order, picking the first whose constraint fits a free node.
+//
+// Alternatives share the base task's name at Submit time but may differ in
+// Constraint, Fn and Cost. Returns/MaxRetries are taken from the base
+// definition to keep future arity stable.
+func (rt *Runtime) RegisterImplementation(baseName string, alt TaskDef) error {
+	alt, err := alt.normalise()
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	base, ok := rt.defs[baseName]
+	if !ok {
+		return fmt.Errorf("runtime: no base task %q for implementation %q", baseName, alt.Name)
+	}
+	if rt.opts.Backend != Sim && alt.Fn == nil {
+		return fmt.Errorf("runtime: implementation %q needs Fn for this backend", alt.Name)
+	}
+	if rt.opts.Backend == Sim && alt.Cost == nil {
+		return fmt.Errorf("runtime: implementation %q needs Cost for the Sim backend", alt.Name)
+	}
+	// Arity and retry budget follow the base definition.
+	alt.Returns = base.Returns
+	alt.MaxRetries = base.MaxRetries
+	rt.impls[baseName] = append(rt.impls[baseName], alt)
+	return nil
+}
+
+// implementations returns the candidate definitions for an invocation in
+// preference order: alternatives first (most specific resources, e.g. GPU),
+// then the base definition. Callers hold rt.mu.
+func (rt *Runtime) implementations(inv *invocation) []TaskDef {
+	alts := rt.impls[inv.base.Name]
+	if len(alts) == 0 {
+		return []TaskDef{inv.base}
+	}
+	out := make([]TaskDef, 0, len(alts)+1)
+	out = append(out, alts...)
+	out = append(out, inv.base)
+	return out
+}
+
+// pickImplementation chooses the first (definition, node set) pair that
+// fits right now; if nothing fits it reports whether ANY implementation
+// could ever be scheduled, so unschedulable tasks still fail fast. Callers
+// hold rt.mu.
+func (rt *Runtime) pickImplementation(inv *invocation) (TaskDef, []*nodeState, bool) {
+	feasible := false
+	for _, def := range rt.implementations(inv) {
+		inv.def = def
+		if rt.schedulable(inv) {
+			feasible = true
+		}
+		if nodes := rt.pickNodes(inv); nodes != nil {
+			return def, nodes, true
+		}
+	}
+	inv.def = inv.base
+	return TaskDef{}, nil, feasible
+}

@@ -1,0 +1,155 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestImplementPrefersGPUWhenFree(t *testing.T) {
+	// Node has 4 cores and 1 GPU. The GPU implementation should be chosen
+	// while the GPU is free; once it is busy, the CPU base runs.
+	rt := newRealRT(t, 4, 1)
+	var gpuRuns, cpuRuns int32
+	base := TaskDef{
+		Name: "train", Constraint: Constraint{Cores: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			atomic.AddInt32(&cpuRuns, 1)
+			time.Sleep(20 * time.Millisecond)
+			return nil, nil
+		},
+	}
+	rt.MustRegister(base)
+	if err := rt.RegisterImplementation("train", TaskDef{
+		Name: "train_gpu", Constraint: Constraint{Cores: 1, GPUs: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			atomic.AddInt32(&gpuRuns, 1)
+			time.Sleep(20 * time.Millisecond)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := rt.Submit("train"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Barrier()
+	g, c := atomic.LoadInt32(&gpuRuns), atomic.LoadInt32(&cpuRuns)
+	if g == 0 {
+		t.Fatal("GPU implementation never chosen")
+	}
+	if c == 0 {
+		t.Fatal("CPU fallback never chosen (only one GPU, four tasks)")
+	}
+	if g+c != 4 {
+		t.Fatalf("runs = %d gpu + %d cpu, want 4 total", g, c)
+	}
+	rt.Shutdown()
+}
+
+func TestImplementRequiresBase(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	err := rt.RegisterImplementation("ghost", TaskDef{
+		Name: "ghost_gpu",
+		Fn:   func(*TaskContext, []interface{}) ([]interface{}, error) { return nil, nil },
+	})
+	if err == nil {
+		t.Fatal("expected error for missing base task")
+	}
+	rt.Shutdown()
+}
+
+func TestImplementValidation(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	rt.MustRegister(echoDef("base"))
+	if err := rt.RegisterImplementation("base", TaskDef{Name: "alt"}); err == nil {
+		t.Fatal("expected error for missing Fn")
+	}
+	if err := rt.RegisterImplementation("base", TaskDef{}); err == nil {
+		t.Fatal("expected error for unnamed implementation")
+	}
+	rt.Shutdown()
+}
+
+func TestImplementInheritsReturns(t *testing.T) {
+	// The alternative returns values through the base's future arity even
+	// though its def carried a different Returns.
+	rt := newRealRT(t, 2, 1)
+	rt.MustRegister(TaskDef{
+		Name: "calc", Returns: 1, Constraint: Constraint{Cores: 2}, // CPU impl needs 2 cores
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return []interface{}{"cpu"}, nil
+		},
+	})
+	if err := rt.RegisterImplementation("calc", TaskDef{
+		Name: "calc_gpu", Returns: 5, Constraint: Constraint{Cores: 1, GPUs: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return []interface{}{"gpu"}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	futs, err := rt.Submit("calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(futs) != 1 {
+		t.Fatalf("futures = %d, want base arity 1", len(futs))
+	}
+	vals, err := rt.WaitOn(futs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(string) != "gpu" {
+		t.Fatalf("ran %v, want the GPU alternative (it fits with fewer cores)", vals[0])
+	}
+	rt.Shutdown()
+}
+
+func TestImplementSimPicksCheaperFit(t *testing.T) {
+	// Sim backend: base needs 8 cores (doesn't exist); the alternative
+	// needs 1 core and must be chosen; the invocation is feasible.
+	rt := newSimRT(t, cluster.Uniform("s", 1, 4, 0, 1, 1))
+	rt.MustRegister(TaskDef{
+		Name: "big", Constraint: Constraint{Cores: 8},
+		Cost: fixedCost(time.Hour),
+	})
+	if err := rt.RegisterImplementation("big", TaskDef{
+		Name: "big_small", Constraint: Constraint{Cores: 1},
+		Cost: fixedCost(time.Minute),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := rt.Submit1("big")
+	if _, err := rt.WaitOn(f); err != nil {
+		t.Fatalf("alternative should make the task schedulable: %v", err)
+	}
+	if rt.Now() != time.Minute {
+		t.Fatalf("makespan = %v, want the alternative's 1m cost", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestImplementUnschedulableWhenNoImplFits(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	rt.MustRegister(TaskDef{
+		Name: "huge", Constraint: Constraint{Cores: 50},
+		Fn: func(*TaskContext, []interface{}) ([]interface{}, error) { return nil, nil },
+	})
+	if err := rt.RegisterImplementation("huge", TaskDef{
+		Name: "huge_gpu", Constraint: Constraint{Cores: 1, GPUs: 4},
+		Fn: func(*TaskContext, []interface{}) ([]interface{}, error) { return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := rt.Submit1("huge")
+	if _, err := rt.WaitOn(f); err == nil {
+		t.Fatal("expected unschedulable error when no implementation fits any node")
+	}
+	rt.Shutdown()
+}

@@ -1,0 +1,80 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkTaskThroughputReal measures end-to-end submit→execute→resolve
+// cost per no-op task on the Real backend — the runtime overhead the paper
+// claims is negligible against multi-minute trainings.
+func BenchmarkTaskThroughputReal(b *testing.B) {
+	rt, err := New(Options{Cluster: cluster.Local(8), Backend: Real})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.MustRegister(TaskDef{
+		Name: "noop",
+		Fn:   func(*TaskContext, []interface{}) ([]interface{}, error) { return nil, nil },
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Submit("noop"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt.Barrier()
+	b.StopTimer()
+	rt.Shutdown()
+}
+
+// BenchmarkTaskThroughputSim measures simulated-task processing rate: how
+// many virtual task executions per second the DES engine sustains, which
+// bounds how large a cluster experiment can be replayed.
+func BenchmarkTaskThroughputSim(b *testing.B) {
+	rt, err := New(Options{Cluster: cluster.Uniform("b", 4, 48, 0, 1, 1), Backend: Sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.MustRegister(TaskDef{Name: "t", Cost: fixedCost(time.Minute)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Submit("t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt.Barrier()
+	b.StopTimer()
+	rt.Shutdown()
+}
+
+// BenchmarkDependencyChainSim measures per-edge DAG overhead on a long
+// dependency chain.
+func BenchmarkDependencyChainSim(b *testing.B) {
+	rt, err := New(Options{Cluster: cluster.Local(4), Backend: Sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.MustRegister(TaskDef{Name: "t", Returns: 1, Cost: fixedCost(time.Second)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var prev *Future
+	for i := 0; i < b.N; i++ {
+		var args []interface{}
+		if prev != nil {
+			args = append(args, prev)
+		}
+		f, err := rt.Submit1("t", args...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = f
+	}
+	rt.Barrier()
+	b.StopTimer()
+	rt.Shutdown()
+}

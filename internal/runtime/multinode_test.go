@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+func TestMultinodeSpansNodes(t *testing.T) {
+	rt, err := New(Options{
+		Cluster: cluster.Uniform("twin", 3, 4, 0, 1, 1),
+		Backend: Real,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []int
+	rt.MustRegister(TaskDef{
+		Name:       "mpi",
+		Constraint: Constraint{Cores: 4, Nodes: 2}, // 4 cores on each of 2 nodes
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			mu.Lock()
+			seen = append([]int(nil), ctx.NodeIDs...)
+			mu.Unlock()
+			return nil, nil
+		},
+	})
+	f, _ := rt.Submit1("mpi")
+	if _, err := rt.WaitOn(f); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("NodeIDs = %v, want 2 nodes", seen)
+	}
+	if seen[0] == seen[1] {
+		t.Fatalf("multinode task must span distinct nodes: %v", seen)
+	}
+}
+
+func TestMultinodeBlocksOtherWork(t *testing.T) {
+	// A 2-node task on a 2-node cluster takes everything; a 1-core task
+	// must wait for it.
+	rec := trace.NewRecorder()
+	rt, err := New(Options{
+		Cluster:  cluster.Uniform("twin", 2, 2, 0, 1, 1),
+		Backend:  Sim,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.MustRegister(TaskDef{
+		Name: "mpi", Constraint: Constraint{Cores: 2, Nodes: 2},
+		Cost: fixedCost(10 * time.Second),
+	})
+	rt.MustRegister(TaskDef{
+		Name: "small", Constraint: Constraint{Cores: 1},
+		Cost: fixedCost(time.Second),
+	})
+	rt.Submit("mpi")
+	rt.Submit("small")
+	rt.Barrier()
+	if rt.Now() != 11*time.Second {
+		t.Fatalf("makespan = %v, want 11s (small waits for the 2-node task)", rt.Now())
+	}
+	// The mpi task's intervals appear on both nodes.
+	nodes := map[int]bool{}
+	for _, iv := range rec.Intervals() {
+		if iv.TaskID == 1 {
+			nodes[iv.Node] = true
+		}
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("mpi task recorded on %d nodes, want 2", len(nodes))
+	}
+	rt.Shutdown()
+}
+
+func TestMultinodeUnschedulableOnSmallCluster(t *testing.T) {
+	rt := newSimRT(t, cluster.Uniform("solo", 1, 8, 0, 1, 1))
+	rt.MustRegister(TaskDef{
+		Name: "mpi", Constraint: Constraint{Cores: 1, Nodes: 2},
+		Cost: fixedCost(time.Second),
+	})
+	f, _ := rt.Submit1("mpi")
+	if _, err := rt.WaitOn(f); err == nil {
+		t.Fatal("2-node task on 1-node cluster must fail fast")
+	}
+	rt.Shutdown()
+}
+
+func TestMultinodeRejectedOnRemote(t *testing.T) {
+	rt, err := New(Options{Backend: Remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Register(TaskDef{
+		Name: "mpi", Constraint: Constraint{Cores: 1, Nodes: 2},
+		Fn: func(*TaskContext, []interface{}) ([]interface{}, error) { return nil, nil },
+	})
+	if err == nil {
+		t.Fatal("expected rejection of multi-node tasks on Remote backend")
+	}
+}
+
+func TestMultinodeParallelPacking(t *testing.T) {
+	// Four 2-node tasks on four nodes run as two waves of two.
+	rt := newSimRT(t, cluster.Uniform("quad", 4, 2, 0, 1, 1))
+	rt.MustRegister(TaskDef{
+		Name: "mpi", Constraint: Constraint{Cores: 2, Nodes: 2},
+		Cost: fixedCost(10 * time.Second),
+	})
+	for i := 0; i < 4; i++ {
+		rt.Submit("mpi")
+	}
+	rt.Barrier()
+	if rt.Now() != 20*time.Second {
+		t.Fatalf("makespan = %v, want 20s (two waves of two 2-node tasks)", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestMultinodeReleasesAllNodes(t *testing.T) {
+	// After a multinode task finishes, both nodes must be fully free:
+	// verified by running node-filling singles afterwards with no wait.
+	rt := newSimRT(t, cluster.Uniform("twin", 2, 2, 0, 1, 1))
+	rt.MustRegister(TaskDef{
+		Name: "mpi", Constraint: Constraint{Cores: 2, Nodes: 2},
+		Cost: fixedCost(5 * time.Second),
+	})
+	rt.MustRegister(TaskDef{
+		Name: "fill", Constraint: Constraint{Cores: 2},
+		Cost: fixedCost(5 * time.Second),
+	})
+	f, _ := rt.Submit1("mpi")
+	rt.WaitOn(f)
+	rt.Submit("fill")
+	rt.Submit("fill")
+	rt.Barrier()
+	if rt.Now() != 10*time.Second {
+		t.Fatalf("makespan = %v, want 10s (both fills run in parallel after release)", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestMultinodeSimSeesAggregateResources(t *testing.T) {
+	var got SimResources
+	rt := newSimRT(t, cluster.Uniform("quad", 3, 4, 2, 1, 1))
+	rt.MustRegister(TaskDef{
+		Name:       "mpi",
+		Constraint: Constraint{Cores: 4, GPUs: 1, Nodes: 3},
+		Cost: func(args []interface{}, res SimResources) time.Duration {
+			got = res
+			return time.Second
+		},
+	})
+	rt.Submit("mpi")
+	rt.Barrier()
+	rt.Shutdown()
+	if got.Cores != 12 || got.GPUs != 3 {
+		t.Fatalf("aggregate resources = %+v, want 12 cores / 3 gpus", got)
+	}
+}
+
+func TestMultinodeDistinctAllocationsProperty(t *testing.T) {
+	// Mixed single- and multi-node tasks: no core is double-booked at any
+	// time on any node.
+	rec := trace.NewRecorder()
+	rt, err := New(Options{
+		Cluster:  cluster.Uniform("mix", 3, 3, 0, 1, 1),
+		Backend:  Sim,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.MustRegister(TaskDef{Name: "s", Cost: fixedCost(3 * time.Second)})
+	rt.MustRegister(TaskDef{Name: "m", Constraint: Constraint{Cores: 2, Nodes: 2}, Cost: fixedCost(5 * time.Second)})
+	for i := 0; i < 12; i++ {
+		if i%3 == 0 {
+			rt.Submit("m")
+		} else {
+			rt.Submit("s")
+		}
+	}
+	rt.Barrier()
+	rt.Shutdown()
+
+	type key struct{ n, c int }
+	byCore := map[key][]trace.Interval{}
+	for _, iv := range rec.Intervals() {
+		if iv.State == trace.StateRunning {
+			byCore[key{iv.Node, iv.Core}] = append(byCore[key{iv.Node, iv.Core}], iv)
+		}
+	}
+	for k, ivs := range byCore {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End {
+				t.Fatalf("core %v double-booked: %v then %v", k, ivs[i-1], ivs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Property: in randomly generated DAGs, no task ever starts before all of
+// its dependencies have finished — checked against the simulated trace
+// timestamps, which are exact.
+func TestDependencyOrderProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		rec := trace.NewRecorder()
+		rt, err := New(Options{
+			Cluster:  cluster.Uniform("p", 1+rng.Intn(3), 1+rng.Intn(4), 0, 1, 1),
+			Backend:  Sim,
+			Recorder: rec,
+		})
+		if err != nil {
+			return false
+		}
+		rt.MustRegister(TaskDef{
+			Name: "t", Returns: 1,
+			Cost: func(args []interface{}, res SimResources) time.Duration {
+				return time.Duration(1+len(args)) * time.Second
+			},
+		})
+
+		// Random DAG: each task depends on a random subset of its
+		// predecessors.
+		n := 2 + rng.Intn(12)
+		futs := make([]*Future, 0, n)
+		deps := make([][]int, n)
+		for i := 0; i < n; i++ {
+			var args []interface{}
+			for j := 0; j < i; j++ {
+				if rng.Intn(4) == 0 {
+					args = append(args, futs[j])
+					deps[i] = append(deps[i], j)
+				}
+			}
+			f, err := rt.Submit1("t", args...)
+			if err != nil {
+				return false
+			}
+			futs = append(futs, f)
+		}
+		rt.Barrier()
+		rt.Shutdown()
+
+		// Reconstruct start/end per task id from the trace.
+		start := map[int]time.Duration{}
+		end := map[int]time.Duration{}
+		for _, ev := range rec.Events() {
+			switch ev.Type {
+			case trace.EventTaskStart:
+				start[int(ev.Value)] = ev.At
+			case trace.EventTaskEnd:
+				end[int(ev.Value)] = ev.At
+			}
+		}
+		if len(start) != n {
+			return false
+		}
+		// Task ids are 1-based submission order.
+		for i, ds := range deps {
+			for _, j := range ds {
+				if start[i+1] < end[j+1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the task graph recorded for a random DAG is acyclic and every
+// dependency edge appears in it.
+func TestGraphEdgesMatchSubmissionsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		rt, err := New(Options{
+			Cluster: cluster.Local(2),
+			Backend: Sim,
+			Graph:   true,
+		})
+		if err != nil {
+			return false
+		}
+		rt.MustRegister(TaskDef{Name: "t", Returns: 1, Cost: fixedCost(time.Second)})
+		n := 2 + rng.Intn(8)
+		futs := make([]*Future, 0, n)
+		edges := 0
+		for i := 0; i < n; i++ {
+			var args []interface{}
+			for j := 0; j < i; j++ {
+				if rng.Intn(3) == 0 {
+					args = append(args, futs[j])
+					edges++
+				}
+			}
+			f, err := rt.Submit1("t", args...)
+			if err != nil {
+				return false
+			}
+			futs = append(futs, f)
+		}
+		rt.Barrier()
+		dot, err := rt.ExportDOT("p")
+		rt.Shutdown()
+		if err != nil {
+			return false
+		}
+		// Count dependency edges in the DOT body (ignore the legend).
+		got := 0
+		for _, line := range splitLines(dot) {
+			if containsArrow(line) {
+				got++
+			}
+		}
+		return got == edges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func containsArrow(line string) bool {
+	for i := 0; i+2 <= len(line); i++ {
+		if line[i] == '-' && line[i+1] == '>' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,247 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// startWorkers launches n in-process workers over mem transports and
+// attaches them to rt. Each gets the given defs registered.
+func startWorkers(t *testing.T, rt *Runtime, n, cores, gpus int, defs ...TaskDef) []comm.Transport {
+	t.Helper()
+	var masterSides []comm.Transport
+	for i := 0; i < n; i++ {
+		masterSide, workerSide := comm.NewMemPair(64)
+		w := NewWorker(cores, gpus)
+		for _, d := range defs {
+			if err := w.Register(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		go func() {
+			if err := w.Serve(workerSide); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+		if _, err := rt.AttachWorker(masterSide); err != nil {
+			t.Fatal(err)
+		}
+		masterSides = append(masterSides, masterSide)
+	}
+	return masterSides
+}
+
+func newRemoteRT(t *testing.T) *Runtime {
+	t.Helper()
+	rt, err := New(Options{Backend: Remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRemoteBasicRoundTrip(t *testing.T) {
+	rt := newRemoteRT(t)
+	def := TaskDef{
+		Name: "double", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return []interface{}{args[0].(int) * 2}, nil
+		},
+	}
+	rt.MustRegister(def)
+	startWorkers(t, rt, 1, 2, 0, def)
+
+	f, err := rt.Submit1("double", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rt.WaitOn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 42 {
+		t.Fatalf("result = %v", vals[0])
+	}
+	rt.Shutdown()
+}
+
+func TestRemoteDistributesAcrossWorkers(t *testing.T) {
+	rt := newRemoteRT(t)
+	var hits [3]int32
+	def := TaskDef{
+		Name: "where", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			atomic.AddInt32(&hits[ctx.Node], 1)
+			time.Sleep(10 * time.Millisecond)
+			return []interface{}{ctx.Node}, nil
+		},
+	}
+	rt.MustRegister(def)
+	startWorkers(t, rt, 3, 1, 0, def)
+
+	var futs []*Future
+	for i := 0; i < 9; i++ {
+		f, _ := rt.Submit1("where")
+		futs = append(futs, f)
+	}
+	if _, err := rt.WaitOn(futs...); err != nil {
+		t.Fatal(err)
+	}
+	// With 9 tasks, 3 single-core workers and 10ms tasks, all three workers
+	// must have run something.
+	for i, h := range hits {
+		if atomic.LoadInt32(&h) == 0 {
+			t.Fatalf("worker %d ran nothing: %v", i, hits)
+		}
+	}
+	rt.Shutdown()
+}
+
+func TestRemoteTaskErrorPropagates(t *testing.T) {
+	rt := newRemoteRT(t)
+	def := TaskDef{
+		Name: "bad", MaxRetries: 0,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return nil, errors.New("out of coffee")
+		},
+	}
+	rt.MustRegister(def)
+	startWorkers(t, rt, 1, 1, 0, def)
+	f, _ := rt.Submit1("bad")
+	if _, err := rt.WaitOn(f); err == nil || !strings.Contains(err.Error(), "out of coffee") {
+		t.Fatalf("err = %v", err)
+	}
+	rt.Shutdown()
+}
+
+func TestRemoteUnregisteredTaskOnWorker(t *testing.T) {
+	rt := newRemoteRT(t)
+	def := TaskDef{
+		Name: "known", MaxRetries: 0,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) { return nil, nil },
+	}
+	rt.MustRegister(def)
+	// Worker registers nothing → every submission fails remotely.
+	startWorkers(t, rt, 1, 1, 0)
+	f, _ := rt.Submit1("known")
+	if _, err := rt.WaitOn(f); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v", err)
+	}
+	rt.Shutdown()
+}
+
+func TestRemoteWorkerDeathResubmits(t *testing.T) {
+	rt := newRemoteRT(t)
+	var mu atomic.Int32
+	block := make(chan struct{})
+	def := TaskDef{
+		Name: "slow", Returns: 1, MaxRetries: 2,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			if mu.Add(1) == 1 {
+				<-block // first execution hangs until its worker dies
+			}
+			return []interface{}{ctx.Node}, nil
+		},
+	}
+	rt.MustRegister(def)
+	trs := startWorkers(t, rt, 2, 1, 0, def)
+
+	f, err := rt.Submit1("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let it start on worker 0
+	trs[0].Close()                    // kill the worker's link
+	close(block)
+
+	vals, err := rt.WaitOn(f)
+	if err != nil {
+		t.Fatalf("task should be resubmitted to the surviving worker: %v", err)
+	}
+	if vals[0].(int) != 1 {
+		t.Fatalf("resubmitted task ran on node %v, want 1", vals[0])
+	}
+	st := rt.Stats()
+	if st.Retried == 0 {
+		t.Fatalf("stats should show a resubmission: %+v", st)
+	}
+	rt.Shutdown()
+}
+
+func TestRemoteOverTCP(t *testing.T) {
+	ln, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	def := TaskDef{
+		Name: "square", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			x := args[0].(int)
+			return []interface{}{x * x}, nil
+		},
+	}
+	rt := newRemoteRT(t)
+	rt.MustRegister(def)
+
+	// Two workers connect over real TCP.
+	for i := 0; i < 2; i++ {
+		go func() {
+			w := NewWorker(2, 0)
+			if err := w.Register(def); err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+			if err := w.ConnectAndServe(ln.Addr()); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := rt.ListenAndAttach(ln, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var futs []*Future
+	for i := 0; i < 8; i++ {
+		f, err := rt.Submit1("square", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	vals, err := rt.WaitOn(futs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v.(int) != i*i {
+			t.Fatalf("square(%d) = %v", i, v)
+		}
+	}
+	rt.Shutdown()
+}
+
+func TestAttachWorkerRequiresRemoteBackend(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	a, _ := comm.NewMemPair(1)
+	if _, err := rt.AttachWorker(a); err == nil {
+		t.Fatal("expected error on non-remote backend")
+	}
+	rt.Shutdown()
+}
+
+func TestWorkerRegisterValidation(t *testing.T) {
+	w := NewWorker(0, -1) // floors to 1 core, 0 gpus
+	if err := w.Register(TaskDef{Name: "x"}); err == nil {
+		t.Fatal("expected error for missing Fn")
+	}
+	if err := w.Register(TaskDef{}); err == nil {
+		t.Fatal("expected error for missing name")
+	}
+}

@@ -1,0 +1,633 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// newRealRT builds a Real-backend runtime on an in-process "node" with the
+// given core/GPU counts.
+func newRealRT(t *testing.T, cores, gpus int, opts ...func(*Options)) *Runtime {
+	t.Helper()
+	o := Options{
+		Cluster: cluster.Spec{Name: "test", Nodes: []cluster.NodeSpec{
+			{ID: 0, Name: "n0", Cores: cores, GPUs: gpus, CoreSpeed: 1, GPUSpeed: 1},
+		}},
+		Backend: Real,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	rt, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func echoDef(name string) TaskDef {
+	return TaskDef{
+		Name:    name,
+		Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return []interface{}{args[0]}, nil
+		},
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	if err := rt.Register(TaskDef{}); err == nil {
+		t.Fatal("expected error for unnamed task")
+	}
+	if err := rt.Register(TaskDef{Name: "x"}); err == nil {
+		t.Fatal("expected error for missing Fn on Real backend")
+	}
+	if err := rt.Register(echoDef("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(echoDef("x")); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+	if err := rt.Register(TaskDef{Name: "neg", Returns: -1, Fn: echoDef("_").Fn}); err == nil {
+		t.Fatal("expected error for negative Returns")
+	}
+	// Sim backend requires Cost.
+	sim, err := New(Options{Cluster: cluster.Local(2), Backend: Sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Register(TaskDef{Name: "nocost", Fn: echoDef("_").Fn}); err == nil {
+		t.Fatal("expected error for missing Cost on Sim backend")
+	}
+}
+
+func TestSubmitUnknownTask(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	if _, err := rt.Submit("nope"); err == nil {
+		t.Fatal("expected error for unregistered task")
+	}
+}
+
+func TestBasicSubmitWaitOn(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	rt.MustRegister(echoDef("echo"))
+	fut, err := rt.Submit1("echo", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rt.WaitOn(fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 42 {
+		t.Fatalf("value = %v", vals[0])
+	}
+	rt.Shutdown()
+}
+
+func TestFutureDependencyChain(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	rt.MustRegister(TaskDef{
+		Name: "inc", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return []interface{}{args[0].(int) + 1}, nil
+		},
+	})
+	f1, _ := rt.Submit1("inc", 0)
+	f2, _ := rt.Submit1("inc", f1)
+	f3, _ := rt.Submit1("inc", f2)
+	vals, err := rt.WaitOn(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 3 {
+		t.Fatalf("chain result = %v, want 3", vals[0])
+	}
+	rt.Shutdown()
+}
+
+func TestFanInDependencies(t *testing.T) {
+	rt := newRealRT(t, 4, 0)
+	rt.MustRegister(echoDef("echo"))
+	rt.MustRegister(TaskDef{
+		Name: "sum", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			s := 0
+			for _, a := range args {
+				s += a.(int)
+			}
+			return []interface{}{s}, nil
+		},
+	})
+	var futs []interface{}
+	for i := 1; i <= 5; i++ {
+		f, _ := rt.Submit1("echo", i)
+		futs = append(futs, f)
+	}
+	total, _ := rt.Submit1("sum", futs...)
+	vals, err := rt.WaitOn(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 15 {
+		t.Fatalf("sum = %v", vals[0])
+	}
+	rt.Shutdown()
+}
+
+func TestMultipleReturns(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	rt.MustRegister(TaskDef{
+		Name: "divmod", Returns: 2,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			a, b := args[0].(int), args[1].(int)
+			return []interface{}{a / b, a % b}, nil
+		},
+	})
+	futs, err := rt.Submit("divmod", 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(futs) != 2 {
+		t.Fatalf("got %d futures", len(futs))
+	}
+	vals, err := rt.WaitOn(futs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 3 || vals[1].(int) != 2 {
+		t.Fatalf("divmod = %v", vals)
+	}
+	rt.Shutdown()
+}
+
+func TestZeroReturnSyncFuture(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	ran := int32(0)
+	rt.MustRegister(TaskDef{
+		Name: "effect",
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			atomic.StoreInt32(&ran, 1)
+			return nil, nil
+		},
+	})
+	futs, _ := rt.Submit("effect")
+	if len(futs) != 1 {
+		t.Fatalf("zero-return task should yield one sync future, got %d", len(futs))
+	}
+	if _, err := rt.WaitOn(futs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&ran) != 1 {
+		t.Fatal("task did not run")
+	}
+	rt.Shutdown()
+}
+
+func TestInOutVersioning(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	rt.MustRegister(TaskDef{
+		Name: "make", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return []interface{}{&[]int{1}}, nil
+		},
+	})
+	rt.MustRegister(TaskDef{
+		Name: "append",
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			s := args[0].(*[]int)
+			*s = append(*s, len(*s)+1)
+			return nil, nil
+		},
+	})
+	base, _ := rt.Submit1("make")
+	futs, err := rt.Submit("append", InOut{Future: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero returns + one InOut → sync future + new-version future.
+	if len(futs) != 2 {
+		t.Fatalf("got %d futures, want 2", len(futs))
+	}
+	newVersion := futs[1]
+	if base.ID() == newVersion.ID() {
+		t.Fatalf("InOut should bump version: %s vs %s", base.ID(), newVersion.ID())
+	}
+	if !strings.HasPrefix(newVersion.ID(), "d") || !strings.HasSuffix(newVersion.ID(), "v2") {
+		t.Fatalf("new version id = %s, want dNv2", newVersion.ID())
+	}
+	vals, err := rt.WaitOn(newVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *(vals[0].(*[]int))
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("mutated value = %v", got)
+	}
+	rt.Shutdown()
+}
+
+func TestConstraintBoundsConcurrency(t *testing.T) {
+	const cores = 3
+	rt := newRealRT(t, cores, 0)
+	var cur, peak int32
+	rt.MustRegister(TaskDef{
+		Name: "busy", Constraint: Constraint{Cores: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			atomic.AddInt32(&cur, -1)
+			return nil, nil
+		},
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := rt.Submit("busy"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Barrier()
+	if p := atomic.LoadInt32(&peak); p > cores {
+		t.Fatalf("peak concurrency %d exceeded %d cores", p, cores)
+	}
+	st := rt.Stats()
+	if st.Completed != 10 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+	rt.Shutdown()
+}
+
+func TestWideTaskGetsAllCores(t *testing.T) {
+	rt := newRealRT(t, 4, 0)
+	var mu sync.Mutex
+	var grants [][]int
+	rt.MustRegister(TaskDef{
+		Name: "wide", Constraint: Constraint{Cores: 4},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			mu.Lock()
+			grants = append(grants, ctx.CoreIDs)
+			mu.Unlock()
+			return nil, nil
+		},
+	})
+	rt.MustRegister(TaskDef{
+		Name: "narrow", Constraint: Constraint{Cores: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			mu.Lock()
+			grants = append(grants, ctx.CoreIDs)
+			mu.Unlock()
+			return nil, nil
+		},
+	})
+	rt.Submit("wide")
+	rt.Submit("narrow")
+	rt.Barrier()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(grants) != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	for _, g := range grants {
+		if len(g) != 4 && len(g) != 1 {
+			t.Fatalf("unexpected grant %v", g)
+		}
+	}
+	rt.Shutdown()
+}
+
+func TestGPUConstraint(t *testing.T) {
+	rt := newRealRT(t, 4, 2)
+	var peak, cur int32
+	rt.MustRegister(TaskDef{
+		Name: "gputask", Constraint: Constraint{Cores: 1, GPUs: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(15 * time.Millisecond)
+			atomic.AddInt32(&cur, -1)
+			if ctx.GPUs != 1 {
+				return nil, fmt.Errorf("granted %d GPUs", ctx.GPUs)
+			}
+			return nil, nil
+		},
+	})
+	for i := 0; i < 6; i++ {
+		rt.Submit("gputask")
+	}
+	rt.Barrier()
+	if p := atomic.LoadInt32(&peak); p > 2 {
+		t.Fatalf("GPU concurrency %d exceeded 2 GPUs", p)
+	}
+	if rt.Stats().Failed != 0 {
+		t.Fatal("GPU tasks failed")
+	}
+	rt.Shutdown()
+}
+
+func TestUnschedulableFailsFast(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	rt.MustRegister(TaskDef{
+		Name: "huge", Constraint: Constraint{Cores: 100},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) { return nil, nil },
+	})
+	fut, _ := rt.Submit1("huge")
+	_, err := rt.WaitOn(fut)
+	if err == nil || !strings.Contains(err.Error(), "unschedulable") {
+		t.Fatalf("err = %v, want unschedulable", err)
+	}
+	rt.Shutdown()
+}
+
+func TestRetrySameNodeThenSucceed(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	var attempts int32
+	var attemptNodes []int
+	var mu sync.Mutex
+	rt.MustRegister(TaskDef{
+		Name: "flaky", MaxRetries: 2,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			mu.Lock()
+			attemptNodes = append(attemptNodes, ctx.Node)
+			mu.Unlock()
+			if atomic.AddInt32(&attempts, 1) <= 2 {
+				return nil, errors.New("transient failure")
+			}
+			return nil, nil
+		},
+	})
+	fut, _ := rt.Submit1("flaky")
+	if _, err := rt.WaitOn(fut); err != nil {
+		t.Fatalf("task should eventually succeed: %v", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	st := rt.Stats()
+	if st.Retried != 2 || st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Single-node cluster: the retry necessarily lands on the same node,
+	// which exercises the pin path.
+	if attemptNodes[0] != attemptNodes[1] {
+		t.Fatalf("first retry should stay on the same node: %v", attemptNodes)
+	}
+	rt.Shutdown()
+}
+
+func TestPermanentFailureAfterRetries(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	var attempts int32
+	rt.MustRegister(TaskDef{
+		Name: "doomed", MaxRetries: 2,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			atomic.AddInt32(&attempts, 1)
+			return nil, errors.New("disk on fire")
+		},
+	})
+	fut, _ := rt.Submit1("doomed")
+	_, err := rt.WaitOn(fut)
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("err = %v", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 3 { // 1 + 2 retries
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if rt.Stats().Failed != 1 {
+		t.Fatalf("stats = %+v", rt.Stats())
+	}
+	rt.Shutdown()
+}
+
+func TestPanicBecomesTaskError(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	rt.MustRegister(TaskDef{
+		Name: "panicky", MaxRetries: 0,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			panic("boom")
+		},
+	})
+	fut, _ := rt.Submit1("panicky")
+	_, err := rt.WaitOn(fut)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	rt.Shutdown()
+}
+
+func TestFailureCascadesToDependents(t *testing.T) {
+	rt := newRealRT(t, 2, 0)
+	rt.MustRegister(TaskDef{
+		Name: "bad", Returns: 1, MaxRetries: 0,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return nil, errors.New("nope")
+		},
+	})
+	rt.MustRegister(echoDef("echo"))
+	bad, _ := rt.Submit1("bad")
+	child, _ := rt.Submit1("echo", bad)
+	_, err := rt.WaitOn(child)
+	if err == nil || !strings.Contains(err.Error(), "dependency") {
+		t.Fatalf("err = %v, want dependency failure", err)
+	}
+	rt.Shutdown()
+}
+
+func TestCancelPending(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	release := make(chan struct{})
+	rt.MustRegister(TaskDef{
+		Name: "slow",
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			<-release
+			return nil, nil
+		},
+	})
+	first, _ := rt.Submit1("slow")
+	var rest []*Future
+	for i := 0; i < 5; i++ {
+		f, _ := rt.Submit1("slow")
+		rest = append(rest, f)
+	}
+	// Give the first task time to start; the rest are queued on 1 core.
+	time.Sleep(20 * time.Millisecond)
+	n := rt.CancelPending()
+	if n != 5 {
+		t.Fatalf("canceled %d, want 5", n)
+	}
+	close(release)
+	if _, err := rt.WaitOn(first); err != nil {
+		t.Fatalf("running task should finish: %v", err)
+	}
+	for _, f := range rest {
+		if _, err := rt.WaitOn(f); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	}
+	st := rt.Stats()
+	if st.Canceled != 5 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	rt.Shutdown()
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	rt := newRealRT(t, 1, 0)
+	rt.MustRegister(echoDef("echo"))
+	rt.Shutdown()
+	if _, err := rt.Submit("echo", 1); err == nil {
+		t.Fatal("expected error after shutdown")
+	}
+}
+
+func TestForeignFutureRejected(t *testing.T) {
+	rt1 := newRealRT(t, 1, 0)
+	rt2 := newRealRT(t, 1, 0)
+	rt1.MustRegister(echoDef("echo"))
+	rt2.MustRegister(echoDef("echo"))
+	f, _ := rt1.Submit1("echo", 1)
+	if _, err := rt2.Submit("echo", f); err == nil {
+		t.Fatal("expected foreign-future error")
+	}
+	rt1.Shutdown()
+	rt2.Shutdown()
+	// The rejected submit must not leave rt2's Barrier hanging.
+}
+
+func TestGraphExport(t *testing.T) {
+	rt := newRealRT(t, 2, 0, func(o *Options) { o.Graph = true })
+	rt.MustRegister(echoDef("experiment"))
+	rt.MustRegister(echoDef("visualisation"))
+	var vis []*Future
+	for i := 0; i < 3; i++ {
+		e, _ := rt.Submit1("experiment", i)
+		v, _ := rt.Submit1("visualisation", e)
+		vis = append(vis, v)
+	}
+	if _, err := rt.WaitOn(vis...); err != nil {
+		t.Fatal(err)
+	}
+	dot, err := rt.ExportDOT("hpo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph", "octagon", "d1v1", "experiment"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	rt.Shutdown()
+
+	rtNoGraph := newRealRT(t, 1, 0)
+	if _, err := rtNoGraph.ExportDOT("x"); err == nil {
+		t.Fatal("expected error with graph disabled")
+	}
+	rtNoGraph.Shutdown()
+}
+
+func TestTracingRecordsAffinity(t *testing.T) {
+	rec := trace.NewRecorder()
+	rt := newRealRT(t, 4, 0, func(o *Options) { o.Recorder = rec })
+	rt.MustRegister(TaskDef{
+		Name: "one", Constraint: Constraint{Cores: 1},
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			time.Sleep(5 * time.Millisecond)
+			return nil, nil
+		},
+	})
+	fut, _ := rt.Submit1("one")
+	rt.WaitOn(fut)
+	rt.Shutdown()
+
+	ivs := rec.Intervals()
+	running := 0
+	for _, iv := range ivs {
+		if iv.State == trace.StateRunning {
+			running++
+			if iv.Core < 0 || iv.Core >= 4 {
+				t.Fatalf("core %d out of range", iv.Core)
+			}
+		}
+	}
+	// Exactly one core row busy: CPU affinity enforced (paper Figure 4).
+	if running != 1 {
+		t.Fatalf("running intervals = %d, want 1", running)
+	}
+	evs := rec.Events()
+	if len(evs) < 2 {
+		t.Fatalf("expected start+end events, got %d", len(evs))
+	}
+}
+
+func TestPolicyParse(t *testing.T) {
+	for _, s := range []string{"fifo", "priority", "lifo", "locality", ""} {
+		if _, err := ParsePolicy(s); err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePolicy("magic"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	if PolicyFIFO.String() != "fifo" || Policy(42).String() == "" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestPriorityPolicyOrdersQueue(t *testing.T) {
+	// One core: first submitted task runs, the rest queue. With
+	// PolicyPriority, the priority task must run before earlier-submitted
+	// normal tasks.
+	rt := newRealRT(t, 1, 0, func(o *Options) { o.Policy = PolicyPriority })
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+	mk := func(name string, prio bool) TaskDef {
+		return TaskDef{
+			Name: name, Priority: prio,
+			Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+				if name == "blocker" {
+					<-gate
+				}
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				return nil, nil
+			},
+		}
+	}
+	rt.MustRegister(mk("blocker", false))
+	rt.MustRegister(mk("normal", false))
+	rt.MustRegister(mk("urgent", true))
+	rt.Submit("blocker")
+	time.Sleep(10 * time.Millisecond) // let blocker occupy the core
+	rt.Submit("normal")
+	rt.Submit("urgent")
+	close(gate)
+	rt.Barrier()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[1] != "urgent" {
+		t.Fatalf("execution order = %v, want urgent before normal", order)
+	}
+	rt.Shutdown()
+}

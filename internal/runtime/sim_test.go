@@ -1,0 +1,364 @@
+package runtime
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// fixedCost returns a CostFunc with a constant duration.
+func fixedCost(d time.Duration) CostFunc {
+	return func(args []interface{}, res SimResources) time.Duration { return d }
+}
+
+func newSimRT(t *testing.T, spec cluster.Spec, opts ...func(*Options)) *Runtime {
+	t.Helper()
+	o := Options{Cluster: spec, Backend: Sim}
+	for _, f := range opts {
+		f(&o)
+	}
+	rt, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestSimMakespanTwoWaves(t *testing.T) {
+	// 4 single-core 10s tasks on a 2-core node → two waves → 20s.
+	rt := newSimRT(t, cluster.Uniform("sim", 1, 2, 0, 1, 1))
+	rt.MustRegister(TaskDef{Name: "t", Cost: fixedCost(10 * time.Second)})
+	for i := 0; i < 4; i++ {
+		rt.Submit("t")
+	}
+	rt.Barrier()
+	if got := rt.Now(); got != 20*time.Second {
+		t.Fatalf("makespan = %v, want 20s", got)
+	}
+	rt.Shutdown()
+}
+
+func TestSimBackfill(t *testing.T) {
+	// Node with 2 cores; tasks: 10s, 4s, 4s. FIFO: t1 on c0 (0-10),
+	// t2 on c1 (0-4), t3 backfills c1 (4-8) → makespan 10s.
+	rt := newSimRT(t, cluster.Uniform("sim", 1, 2, 0, 1, 1))
+	rt.MustRegister(TaskDef{Name: "long", Cost: fixedCost(10 * time.Second)})
+	rt.MustRegister(TaskDef{Name: "short", Cost: fixedCost(4 * time.Second)})
+	rt.Submit("long")
+	rt.Submit("short")
+	rt.Submit("short")
+	rt.Barrier()
+	if got := rt.Now(); got != 10*time.Second {
+		t.Fatalf("makespan = %v, want 10s (backfill)", got)
+	}
+	rt.Shutdown()
+}
+
+func TestSimVirtualTimeIsInstant(t *testing.T) {
+	// A simulated year of work should execute in real milliseconds.
+	rt := newSimRT(t, cluster.Uniform("sim", 1, 1, 0, 1, 1))
+	rt.MustRegister(TaskDef{Name: "epoch", Cost: fixedCost(365 * 24 * time.Hour)})
+	start := time.Now()
+	rt.Submit("epoch")
+	rt.Barrier()
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("simulation took %v of wall time", wall)
+	}
+	if rt.Now() != 365*24*time.Hour {
+		t.Fatalf("virtual makespan = %v", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestSimCostSeesResources(t *testing.T) {
+	// Cost function receives the granted cores and node speed.
+	var seen SimResources
+	rt := newSimRT(t, cluster.Uniform("sim", 1, 8, 2, 1.5, 2.0))
+	rt.MustRegister(TaskDef{
+		Name:       "probe",
+		Constraint: Constraint{Cores: 4, GPUs: 1},
+		Cost: func(args []interface{}, res SimResources) time.Duration {
+			seen = res
+			return time.Second
+		},
+	})
+	rt.Submit("probe")
+	rt.Barrier()
+	if seen.Cores != 4 || seen.GPUs != 1 || seen.CoreSpeed != 1.5 || seen.GPUSpeed != 2.0 {
+		t.Fatalf("resources = %+v", seen)
+	}
+	rt.Shutdown()
+}
+
+func TestSimDependenciesSequence(t *testing.T) {
+	// A chain of three 5s tasks must take 15s even with plenty of cores.
+	rt := newSimRT(t, cluster.Uniform("sim", 1, 8, 0, 1, 1))
+	rt.MustRegister(TaskDef{Name: "s", Returns: 1, Cost: fixedCost(5 * time.Second)})
+	f1, _ := rt.Submit1("s")
+	f2, _ := rt.Submit1("s", f1)
+	f3, _ := rt.Submit1("s", f2)
+	if _, err := rt.WaitOn(f3); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Now() != 15*time.Second {
+		t.Fatalf("chain makespan = %v, want 15s", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestSimFaultInjectionRetries(t *testing.T) {
+	failures := map[int]int{1: 2} // task 1 fails on attempts 0 and 1
+	rt := newSimRT(t, cluster.Uniform("sim", 2, 1, 0, 1, 1), func(o *Options) {
+		o.FaultInjector = func(taskID, attempt, node int) error {
+			if attempt < failures[taskID] {
+				return errors.New("injected fault")
+			}
+			return nil
+		}
+	})
+	rt.MustRegister(TaskDef{Name: "t", Cost: fixedCost(10 * time.Second), MaxRetries: 2})
+	f, _ := rt.Submit1("t")
+	if _, err := rt.WaitOn(f); err != nil {
+		t.Fatalf("should succeed on third attempt: %v", err)
+	}
+	st := rt.Stats()
+	if st.Retried != 2 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Two half-duration failures (5s each) + one full run (10s) = 20s.
+	if rt.Now() != 20*time.Second {
+		t.Fatalf("makespan with retries = %v, want 20s", rt.Now())
+	}
+	rt.Shutdown()
+}
+
+func TestSimFaultExhaustsRetries(t *testing.T) {
+	rt := newSimRT(t, cluster.Uniform("sim", 2, 1, 0, 1, 1), func(o *Options) {
+		o.FaultInjector = func(taskID, attempt, node int) error {
+			return errors.New("node is cursed")
+		}
+	})
+	rt.MustRegister(TaskDef{Name: "t", Cost: fixedCost(time.Second), MaxRetries: 1})
+	f, _ := rt.Submit1("t")
+	if _, err := rt.WaitOn(f); err == nil {
+		t.Fatal("expected permanent failure")
+	}
+	rt.Shutdown()
+}
+
+func TestSimRetryMovesToOtherNode(t *testing.T) {
+	// Attempt 0 fails on node A; attempt 1 retries pinned to A and fails;
+	// attempt 2 must land on the other node.
+	var nodes []int
+	rt := newSimRT(t, cluster.Uniform("sim", 2, 1, 0, 1, 1), func(o *Options) {
+		o.FaultInjector = func(taskID, attempt, node int) error {
+			nodes = append(nodes, node)
+			if attempt < 2 {
+				return errors.New("bad")
+			}
+			return nil
+		}
+	})
+	rt.MustRegister(TaskDef{Name: "t", Cost: fixedCost(time.Second), MaxRetries: 2})
+	f, _ := rt.Submit1("t")
+	if _, err := rt.WaitOn(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("attempts on nodes %v", nodes)
+	}
+	if nodes[0] != nodes[1] {
+		t.Fatalf("first retry should pin to same node: %v", nodes)
+	}
+	if nodes[2] == nodes[1] {
+		t.Fatalf("second retry should move: %v", nodes)
+	}
+	rt.Shutdown()
+}
+
+func TestSimTransferModelling(t *testing.T) {
+	// Producer runs on node 0 (only node with a GPU); the consumer requires
+	// 2 cores, which only node 1 has → cross-node transfer of 1 MB at
+	// 1 MB/s adds 1s.
+	spec := cluster.Spec{Name: "hetero", Nodes: []cluster.NodeSpec{
+		{ID: 0, Name: "gpu", Cores: 1, GPUs: 1, CoreSpeed: 1, GPUSpeed: 1},
+		{ID: 1, Name: "big", Cores: 2, GPUs: 0, CoreSpeed: 1, GPUSpeed: 1},
+	}}
+	rec := trace.NewRecorder()
+	rt := newSimRT(t, spec, func(o *Options) {
+		o.TransferBytesPerSec = 1 << 20
+		o.Recorder = rec
+	})
+	rt.MustRegister(TaskDef{
+		Name: "produce", Returns: 1, Constraint: Constraint{Cores: 1, GPUs: 1},
+		Cost: fixedCost(2 * time.Second),
+	})
+	rt.MustRegister(TaskDef{
+		Name: "consume", Constraint: Constraint{Cores: 2},
+		Cost: fixedCost(3 * time.Second), InputBytes: 1 << 20,
+	})
+	p, _ := rt.Submit1("produce")
+	c, _ := rt.Submit1("consume", p)
+	if _, err := rt.WaitOn(c); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Now() != 6*time.Second { // 2 + 1 transfer + 3
+		t.Fatalf("makespan = %v, want 6s", rt.Now())
+	}
+	foundXfer := false
+	for _, iv := range rec.Intervals() {
+		if iv.State == trace.StateXfer {
+			foundXfer = true
+		}
+	}
+	if !foundXfer {
+		t.Fatal("transfer interval not recorded")
+	}
+	rt.Shutdown()
+}
+
+func TestSimLocalityAvoidsTransfer(t *testing.T) {
+	// With PolicyLocality and both nodes able to run the consumer, the
+	// consumer is placed with its producer → no transfer time.
+	spec := cluster.Uniform("twin", 2, 2, 0, 1, 1)
+	run := func(policy Policy) time.Duration {
+		rt := newSimRT(t, spec, func(o *Options) {
+			o.TransferBytesPerSec = 1 << 20
+			o.Policy = policy
+		})
+		rt.MustRegister(TaskDef{Name: "produce", Returns: 1, Cost: fixedCost(time.Second)})
+		rt.MustRegister(TaskDef{
+			Name: "blocker", Cost: fixedCost(5 * time.Second), Constraint: Constraint{Cores: 1},
+		})
+		rt.MustRegister(TaskDef{
+			Name: "consume", Cost: fixedCost(time.Second), InputBytes: 10 << 20,
+		})
+		p, _ := rt.Submit1("produce") // lands on node 0, core 0
+		rt.Submit("blocker")          // node 0 core 1
+		rt.Submit("blocker")          // node 1 core 0
+		c, _ := rt.Submit1("consume", p)
+		rt.WaitOn(c)
+		d := rt.Now()
+		rt.Shutdown()
+		return d
+	}
+	withLocality := run(PolicyLocality)
+	fifo := run(PolicyFIFO)
+	// FIFO first-fit places the consumer on node 0 too (a free core exists),
+	// so assert only that locality is never worse and never pays transfer.
+	if withLocality > fifo {
+		t.Fatalf("locality (%v) worse than fifo (%v)", withLocality, fifo)
+	}
+	if withLocality != 2*time.Second {
+		t.Fatalf("locality makespan = %v, want 2s (no transfer)", withLocality)
+	}
+}
+
+// Property: for random task sets, per-core trace intervals never overlap —
+// the scheduler conserves resources and enforces affinity.
+func TestSimNoCoreOverlapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		nodes := 1 + rng.Intn(3)
+		cores := 1 + rng.Intn(4)
+		rec := trace.NewRecorder()
+		rt, err := New(Options{
+			Cluster:  cluster.Uniform("p", nodes, cores, 0, 1, 1),
+			Backend:  Sim,
+			Recorder: rec,
+		})
+		if err != nil {
+			return false
+		}
+		rt.MustRegister(TaskDef{
+			Name: "t",
+			Cost: func(args []interface{}, res SimResources) time.Duration {
+				return time.Duration(args[0].(int)) * time.Second
+			},
+		})
+		rt.MustRegister(TaskDef{
+			Name: "wide", Constraint: Constraint{Cores: cores},
+			Cost: func(args []interface{}, res SimResources) time.Duration {
+				return time.Duration(args[0].(int)) * time.Second
+			},
+		})
+		n := 3 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			name := "t"
+			if rng.Intn(4) == 0 {
+				name = "wide"
+			}
+			rt.Submit(name, 1+rng.Intn(10))
+		}
+		rt.Barrier()
+		rt.Shutdown()
+
+		// Check per-(node, core) intervals are disjoint.
+		type key struct{ n, c int }
+		byCore := map[key][]trace.Interval{}
+		for _, iv := range rec.Intervals() {
+			if iv.State == trace.StateRunning {
+				byCore[key{iv.Node, iv.Core}] = append(byCore[key{iv.Node, iv.Core}], iv)
+			}
+		}
+		for _, ivs := range byCore {
+			sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+			for i := 1; i < len(ivs); i++ {
+				if ivs[i].Start < ivs[i-1].End {
+					return false
+				}
+			}
+		}
+		return rt.Stats().Completed == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simulated makespan is always at least the critical-path lower
+// bound (longest single task) and at most the serial sum.
+func TestSimMakespanBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		cores := 1 + rng.Intn(8)
+		rt, err := New(Options{Cluster: cluster.Uniform("p", 1, cores, 0, 1, 1), Backend: Sim})
+		if err != nil {
+			return false
+		}
+		rt.MustRegister(TaskDef{
+			Name: "t",
+			Cost: func(args []interface{}, res SimResources) time.Duration {
+				return time.Duration(args[0].(int)) * time.Second
+			},
+		})
+		n := 1 + rng.Intn(15)
+		var longest, total time.Duration
+		for i := 0; i < n; i++ {
+			d := time.Duration(1+rng.Intn(20)) * time.Second
+			if d > longest {
+				longest = d
+			}
+			total += d
+			rt.Submit("t", int(d/time.Second))
+		}
+		rt.Barrier()
+		ms := rt.Now()
+		rt.Shutdown()
+		return ms >= longest && ms <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clusterUniform is a test shorthand for a 1-node cluster with n cores.
+func clusterUniform(n int) cluster.Spec {
+	return cluster.Uniform("test", 1, n, 0, 1, 1)
+}

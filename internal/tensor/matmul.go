@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MatMul returns the matrix product a×b of two 2-D tensors, computed
+// serially. For a parallel version bounded by a number of computing units,
+// use MatMulParallel.
+func MatMul(a, b *Tensor) *Tensor {
+	return MatMulParallel(a, b, 1)
+}
+
+// MatMulParallel returns a×b using up to `units` goroutines. The row range of
+// the output is partitioned among workers; this mirrors how a training task
+// in the paper exploits the computing units granted by its @constraint
+// (Tensorflow intra-op parallelism). units < 1 is treated as 1.
+func MatMulParallel(a, b *Tensor, units int) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions do not match: %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	if units < 1 {
+		units = 1
+	}
+	if units > m {
+		units = m
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return out
+	}
+	if units == 1 {
+		matmulRows(a, b, out, 0, m)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (m + units - 1) / units
+	for w := 0; w < units; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matmulRows computes out[lo:hi, :] = a[lo:hi, :] × b using an ikj loop
+// order, which keeps the inner loop streaming over contiguous memory.
+func matmulRows(a, b, out *Tensor, lo, hi int) {
+	k := a.shape[1]
+	n := b.shape[1]
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatVec returns the matrix-vector product a×x where a is m×k and x has k
+// elements; the result has m elements (shape m×1 flattened to [m]).
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: MatVec requires a 2-D matrix")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.Size() != k {
+		panic(fmt.Sprintf("tensor: MatVec dimensions do not match: %v × %d-vector", a.shape, x.Size()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		row := a.data[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			s += row[j] * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two tensors viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	if a.Size() != b.Size() {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", a.Size(), b.Size()))
+	}
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !c.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", c.Data(), want.Data())
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := NewRNG(1)
+	a := Randn(r, 4, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	if !MatMul(a, id).AllClose(a, 1e-12) {
+		t.Fatal("A×I != A")
+	}
+	if !MatMul(id, a).AllClose(a, 1e-12) {
+		t.Fatal("I×A != A")
+	}
+}
+
+func TestMatMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner dimension mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	r := NewRNG(7)
+	for _, units := range []int{2, 3, 4, 8, 100} {
+		a := Randn(r, 17, 13)
+		b := Randn(r, 13, 9)
+		serial := MatMulParallel(a, b, 1)
+		par := MatMulParallel(a, b, units)
+		if !serial.AllClose(par, 1e-9) {
+			t.Fatalf("units=%d: parallel result differs from serial", units)
+		}
+	}
+}
+
+func TestMatMulEmpty(t *testing.T) {
+	c := MatMul(New(0, 3), New(3, 4))
+	if c.Dim(0) != 0 || c.Dim(1) != 4 {
+		t.Fatalf("empty matmul shape = %v", c.Shape())
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	x := FromSlice([]float64{1, 1}, 2)
+	y := MatVec(a, x)
+	if y.Data()[0] != 3 || y.Data()[1] != 7 {
+		t.Fatalf("MatVec = %v", y.Data())
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+}
+
+// Property: (A×B)ᵀ == Bᵀ×Aᵀ for random shapes and values.
+func TestMatMulTransposeProperty(t *testing.T) {
+	r := NewRNG(42)
+	f := func(seed uint64) bool {
+		rr := NewRNG(seed)
+		m, k, n := 1+rr.Intn(8), 1+rr.Intn(8), 1+rr.Intn(8)
+		a := Randn(r, m, k)
+		b := Randn(r, k, n)
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return lhs.AllClose(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication distributes over addition:
+// A×(B+C) == A×B + A×C.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	r := NewRNG(43)
+	f := func(seed uint64) bool {
+		rr := NewRNG(seed)
+		m, k, n := 1+rr.Intn(6), 1+rr.Intn(6), 1+rr.Intn(6)
+		a := Randn(r, m, k)
+		b := Randn(r, k, n)
+		c := Randn(r, k, n)
+		lhs := MatMul(a, b.Add(c))
+		rhs := MatMul(a, b).Add(MatMul(a, c))
+		return lhs.AllClose(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parallel and serial matmul agree for arbitrary unit counts.
+func TestMatMulParallelAgreementProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := NewRNG(seed)
+		m, k, n := 1+rr.Intn(12), 1+rr.Intn(12), 1+rr.Intn(12)
+		units := 1 + rr.Intn(16)
+		a := Randn(rr, m, k)
+		b := Randn(rr, k, n)
+		return MatMulParallel(a, b, units).AllClose(MatMulParallel(a, b, 1), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMulSerial(b *testing.B) {
+	r := NewRNG(1)
+	x := Randn(r, 128, 128)
+	y := Randn(r, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulParallel(x, y, 1)
+	}
+}
+
+func BenchmarkMatMulParallel4(b *testing.B) {
+	r := NewRNG(1)
+	x := Randn(r, 128, 128)
+	y := Randn(r, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulParallel(x, y, 4)
+	}
+}

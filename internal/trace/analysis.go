@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// NodeStats summarises one node's activity.
+type NodeStats struct {
+	Node        int
+	Cores       int
+	BusyTime    time.Duration
+	TasksRun    int
+	Utilisation float64
+}
+
+// PerNodeStats derives node-level utilisation over the recorder's makespan,
+// the quantitative counterpart of reading Figures 5-6 row by row.
+func (r *Recorder) PerNodeStats() []NodeStats {
+	ivs := r.Intervals()
+	makespan := r.Makespan()
+	byNode := map[int]*NodeStats{}
+	cores := map[int]map[int]bool{}
+	for _, iv := range ivs {
+		ns, ok := byNode[iv.Node]
+		if !ok {
+			ns = &NodeStats{Node: iv.Node}
+			byNode[iv.Node] = ns
+			cores[iv.Node] = map[int]bool{}
+		}
+		cores[iv.Node][iv.Core] = true
+		if iv.State == StateRunning {
+			ns.BusyTime += iv.End - iv.Start
+			ns.TasksRun++
+		}
+	}
+	out := make([]NodeStats, 0, len(byNode))
+	for node, ns := range byNode {
+		ns.Cores = len(cores[node])
+		if makespan > 0 && ns.Cores > 0 {
+			ns.Utilisation = float64(ns.BusyTime) / (float64(makespan) * float64(ns.Cores))
+		}
+		out = append(out, *ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// DurationStats summarises task durations for one task label.
+type DurationStats struct {
+	Label string
+	Count int
+	Min   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+// TaskDurationStats aggregates Running intervals by label. Multi-core tasks
+// contribute one sample per task id, not per core row.
+func (r *Recorder) TaskDurationStats() []DurationStats {
+	type key struct {
+		label string
+		task  int
+	}
+	seen := map[key]time.Duration{}
+	for _, iv := range r.Intervals() {
+		if iv.State != StateRunning {
+			continue
+		}
+		k := key{iv.Label, iv.TaskID}
+		if d := iv.End - iv.Start; d > seen[k] {
+			seen[k] = d
+		}
+	}
+	byLabel := map[string][]time.Duration{}
+	for k, d := range seen {
+		byLabel[k.label] = append(byLabel[k.label], d)
+	}
+	out := make([]DurationStats, 0, len(byLabel))
+	for label, ds := range byLabel {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		out = append(out, DurationStats{
+			Label: label,
+			Count: len(ds),
+			Min:   ds[0],
+			P50:   percentile(ds, 0.50),
+			P95:   percentile(ds, 0.95),
+			Max:   ds[len(ds)-1],
+			Mean:  sum / time.Duration(len(ds)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// RenderSummary prints per-node utilisation and per-label duration tables.
+func RenderSummary(r *Recorder) string {
+	var b strings.Builder
+	b.WriteString("per-node utilisation:\n")
+	b.WriteString("  node  cores  tasks  busy        util\n")
+	for _, ns := range r.PerNodeStats() {
+		fmt.Fprintf(&b, "  %4d  %5d  %5d  %-10v  %4.1f%%\n",
+			ns.Node, ns.Cores, ns.TasksRun, ns.BusyTime.Round(time.Millisecond), ns.Utilisation*100)
+	}
+	stats := r.TaskDurationStats()
+	if len(stats) > 0 {
+		b.WriteString("task durations:\n")
+		b.WriteString("  label            count  min         p50         p95         max\n")
+		for _, ds := range stats {
+			fmt.Fprintf(&b, "  %-15s  %5d  %-10v  %-10v  %-10v  %-10v\n",
+				ds.Label, ds.Count,
+				ds.Min.Round(time.Millisecond), ds.P50.Round(time.Millisecond),
+				ds.P95.Round(time.Millisecond), ds.Max.Round(time.Millisecond))
+		}
+	}
+	return b.String()
+}

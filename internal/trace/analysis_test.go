@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func analysisRecorder() *Recorder {
+	r := NewRecorder()
+	// Node 1: two cores, two "experiment" tasks of 10s and 6s.
+	r.RecordInterval(Interval{Node: 1, Core: 0, Start: 0, End: 10 * time.Second, State: StateRunning, TaskID: 1, Label: "experiment"})
+	r.RecordInterval(Interval{Node: 1, Core: 1, Start: 0, End: 6 * time.Second, State: StateRunning, TaskID: 2, Label: "experiment"})
+	// Node 2: one core, one "plot" task of 2s.
+	r.RecordInterval(Interval{Node: 2, Core: 0, Start: 8 * time.Second, End: 10 * time.Second, State: StateRunning, TaskID: 3, Label: "plot"})
+	return r
+}
+
+func TestPerNodeStats(t *testing.T) {
+	r := analysisRecorder()
+	stats := r.PerNodeStats()
+	if len(stats) != 2 {
+		t.Fatalf("nodes = %d", len(stats))
+	}
+	n1 := stats[0]
+	if n1.Node != 1 || n1.Cores != 2 || n1.TasksRun != 2 {
+		t.Fatalf("node1 stats = %+v", n1)
+	}
+	if n1.BusyTime != 16*time.Second {
+		t.Fatalf("node1 busy = %v", n1.BusyTime)
+	}
+	// Utilisation: 16s busy over 10s × 2 cores = 80%.
+	if n1.Utilisation < 0.79 || n1.Utilisation > 0.81 {
+		t.Fatalf("node1 util = %v", n1.Utilisation)
+	}
+	n2 := stats[1]
+	if n2.TasksRun != 1 || n2.Utilisation < 0.19 || n2.Utilisation > 0.21 {
+		t.Fatalf("node2 stats = %+v", n2)
+	}
+}
+
+func TestTaskDurationStats(t *testing.T) {
+	r := analysisRecorder()
+	stats := r.TaskDurationStats()
+	if len(stats) != 2 {
+		t.Fatalf("labels = %d", len(stats))
+	}
+	exp := stats[0] // "experiment" sorts before "plot"
+	if exp.Label != "experiment" || exp.Count != 2 {
+		t.Fatalf("experiment stats = %+v", exp)
+	}
+	if exp.Min != 6*time.Second || exp.Max != 10*time.Second {
+		t.Fatalf("min/max = %v/%v", exp.Min, exp.Max)
+	}
+	if exp.Mean != 8*time.Second {
+		t.Fatalf("mean = %v", exp.Mean)
+	}
+	plot := stats[1]
+	if plot.Count != 1 || plot.P50 != 2*time.Second {
+		t.Fatalf("plot stats = %+v", plot)
+	}
+}
+
+func TestTaskDurationStatsMultiCoreCountsOnce(t *testing.T) {
+	r := NewRecorder()
+	// One 4-core task recorded on 4 core rows must count as ONE task.
+	for c := 0; c < 4; c++ {
+		r.RecordInterval(Interval{Node: 0, Core: c, Start: 0, End: 5 * time.Second, State: StateRunning, TaskID: 9, Label: "wide"})
+	}
+	stats := r.TaskDurationStats()
+	if len(stats) != 1 || stats[0].Count != 1 {
+		t.Fatalf("multi-core task counted %d times", stats[0].Count)
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	out := RenderSummary(analysisRecorder())
+	for _, want := range []string{"per-node utilisation", "task durations", "experiment", "plot", "80.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	one := []time.Duration{7 * time.Second}
+	if percentile(one, 0.95) != 7*time.Second {
+		t.Fatal("single-sample percentile")
+	}
+}

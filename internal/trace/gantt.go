@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GanttOptions controls ASCII rendering.
+type GanttOptions struct {
+	// Width is the number of time columns (default 80).
+	Width int
+	// MaxRows caps the number of (node, core) rows rendered; rows beyond the
+	// cap are summarised (default: no cap).
+	MaxRows int
+	// ShowEvents overlays '!' markers where task-start events fall on an
+	// otherwise idle cell.
+	ShowEvents bool
+}
+
+// RenderGantt draws the recorder as an ASCII Gantt chart: one row per
+// (node, core), one column per time bucket, task ids rendered base-36 so 27
+// concurrent experiments stay distinguishable. This is the textual analogue
+// of the Paraver views in the paper's Figures 4-6 — the X axis is time and
+// the Y axis is the resource.
+func RenderGantt(r *Recorder, opt GanttOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 80
+	}
+	ivs := r.Intervals()
+	if len(ivs) == 0 {
+		return "(empty trace)\n"
+	}
+	makespan := r.Makespan()
+	if makespan <= 0 {
+		return "(zero-length trace)\n"
+	}
+
+	type key struct{ node, core int }
+	rowsSet := map[key]bool{}
+	for _, iv := range ivs {
+		rowsSet[key{iv.Node, iv.Core}] = true
+	}
+	rows := make([]key, 0, len(rowsSet))
+	for k := range rowsSet {
+		rows = append(rows, k)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].node != rows[j].node {
+			return rows[i].node < rows[j].node
+		}
+		return rows[i].core < rows[j].core
+	})
+	truncated := 0
+	if opt.MaxRows > 0 && len(rows) > opt.MaxRows {
+		truncated = len(rows) - opt.MaxRows
+		rows = rows[:opt.MaxRows]
+	}
+	rowIndex := make(map[key]int, len(rows))
+	for i, k := range rows {
+		rowIndex[k] = i
+	}
+
+	grid := make([][]byte, len(rows))
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", opt.Width))
+	}
+	bucket := func(t time.Duration) int {
+		b := int(int64(t) * int64(opt.Width) / int64(makespan))
+		if b >= opt.Width {
+			b = opt.Width - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	for _, iv := range ivs {
+		ri, ok := rowIndex[key{iv.Node, iv.Core}]
+		if !ok {
+			continue
+		}
+		lo, hi := bucket(iv.Start), bucket(iv.End)
+		ch := stateChar(iv)
+		for c := lo; c <= hi; c++ {
+			grid[ri][c] = ch
+		}
+	}
+	if opt.ShowEvents {
+		for _, ev := range r.Events() {
+			if ev.Type != EventTaskStart {
+				continue
+			}
+			ri, ok := rowIndex[key{ev.Node, ev.Core}]
+			if !ok {
+				continue
+			}
+			c := bucket(ev.At)
+			if grid[ri][c] == '.' {
+				grid[ri][c] = '!'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time →  0 %s %v\n", strings.Repeat(" ", opt.Width-8), makespan.Round(time.Millisecond))
+	for i, k := range rows {
+		fmt.Fprintf(&b, "n%02d.c%02d |%s|\n", k.node, k.core, grid[i])
+		_ = i
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&b, "... (%d more rows)\n", truncated)
+	}
+	st := r.ComputeStats()
+	fmt.Fprintf(&b, "tasks=%d units=%d makespan=%v utilisation=%.1f%%\n",
+		st.TasksRun, st.Units, st.Makespan.Round(time.Millisecond), st.Utilisation*100)
+	return b.String()
+}
+
+func stateChar(iv Interval) byte {
+	switch iv.State {
+	case StateRunning:
+		return taskChar(iv.TaskID)
+	case StateWaiting:
+		return '-'
+	case StateXfer:
+		return '~'
+	default:
+		return '.'
+	}
+}
+
+// taskChar maps a task id to a base-36 digit so neighbouring tasks are
+// visually distinct.
+func taskChar(id int) byte {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	if id < 0 {
+		id = -id
+	}
+	return digits[id%36]
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ReadParaver parses a Paraver .prv stream produced by WriteParaver back
+// into a Recorder, so saved traces can be re-rendered (cmd/traceview). Only
+// the record shapes WriteParaver emits are supported: state (1:) and event
+// (2:) records over a single application.
+func ReadParaver(r io.Reader) (*Recorder, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty Paraver stream")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "#Paraver") {
+		return nil, fmt.Errorf("trace: not a Paraver trace: %q", truncate(header, 40))
+	}
+	// Recover the per-node cpu counts from the header's resource section:
+	// "...:<ftime>_ns:<nNodes>(c1,c2,...):...". Needed to translate global
+	// cpu ids back to (node, core) pairs.
+	coreCounts, err := parseHeaderCores(header)
+	if err != nil {
+		return nil, err
+	}
+	cpuToNodeCore := make(map[int][2]int)
+	cpu := 1
+	for node, count := range coreCounts {
+		for c := 0; c < count; c++ {
+			cpuToNodeCore[cpu] = [2]int{node + 1, c} // node ids are 1-based in our writer's task mapping
+			cpu++
+		}
+	}
+
+	rec := NewRecorder()
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ":")
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 8", line, len(fields))
+		}
+		nums := make([]int64, 8)
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
+			}
+			nums[i] = v
+		}
+		nc, ok := cpuToNodeCore[int(nums[1])]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown cpu %d", line, nums[1])
+		}
+		switch nums[0] {
+		case 1:
+			rec.RecordInterval(Interval{
+				Node: nc[0], Core: nc[1],
+				Start: time.Duration(nums[5]), End: time.Duration(nums[6]),
+				State: StateKind(nums[7]),
+			})
+		case 2:
+			rec.RecordEvent(Event{
+				Node: nc[0], Core: nc[1],
+				At: time.Duration(nums[5]), Type: EventType(nums[6]), Value: nums[7],
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record type %d", line, nums[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func parseHeaderCores(header string) ([]int, error) {
+	// Skip the date group "#Paraver (dd/mm/yy at hh:mm):" — the resource
+	// list is the second parenthesised group.
+	dateEnd := strings.Index(header, ")")
+	if dateEnd < 0 {
+		return nil, fmt.Errorf("trace: malformed header: %q", truncate(header, 60))
+	}
+	rest := header[dateEnd+1:]
+	open := strings.Index(rest, "(")
+	if open < 0 {
+		return nil, fmt.Errorf("trace: malformed header resources: %q", truncate(header, 60))
+	}
+	close := strings.Index(rest[open:], ")")
+	if close < 0 {
+		return nil, fmt.Errorf("trace: malformed header resources: %q", truncate(header, 60))
+	}
+	parts := strings.Split(rest[open+1:open+close], ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad core count %q in header", p)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

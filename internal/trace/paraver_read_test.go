@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParaverRoundTrip(t *testing.T) {
+	orig := sampleRecorder()
+	var buf bytes.Buffer
+	if err := WriteParaver(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadParaver(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Intervals()) != len(orig.Intervals()) {
+		t.Fatalf("intervals: %d vs %d", len(back.Intervals()), len(orig.Intervals()))
+	}
+	if len(back.Events()) != len(orig.Events()) {
+		t.Fatalf("events: %d vs %d", len(back.Events()), len(orig.Events()))
+	}
+	if back.Makespan() != orig.Makespan() {
+		t.Fatalf("makespan: %v vs %v", back.Makespan(), orig.Makespan())
+	}
+	// States survive the trip.
+	xfer := 0
+	for _, iv := range back.Intervals() {
+		if iv.State == StateXfer {
+			xfer++
+		}
+	}
+	if xfer != 1 {
+		t.Fatalf("transfer intervals after round trip = %d", xfer)
+	}
+	// The re-read trace renders.
+	if out := RenderGantt(back, GanttOptions{Width: 30}); !strings.Contains(out, "makespan") {
+		t.Fatalf("re-rendered gantt broken:\n%s", out)
+	}
+}
+
+func TestReadParaverRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a trace\n",
+		"#Paraver missing parens\n",
+		"#Paraver (x):1_ns:1(2):1:1(2:1)\n9:1:1:1:1:0:1:1\n",
+		"#Paraver (x):1_ns:1(2):1:1(2:1)\n1:1:1:1:1:0:1\n",
+		"#Paraver (x):1_ns:1(2):1:1(2:1)\n1:9:1:1:1:0:1:1\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadParaver(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadParaverSkipsComments(t *testing.T) {
+	src := "#Paraver (01/01/19 at 00:00):100_ns:1(2):1:1(2:1)\n" +
+		"# a comment\n" +
+		"\n" +
+		"1:1:1:1:1:0:100:1\n"
+	rec, err := ReadParaver(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := rec.Intervals()
+	if len(ivs) != 1 || ivs[0].End != 100*time.Nanosecond || ivs[0].State != StateRunning {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace implements the tracing substrate the paper relies on for its
+// performance analysis (§5): an Extrae-like in-memory event recorder, a
+// writer for the Paraver .prv/.row trace format, an ASCII Gantt renderer
+// that reproduces the core×time pictures of Figures 4-6, and utilisation
+// statistics.
+//
+// Times are recorded as durations since the start of the run so the recorder
+// works identically under real (wall-clock) and simulated (virtual-clock)
+// execution.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StateKind enumerates what a computing unit is doing during an interval,
+// following Paraver's convention that state 1 is Running.
+type StateKind int
+
+// Paraver-compatible state values.
+const (
+	StateIdle    StateKind = 0
+	StateRunning StateKind = 1
+	StateWaiting StateKind = 3 // task waiting for resources
+	StateXfer    StateKind = 5 // data transfer
+)
+
+// String returns the Paraver state label.
+func (s StateKind) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateRunning:
+		return "Running"
+	case StateWaiting:
+		return "Waiting"
+	case StateXfer:
+		return "Transfer"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// EventType enumerates punctual (flag) events, mirroring the "event flags"
+// visible in the paper's Figure 5 when tasks start.
+type EventType int
+
+// Event types; values chosen to look like Extrae user events.
+const (
+	EventTaskStart  EventType = 60000100
+	EventTaskEnd    EventType = 60000200
+	EventTaskFail   EventType = 60000300
+	EventTaskRetry  EventType = 60000400
+	EventDataIn     EventType = 60000500
+	EventDataOut    EventType = 60000600
+	EventCheckpoint EventType = 60000700
+)
+
+// Interval is a state occupying [Start, End) on one computing unit.
+type Interval struct {
+	Node  int
+	Core  int
+	Start time.Duration
+	End   time.Duration
+	State StateKind
+	// TaskID identifies the task occupying the unit (0 when idle).
+	TaskID int
+	// Label is a human-readable task description shown by the Gantt view.
+	Label string
+}
+
+// Event is a punctual marker on one computing unit.
+type Event struct {
+	Node  int
+	Core  int
+	At    time.Duration
+	Type  EventType
+	Value int64
+}
+
+// Recorder accumulates intervals and events. It is safe for concurrent use:
+// every worker goroutine (or the simulator) records into the same Recorder.
+//
+// A nil *Recorder is valid and records nothing, so tracing can be disabled
+// with zero overhead — the paper's "simple flag" (§5).
+type Recorder struct {
+	mu        sync.Mutex
+	intervals []Interval
+	events    []Event
+	nodes     map[int]int // node id → max core index seen + 1
+	end       time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{nodes: make(map[int]int)}
+}
+
+// Enabled reports whether the recorder is active.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// RecordInterval adds a state interval.
+func (r *Recorder) RecordInterval(iv Interval) {
+	if r == nil {
+		return
+	}
+	if iv.End < iv.Start {
+		panic(fmt.Sprintf("trace: interval ends before it starts: %+v", iv))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.intervals = append(r.intervals, iv)
+	if iv.Core+1 > r.nodes[iv.Node] {
+		r.nodes[iv.Node] = iv.Core + 1
+	}
+	if iv.End > r.end {
+		r.end = iv.End
+	}
+}
+
+// RecordEvent adds a punctual event.
+func (r *Recorder) RecordEvent(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+	if ev.Core+1 > r.nodes[ev.Node] {
+		r.nodes[ev.Node] = ev.Core + 1
+	}
+	if ev.At > r.end {
+		r.end = ev.At
+	}
+}
+
+// Intervals returns a copy of all recorded intervals sorted by start time.
+func (r *Recorder) Intervals() []Interval {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Interval(nil), r.intervals...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Events returns a copy of all recorded events sorted by time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Makespan returns the time of the latest recorded interval end or event.
+func (r *Recorder) Makespan() time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.end
+}
+
+// Nodes returns the node ids seen, sorted, and the number of cores per node.
+func (r *Recorder) Nodes() (ids []int, cores map[int]int) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cores = make(map[int]int, len(r.nodes))
+	for n, c := range r.nodes {
+		ids = append(ids, n)
+		cores[n] = c
+	}
+	sort.Ints(ids)
+	return ids, cores
+}
+
+// Stats summarises resource usage from a recorder.
+type Stats struct {
+	Makespan time.Duration
+	// BusyTime is total Running time summed over all units.
+	BusyTime time.Duration
+	// Units is the number of distinct (node, core) pairs observed.
+	Units int
+	// Utilisation is BusyTime / (Makespan × Units), in [0, 1].
+	Utilisation float64
+	// TasksRun counts Running intervals.
+	TasksRun int
+}
+
+// ComputeStats derives utilisation statistics from the recorded intervals.
+func (r *Recorder) ComputeStats() Stats {
+	ivs := r.Intervals()
+	var s Stats
+	units := map[[2]int]bool{}
+	for _, iv := range ivs {
+		units[[2]int{iv.Node, iv.Core}] = true
+		if iv.State == StateRunning {
+			s.BusyTime += iv.End - iv.Start
+			s.TasksRun++
+		}
+	}
+	s.Units = len(units)
+	s.Makespan = r.Makespan()
+	if s.Units > 0 && s.Makespan > 0 {
+		s.Utilisation = float64(s.BusyTime) / (float64(s.Makespan) * float64(s.Units))
+	}
+	return s
+}

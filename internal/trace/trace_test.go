@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecorder() *Recorder {
+	r := NewRecorder()
+	r.RecordInterval(Interval{Node: 1, Core: 0, Start: 0, End: 10 * time.Second, State: StateRunning, TaskID: 1, Label: "experiment"})
+	r.RecordInterval(Interval{Node: 1, Core: 1, Start: 2 * time.Second, End: 8 * time.Second, State: StateRunning, TaskID: 2, Label: "experiment"})
+	r.RecordInterval(Interval{Node: 2, Core: 0, Start: 1 * time.Second, End: 4 * time.Second, State: StateXfer, TaskID: 3})
+	r.RecordEvent(Event{Node: 1, Core: 0, At: 0, Type: EventTaskStart, Value: 1})
+	r.RecordEvent(Event{Node: 1, Core: 0, At: 10 * time.Second, Type: EventTaskEnd, Value: 1})
+	return r
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder should be disabled")
+	}
+	r.RecordInterval(Interval{}) // must not panic
+	r.RecordEvent(Event{})
+	if r.Makespan() != 0 || r.Intervals() != nil || r.Events() != nil {
+		t.Fatal("nil recorder should return zero values")
+	}
+}
+
+func TestMakespanTracksLatest(t *testing.T) {
+	r := sampleRecorder()
+	if r.Makespan() != 10*time.Second {
+		t.Fatalf("Makespan = %v", r.Makespan())
+	}
+}
+
+func TestNodesAndCores(t *testing.T) {
+	r := sampleRecorder()
+	ids, cores := r.Nodes()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if cores[1] != 2 || cores[2] != 1 {
+		t.Fatalf("cores = %v", cores)
+	}
+}
+
+func TestIntervalsSorted(t *testing.T) {
+	r := NewRecorder()
+	r.RecordInterval(Interval{Node: 0, Core: 0, Start: 5 * time.Second, End: 6 * time.Second, State: StateRunning})
+	r.RecordInterval(Interval{Node: 0, Core: 0, Start: 1 * time.Second, End: 2 * time.Second, State: StateRunning})
+	ivs := r.Intervals()
+	if ivs[0].Start != 1*time.Second {
+		t.Fatal("Intervals not sorted by start")
+	}
+}
+
+func TestBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for End < Start")
+		}
+	}()
+	NewRecorder().RecordInterval(Interval{Start: 2, End: 1})
+}
+
+func TestComputeStats(t *testing.T) {
+	r := sampleRecorder()
+	s := r.ComputeStats()
+	if s.TasksRun != 2 {
+		t.Fatalf("TasksRun = %d", s.TasksRun)
+	}
+	if s.BusyTime != 16*time.Second {
+		t.Fatalf("BusyTime = %v", s.BusyTime)
+	}
+	if s.Units != 3 {
+		t.Fatalf("Units = %d", s.Units)
+	}
+	want := float64(16*time.Second) / (float64(10*time.Second) * 3)
+	if diff := s.Utilisation - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Utilisation = %v, want %v", s.Utilisation, want)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.RecordInterval(Interval{Node: g, Core: i % 4, Start: time.Duration(i), End: time.Duration(i + 1), State: StateRunning, TaskID: i})
+				r.RecordEvent(Event{Node: g, Core: i % 4, At: time.Duration(i), Type: EventTaskStart})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(r.Intervals()) != 800 || len(r.Events()) != 800 {
+		t.Fatalf("lost records: %d intervals, %d events", len(r.Intervals()), len(r.Events()))
+	}
+}
+
+func TestWriteParaverFormat(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := WriteParaver(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver (") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], ":2(2,1):1:2(") {
+		t.Fatalf("header should declare 2 nodes with 2 and 1 cpus: %q", lines[0])
+	}
+	// Body: every line is a state (1:) or event (2:) record with the right
+	// field count.
+	states, events := 0, 0
+	for _, l := range lines[1:] {
+		fields := strings.Split(l, ":")
+		switch fields[0] {
+		case "1":
+			states++
+			if len(fields) != 8 {
+				t.Fatalf("state record has %d fields: %q", len(fields), l)
+			}
+		case "2":
+			events++
+			if len(fields) != 8 {
+				t.Fatalf("event record has %d fields: %q", len(fields), l)
+			}
+		default:
+			t.Fatalf("unknown record type: %q", l)
+		}
+	}
+	if states != 3 || events != 2 {
+		t.Fatalf("states=%d events=%d", states, events)
+	}
+}
+
+func TestWriteParaverTimeOrdered(t *testing.T) {
+	r := NewRecorder()
+	r.RecordInterval(Interval{Node: 0, Core: 0, Start: 9 * time.Second, End: 10 * time.Second, State: StateRunning})
+	r.RecordInterval(Interval{Node: 0, Core: 0, Start: 1 * time.Second, End: 2 * time.Second, State: StateRunning})
+	r.RecordEvent(Event{Node: 0, Core: 0, At: 5 * time.Second, Type: EventTaskStart})
+	var buf bytes.Buffer
+	if err := WriteParaver(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")[1:]
+	var last int64 = -1
+	for _, l := range lines {
+		fields := strings.Split(l, ":")
+		// Time is field 5 for states, field 5 for events too.
+		var ts int64
+		if _, err := fmtSscan(fields[5], &ts); err != nil {
+			t.Fatalf("parsing %q: %v", l, err)
+		}
+		if ts < last {
+			t.Fatalf("records out of order: %v after %v", ts, last)
+		}
+		last = ts
+	}
+}
+
+func TestWriteParaverRow(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := WriteParaverRow(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "LEVEL CPU SIZE 3\n") {
+		t.Fatalf("row header: %q", out)
+	}
+	if !strings.Contains(out, "node1.core1") || !strings.Contains(out, "node2.core0") {
+		t.Fatalf("row labels missing: %q", out)
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	r := sampleRecorder()
+	out := RenderGantt(r, GanttOptions{Width: 40, ShowEvents: true})
+	if !strings.Contains(out, "n01.c00") || !strings.Contains(out, "n02.c00") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "~") {
+		t.Fatalf("transfer state not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "utilisation") {
+		t.Fatalf("stats footer missing:\n%s", out)
+	}
+}
+
+func TestRenderGanttEmpty(t *testing.T) {
+	if out := RenderGantt(NewRecorder(), GanttOptions{}); !strings.Contains(out, "empty") {
+		t.Fatalf("empty trace rendering: %q", out)
+	}
+}
+
+func TestRenderGanttRowCap(t *testing.T) {
+	r := NewRecorder()
+	for n := 0; n < 10; n++ {
+		r.RecordInterval(Interval{Node: n, Core: 0, Start: 0, End: time.Second, State: StateRunning, TaskID: n})
+	}
+	out := RenderGantt(r, GanttOptions{Width: 20, MaxRows: 4})
+	if !strings.Contains(out, "(6 more rows)") {
+		t.Fatalf("row cap not applied:\n%s", out)
+	}
+}
+
+func TestStateKindString(t *testing.T) {
+	if StateRunning.String() != "Running" || StateIdle.String() != "Idle" {
+		t.Fatal("state names wrong")
+	}
+	if StateKind(99).String() == "" {
+		t.Fatal("unknown state should still render")
+	}
+}
+
+// Property: stats busy time equals the sum of Running interval lengths for
+// arbitrary interval sets.
+func TestStatsBusyTimeProperty(t *testing.T) {
+	f := func(lens []uint16) bool {
+		r := NewRecorder()
+		var want time.Duration
+		at := time.Duration(0)
+		for i, l := range lens {
+			d := time.Duration(l) * time.Millisecond
+			r.RecordInterval(Interval{Node: 0, Core: i % 3, Start: at, End: at + d, State: StateRunning, TaskID: i})
+			want += d
+			at += d
+		}
+		return r.ComputeStats().BusyTime == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fmtSscan avoids importing fmt at top level in multiple test helpers.
+func fmtSscan(s string, v *int64) (int, error) {
+	var n int64
+	var err error
+	n, err = parseInt64(s)
+	*v = n
+	return 1, err
+}
+
+func parseInt64(s string) (int64, error) {
+	var n int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, &parseError{s}
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, nil
+}
+
+type parseError struct{ s string }
+
+func (e *parseError) Error() string { return "not a number: " + e.s }
