@@ -13,7 +13,8 @@
 //	hpo -space space.json [-algo grid] [-dataset mnist] [-samples 800]
 //	    [-model mlp] [-cores 1] [-parallel 8] [-workers 0] [-budget 20]
 //	    [-target 0] [-seed 1] [-checkpoint study.json] [-visualise]
-//	    [-trace out.prv] [-graph out.dot] [-policy fifo]
+//	    [-journal hpod.journal -study cli] [-trace out.prv] [-graph out.dot]
+//	    [-policy fifo]
 package main
 
 import (
@@ -23,10 +24,10 @@ import (
 	goruntime "runtime"
 
 	"repro/internal/cluster"
-	"repro/internal/comm"
 	"repro/internal/datasets"
 	"repro/internal/hpo"
 	rt "repro/internal/runtime"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,8 @@ type options struct {
 	target     float64
 	seed       uint64
 	checkpoint string
+	journal    string
+	studyID    string
 	visualise  bool
 	traceOut   string
 	graphOut   string
@@ -66,6 +69,8 @@ func main() {
 	flag.Float64Var(&o.target, "target", 0, "stop the study at this validation accuracy (0 = off)")
 	flag.Uint64Var(&o.seed, "seed", 1, "experiment seed")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "persist/resume finished trials at this JSON path")
+	flag.StringVar(&o.journal, "journal", "", "record trials into this hpod study journal instead of -checkpoint (enables cross-study memoization)")
+	flag.StringVar(&o.studyID, "study", "cli", "study id within the -journal")
 	flag.BoolVar(&o.visualise, "visualise", false, "add visualisation + plot tasks (Figure-3 pipeline)")
 	flag.StringVar(&o.traceOut, "trace", "", "write a Paraver .prv trace here")
 	flag.StringVar(&o.graphOut, "graph", "", "write the task graph DOT here")
@@ -106,9 +111,9 @@ func run(o options) error {
 			return nil, err
 		}
 		if o.cvFolds > 1 {
-			return &hpo.CVObjective{Dataset: ds, Folds: o.cvFolds, Hidden: []int{32}}, nil
+			return &hpo.CVObjective{Dataset: ds, Folds: o.cvFolds, Hidden: hpo.DefaultHidden()}, nil
 		}
-		return &hpo.MLObjective{Dataset: ds, Hidden: []int{32}}, nil
+		return &hpo.MLObjective{Dataset: ds, Hidden: hpo.DefaultHidden()}, nil
 	}
 	objective, err := makeObjective()
 	if err != nil {
@@ -157,6 +162,20 @@ func run(o options) error {
 		Visualise:      o.visualise && o.workers == 0,
 		CheckpointPath: o.checkpoint,
 	}
+	if o.journal != "" {
+		journal, err := store.OpenJournal(o.journal, store.JournalOptions{})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if _, err := journal.GetStudy(o.studyID); err != nil {
+			if err := journal.CreateStudy(store.StudyMeta{ID: o.studyID, Name: o.studyID}); err != nil {
+				return err
+			}
+		}
+		scope := store.MemoScope(o.dataset, o.samples, o.cvFolds, hpo.DefaultHidden(), o.seed, o.target)
+		studyOpts.Recorder = journal.Recorder(o.studyID, scope)
+	}
 	if !o.quiet && o.workers == 0 {
 		studyOpts.OnEpoch = func(trial, epoch int, acc float64) {
 			fmt.Printf("  trial %2d epoch %2d: val_acc %.4f\n", trial, epoch, acc)
@@ -182,8 +201,8 @@ func run(o options) error {
 	fmt.Print(hpo.RenderCurves(res.Trials, 72, 16))
 	fmt.Println()
 	fmt.Print(hpo.RenderTable(res.Trials))
-	fmt.Printf("\nstudy: %d trials (%d resumed), best %.4f, wall %v, runtime completed=%d retried=%d canceled=%d\n",
-		len(res.Trials), res.Resumed, res.BestAccuracy(), res.Duration.Round(1e7),
+	fmt.Printf("\nstudy: %d trials (%d resumed, %d memoized), best %.4f, wall %v, runtime completed=%d retried=%d canceled=%d\n",
+		len(res.Trials), res.Resumed, res.Memoized, res.BestAccuracy(), res.Duration.Round(1e7),
 		stats.Completed, stats.Retried, stats.Canceled)
 	if res.Stopped {
 		fmt.Println("study: stopped early — target accuracy reached")
@@ -233,40 +252,16 @@ func run(o options) error {
 func startDistributed(o options, constraint rt.Constraint,
 	makeObjective func() (hpo.Objective, error), rec *trace.Recorder) (*rt.Runtime, error) {
 
-	hpo.RegisterWireTypes()
 	runtime, err := rt.New(rt.Options{Backend: rt.Remote, Recorder: rec})
 	if err != nil {
 		return nil, err
 	}
-	masterObj, err := makeObjective()
+	err = hpo.ServeWorkers(runtime, makeObjective, constraint, o.seed, o.target,
+		o.workers, o.parallel, func(err error) {
+			fmt.Fprintln(os.Stderr, "hpo: worker exited:", err)
+		})
 	if err != nil {
-		return nil, err
-	}
-	def := hpo.ExperimentTaskDef(masterObj, constraint, o.seed, o.target)
-	if err := runtime.Register(def); err != nil {
-		return nil, err
-	}
-
-	ln, err := comm.Listen("127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < o.workers; i++ {
-		obj, err := makeObjective()
-		if err != nil {
-			return nil, err
-		}
-		w := rt.NewWorker(o.parallel, 0)
-		if err := w.Register(hpo.ExperimentTaskDef(obj, constraint, o.seed, o.target)); err != nil {
-			return nil, err
-		}
-		go func() {
-			if err := w.ConnectAndServe(ln.Addr()); err != nil {
-				fmt.Fprintln(os.Stderr, "hpo: worker exited:", err)
-			}
-		}()
-	}
-	if err := runtime.ListenAndAttach(ln, o.workers); err != nil {
+		runtime.Shutdown()
 		return nil, err
 	}
 	return runtime, nil

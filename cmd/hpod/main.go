@@ -1,0 +1,217 @@
+// Command hpod is the HPO-as-a-service daemon: it exposes the study
+// runtime behind a persistent HTTP control plane. Studies are created via
+// JSON specs, executed asynchronously on the task runtime (local threads or
+// TCP workers), and every finished trial is journaled — killing the daemon
+// mid-study and restarting it resumes exactly where it stopped, with no
+// re-execution of finished trials. Identical trial configs across studies
+// are answered from the journal's memo index instead of retraining.
+//
+// Usage:
+//
+//	hpod -addr :8080 -journal hpod.journal [-backend local] [-parallel 8]
+//	     [-workers 3] [-max-studies 2] [-drain 30s] [-migrate study.json]
+//
+// See the README's "hpod HTTP API" section for the endpoint reference and
+// an example curl session.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	goruntime "runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpo"
+	rt "repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+type options struct {
+	addr       string
+	journal    string
+	backend    string
+	parallel   int
+	workers    int
+	maxStudies int
+	drain      time.Duration
+	migrate    string
+	noResume   bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "HTTP listen address")
+	flag.StringVar(&o.journal, "journal", "hpod.journal", "append-only study journal path")
+	flag.StringVar(&o.backend, "backend", "local", "study execution backend: local | remote")
+	flag.IntVar(&o.parallel, "parallel", goruntime.NumCPU(), "cores of the local node (or per remote worker)")
+	flag.IntVar(&o.workers, "workers", 2, "TCP workers per study for -backend remote")
+	flag.IntVar(&o.maxStudies, "max-studies", 2, "studies executing concurrently")
+	flag.DurationVar(&o.drain, "drain", 30*time.Second, "max wait for running studies on shutdown")
+	flag.StringVar(&o.migrate, "migrate", "", "import a legacy -checkpoint JSON file into the journal, then continue")
+	flag.BoolVar(&o.noResume, "no-resume", false, "do not re-queue studies left running by a previous daemon")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "hpod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	d, err := newDaemon(o)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("hpod: serving on http://%s (journal %s, %s backend, %d concurrent studies)\n",
+		d.Addr(), o.journal, o.backend, o.maxStudies)
+	<-ctx.Done()
+	fmt.Println("hpod: shutting down")
+	return d.Stop()
+}
+
+// daemon owns the store, control plane and HTTP listener; tests drive it
+// in-process to exercise kill/restart behaviour.
+type daemon struct {
+	opts    options
+	journal *store.Journal
+	srv     *server.Server
+	http    *http.Server
+	ln      net.Listener
+	served  chan error
+}
+
+// newDaemon opens the journal (replaying it) and wires the control plane;
+// nothing listens until Start.
+func newDaemon(o options) (*daemon, error) {
+	journal, err := store.OpenJournal(o.journal, store.JournalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if o.migrate != "" {
+		n, err := store.MigrateCheckpoint(journal, "migrated", o.migrate)
+		if err != nil {
+			journal.Close()
+			return nil, err
+		}
+		fmt.Printf("hpod: migrated %d trials from %s\n", n, o.migrate)
+	}
+	srv := server.New(journal, runtimeFactory(o), o.maxStudies)
+	d := &daemon{
+		opts:    o,
+		journal: journal,
+		srv:     srv,
+		http:    &http.Server{Handler: srv.Handler()},
+		served:  make(chan error, 1),
+	}
+	return d, nil
+}
+
+// Start binds the listener, re-queues interrupted studies and serves HTTP
+// in the background.
+func (d *daemon) Start() error {
+	ln, err := net.Listen("tcp", d.opts.addr)
+	if err != nil {
+		d.journal.Close()
+		return err
+	}
+	d.ln = ln
+	if !d.opts.noResume {
+		jobs, err := d.srv.Runner().Resume()
+		if err != nil {
+			d.journal.Close()
+			ln.Close()
+			return fmt.Errorf("resuming journaled studies: %w", err)
+		}
+		if len(jobs) > 0 {
+			fmt.Printf("hpod: resumed %d interrupted stud(y/ies) from the journal\n", len(jobs))
+		}
+	}
+	go func() { d.served <- d.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// Stop shuts down gracefully: stop accepting HTTP, drain running studies up
+// to the configured timeout, then close the journal. Studies abandoned by
+// the drain timeout resume from the journal on the next Start.
+func (d *daemon) Stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = d.http.Shutdown(ctx)
+	if drained := d.srv.Runner().Close(d.opts.drain); !drained {
+		fmt.Fprintln(os.Stderr, "hpod: drain timeout — abandoning running studies (journal will resume them)")
+	}
+	err := d.journal.Close()
+	select {
+	case serr := <-d.served:
+		if serr != nil && serr != http.ErrServerClosed && err == nil {
+			err = serr
+		}
+	default:
+	}
+	return err
+}
+
+// runtimeFactory builds per-study runtimes for the configured backend.
+func runtimeFactory(o options) server.RuntimeFactory {
+	switch o.backend {
+	case "remote":
+		return remoteFactory(o)
+	default:
+		return localFactory(o)
+	}
+}
+
+// localFactory executes trials on goroutines against a single simulated
+// node with -parallel cores.
+func localFactory(o options) server.RuntimeFactory {
+	return func(spec server.StudySpec) (*rt.Runtime, func(), error) {
+		runtime, err := rt.New(rt.Options{
+			Cluster: cluster.Local(o.parallel),
+			Backend: rt.Real,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return runtime, runtime.Shutdown, nil
+	}
+}
+
+// remoteFactory spins up -workers in-process TCP workers per study — the
+// paper's scale-out path behind the service API. Each worker holds its own
+// objective copy, like COMPSs workers reading from the parallel filesystem.
+func remoteFactory(o options) server.RuntimeFactory {
+	return func(spec server.StudySpec) (*rt.Runtime, func(), error) {
+		runtime, err := rt.New(rt.Options{Backend: rt.Remote})
+		if err != nil {
+			return nil, nil, err
+		}
+		// The daemon is long-lived and builds one of these per study
+		// execution, so the bootstrap (and this error path) must release
+		// everything acquired.
+		err = hpo.ServeWorkers(runtime, spec.BuildObjective, rt.Constraint{Cores: spec.Cores},
+			spec.Seed, spec.Target, o.workers, o.parallel, func(err error) {
+				fmt.Fprintln(os.Stderr, "hpod: worker exited:", err)
+			})
+		if err != nil {
+			runtime.Shutdown()
+			return nil, nil, err
+		}
+		return runtime, runtime.Shutdown, nil
+	}
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hpo"
+	"repro/internal/server"
+)
+
+// testOptions builds a daemon config on an ephemeral port over a temp
+// journal.
+func testOptions(journal string) options {
+	return options{
+		addr:       "127.0.0.1:0",
+		journal:    journal,
+		backend:    "local",
+		parallel:   2,
+		workers:    0,
+		maxStudies: 2,
+		drain:      10 * time.Millisecond,
+	}
+}
+
+// slowObjectives injects a per-trial delay so the test can kill the daemon
+// mid-study, and counts actual executions to prove restored trials never
+// re-run.
+func slowObjectives(delay time.Duration, calls *atomic.Int32) func(server.StudySpec) (hpo.Objective, error) {
+	return func(server.StudySpec) (hpo.Objective, error) {
+		return &hpo.FuncObjective{ObjName: "slow", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+			calls.Add(1)
+			time.Sleep(delay)
+			acc := 0.3 + 0.05*float64(ctx.Config.Int("num_epochs", 0)%8)
+			return hpo.TrialMetrics{BestAcc: acc, FinalAcc: acc, Epochs: 1, ValAccHistory: []float64{acc}}, nil
+		}}, nil
+	}
+}
+
+func httpJSON(t *testing.T, method, url, body string) (int, map[string]interface{}) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func trialCount(t *testing.T, base, id string) int {
+	t.Helper()
+	code, out := httpJSON(t, "GET", base+"/v1/studies/"+id+"/trials", "")
+	if code != http.StatusOK {
+		t.Fatalf("trials = HTTP %d", code)
+	}
+	trials, _ := out["trials"].([]interface{})
+	return len(trials)
+}
+
+// TestDaemonKillRestartResume is the service's end-to-end crash story:
+// create a study over HTTP, run it on the local backend, kill the daemon
+// mid-study, restart it over the same journal, and observe the finished
+// trials restored without re-execution while the remainder completes.
+func TestDaemonKillRestartResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "hpod.journal")
+
+	// --- First daemon: start a slow 8-trial study and kill it mid-flight.
+	var calls1 atomic.Int32
+	d1, err := newDaemon(testOptions(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.srv.Runner().Objectives = slowObjectives(150*time.Millisecond, &calls1)
+	if err := d1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d1.Addr()
+
+	// batch_size 2 bounds each Ask/Tell round so finished rounds journal
+	// while later ones still run — the window the kill lands in.
+	spec := `{"name":"crashy","algo":"grid","space":{"num_epochs":[1,2,3,4,5,6,7,8]},` +
+		`"batch_size":2,"start":true}`
+	code, created := httpJSON(t, "POST", base+"/v1/studies", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+
+	deadline := time.Now().Add(20 * time.Second)
+	for trialCount(t, base, id) < 2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	recordedBeforeKill := trialCount(t, base, id)
+	if recordedBeforeKill < 2 || recordedBeforeKill >= 8 {
+		t.Fatalf("kill window missed: %d trials recorded", recordedBeforeKill)
+	}
+	// Stop with a tiny drain: the running study is abandoned exactly like a
+	// crash — its journal handle closes underneath it.
+	if err := d1.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	// --- Second daemon over the same journal: the study resumes.
+	var calls2 atomic.Int32
+	d2, err := newDaemon(testOptions(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.srv.Runner().Objectives = slowObjectives(10*time.Millisecond, &calls2)
+	if err := d2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Stop()
+	base = "http://" + d2.Addr()
+
+	// The interrupted study was re-queued from the journal automatically.
+	var study map[string]interface{}
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, s := httpJSON(t, "GET", base+"/v1/studies/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("get resumed study = %d", code)
+		}
+		if s["state"] == "done" {
+			study = s
+			break
+		}
+		if s["state"] == "failed" {
+			t.Fatalf("resumed study failed: %v", s["error"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if study == nil {
+		t.Fatal("resumed study never finished")
+	}
+
+	if got := int(study["trials"].(float64)); got != 8 {
+		t.Fatalf("final trials = %d, want 8", got)
+	}
+	resumed := int(study["resumed"].(float64))
+	if resumed < recordedBeforeKill {
+		t.Fatalf("resumed = %d, want >= %d restored from the journal", resumed, recordedBeforeKill)
+	}
+	// The restart executed only the remainder: restored trials never re-ran.
+	if executed := int(calls2.Load()); executed != 8-resumed {
+		t.Fatalf("second run executed %d trials, want %d (8 minus %d resumed)",
+			executed, 8-resumed, resumed)
+	}
+	if trialCount(t, base, id) != 8 {
+		t.Fatalf("journal trial count = %d", trialCount(t, base, id))
+	}
+
+	// Healthz reflects the drained service.
+	code, health := httpJSON(t, "GET", base+"/healthz", "")
+	if code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, health)
+	}
+}
+
+// TestDaemonMigrateFlag imports a legacy checkpoint on boot.
+func TestDaemonMigrateFlag(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "study.json")
+	legacy := `{"version":1,"trials":[{"id":0,"config":{"num_epochs":3},"final_acc":0.6,"best_acc":0.6,"final_loss":0.4,"epochs":3,"duration_ns":5}]}`
+	if err := os.WriteFile(ckpt, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := testOptions(filepath.Join(dir, "hpod.journal"))
+	o.migrate = ckpt
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	base := "http://" + d.Addr()
+	if n := trialCount(t, base, "migrated"); n != 1 {
+		t.Fatalf("migrated trials = %d", n)
+	}
+}

@@ -1,9 +1,7 @@
 package hpo
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"repro/internal/store"
 )
 
 // Config is one hyperparameter assignment — the "config" passed to each
@@ -54,25 +52,10 @@ func (c Config) Clone() Config {
 }
 
 // Fingerprint returns a deterministic string identity for the visible
-// (non-underscore) parameters, used for deduplication and display.
-func (c Config) Fingerprint() string {
-	keys := make([]string, 0, len(c))
-	for k := range c {
-		if strings.HasPrefix(k, "_") {
-			continue
-		}
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	for i, k := range keys {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%s=%v", k, c[k])
-	}
-	return b.String()
-}
+// (non-underscore) parameters, used for deduplication, display and result
+// memoization. The canonical implementation lives in the store so studies
+// and persisted trials can never disagree on config identity.
+func (c Config) Fingerprint() string { return store.Fingerprint(c) }
 
 // String renders the config for tables and logs.
 func (c Config) String() string { return "{" + c.Fingerprint() + "}" }

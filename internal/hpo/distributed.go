@@ -7,6 +7,57 @@ import (
 	"repro/internal/runtime"
 )
 
+// ServeWorkers is the shared scale-out bootstrap used by cmd/hpo and
+// cmd/hpod: it registers the distributed experiment task on the Remote
+// master rt, starts n in-process TCP workers (each holding its own
+// objective copy, as COMPSs workers read from the parallel filesystem)
+// and attaches them. On error every resource acquired here is released;
+// the caller still owns rt. onWorkerExit, when non-nil, observes worker
+// serve-loop errors.
+func ServeWorkers(rt *runtime.Runtime, makeObjective func() (Objective, error),
+	constraint runtime.Constraint, seed uint64, target float64,
+	workers, coresPerWorker int, onWorkerExit func(error)) error {
+
+	RegisterWireTypes()
+	masterObj, err := makeObjective()
+	if err != nil {
+		return err
+	}
+	if err := rt.Register(ExperimentTaskDef(masterObj, constraint, seed, target)); err != nil {
+		return err
+	}
+	ln, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < workers; i++ {
+		obj, err := makeObjective()
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		w := runtime.NewWorker(coresPerWorker, 0)
+		if err := w.Register(ExperimentTaskDef(obj, constraint, seed, target)); err != nil {
+			ln.Close()
+			return err
+		}
+		go func() {
+			if err := w.ConnectAndServe(ln.Addr()); err != nil && onWorkerExit != nil {
+				onWorkerExit(err)
+			}
+		}()
+	}
+	if err := rt.ListenAndAttach(ln, workers); err != nil {
+		ln.Close()
+		return err
+	}
+	// All workers are attached over accepted connections; the listener
+	// itself is no longer needed and would otherwise leak one fd per study
+	// execution in the long-lived daemon.
+	ln.Close()
+	return nil
+}
+
 // RegisterWireTypes registers the HPO types that cross gob transports when
 // a study runs on the Remote backend. Call once in both master and worker
 // processes before attaching workers.

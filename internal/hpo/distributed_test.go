@@ -10,6 +10,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/datasets"
 	"repro/internal/runtime"
+	"repro/internal/store"
 )
 
 // startStudyWorkers attaches n in-process workers that execute the
@@ -296,7 +297,7 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 }
 
 func TestCheckpointVersionCheck(t *testing.T) {
-	if _, err := decodeCheckpoint([]byte(`{"version": 99, "trials": []}`)); err == nil {
+	if _, err := store.DecodeCheckpoint([]byte(`{"version": 99, "trials": []}`)); err == nil {
 		t.Fatal("expected version error")
 	}
 }

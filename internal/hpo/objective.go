@@ -44,6 +44,12 @@ type Objective interface {
 	Run(ctx ObjectiveContext) (TrialMetrics, error)
 }
 
+// DefaultHidden returns the default hidden-layer widths used when a caller
+// leaves them unset. Objective construction and memo-scope rendering must
+// use the same value (a scope claiming one architecture while training
+// another would poison cross-study memoization), so both go through here.
+func DefaultHidden() []int { return []int{32} }
+
 // MLObjective trains a neural network on a dataset, playing the role of the
 // paper's TensorFlow training. Hyperparameters read from the config:
 //

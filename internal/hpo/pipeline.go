@@ -2,11 +2,11 @@ package hpo
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 
 	"repro/internal/runtime"
+	"repro/internal/store"
 )
 
 // Task names of the Figure-3 pipeline stages.
@@ -62,26 +62,21 @@ func (s *Study) registerPipeline() error {
 	return nil
 }
 
-// loadCheckpoint reads previously finished trials keyed by config
-// fingerprint; a missing file is an empty checkpoint.
+// loadCheckpoint restores previously finished trials from the study's
+// Recorder, keyed by config fingerprint. Failures and cancellations are
+// dropped so they rerun.
 func (s *Study) loadCheckpoint() (map[string]TrialResult, error) {
 	out := map[string]TrialResult{}
-	if s.opts.CheckpointPath == "" {
+	if s.recorder == nil {
 		return out, nil
 	}
-	raw, err := os.ReadFile(s.opts.CheckpointPath)
-	if os.IsNotExist(err) {
-		return out, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("hpo: reading checkpoint: %w", err)
-	}
-	trials, err := decodeCheckpoint(raw)
+	stored, err := s.recorder.Load()
 	if err != nil {
 		return nil, err
 	}
 	maxID := -1
-	for _, t := range trials {
+	for _, st := range stored {
+		t := FromStoreTrial(st)
 		if t.Err != "" || t.Canceled {
 			continue // rerun failures and cancellations
 		}
@@ -98,21 +93,26 @@ func (s *Study) loadCheckpoint() (map[string]TrialResult, error) {
 	return out, nil
 }
 
-// saveCheckpoint persists all results so far; atomic-rename so a crash mid
-// write never corrupts the previous checkpoint.
-func (s *Study) saveCheckpoint() error {
-	if s.opts.CheckpointPath == "" {
+// recordRound persists one round of finished results through the Recorder.
+// Recorders dedup already-persisted trials, so passing resumed copies is
+// harmless (and keeps file checkpoints complete).
+func (s *Study) recordRound(round []TrialResult) error {
+	if s.recorder == nil {
 		return nil
 	}
-	s.mu.Lock()
-	raw, err := encodeCheckpoint(s.results)
-	s.mu.Unlock()
-	if err != nil {
-		return err
+	return s.recorder.Record(toStoreTrials(round))
+}
+
+// memoLookup consults the recorder's cross-study memo index, when it has
+// one, for a finished result with an identical config fingerprint.
+func (s *Study) memoLookup(fingerprint string) (TrialResult, bool) {
+	m, ok := s.recorder.(store.Memoizer)
+	if !ok {
+		return TrialResult{}, false
 	}
-	tmp := s.opts.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return fmt.Errorf("hpo: writing checkpoint: %w", err)
+	st, hit := m.Lookup(fingerprint)
+	if !hit {
+		return TrialResult{}, false
 	}
-	return os.Rename(tmp, s.opts.CheckpointPath)
+	return FromStoreTrial(st), true
 }

@@ -1,0 +1,45 @@
+package hpo
+
+import (
+	"time"
+
+	"repro/internal/store"
+)
+
+// ToStoreTrial converts a finished trial to its storage form.
+func ToStoreTrial(t TrialResult) store.Trial {
+	return store.Trial{
+		ID:          t.ID,
+		Config:      t.Config,
+		Fingerprint: t.Config.Fingerprint(),
+		FinalAcc:    t.FinalAcc, BestAcc: t.BestAcc, FinalLoss: t.FinalLoss,
+		Epochs: t.Epochs, ValAccHistory: t.ValAccHistory,
+		Stopped: t.Stopped, StopReason: t.StopReason,
+		DurationNS: int64(t.Duration), Err: t.Err, Canceled: t.Canceled,
+	}
+}
+
+// FromStoreTrial converts a stored trial back to a TrialResult.
+func FromStoreTrial(t store.Trial) TrialResult {
+	return TrialResult{
+		ID:     t.ID,
+		Config: Config(store.NormaliseConfig(t.Config)),
+		TrialMetrics: TrialMetrics{
+			FinalAcc: t.FinalAcc, BestAcc: t.BestAcc, FinalLoss: t.FinalLoss,
+			Epochs: t.Epochs, ValAccHistory: t.ValAccHistory,
+			Stopped: t.Stopped, StopReason: t.StopReason,
+		},
+		Duration: time.Duration(t.DurationNS),
+		Err:      t.Err,
+		Canceled: t.Canceled,
+	}
+}
+
+// toStoreTrials maps a round of results for recording.
+func toStoreTrials(trials []TrialResult) []store.Trial {
+	out := make([]store.Trial, 0, len(trials))
+	for _, t := range trials {
+		out = append(out, ToStoreTrial(t))
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/runtime"
+	"repro/internal/store"
 )
 
 // TrialResult is the outcome of one experiment task.
@@ -36,6 +37,9 @@ type StudyResult struct {
 	Plot string
 	// Resumed counts trials restored from the checkpoint instead of run.
 	Resumed int
+	// Memoized counts trials answered from another study's persisted
+	// results via the store's fingerprint index (Hippo-style reuse).
+	Memoized int
 }
 
 // BestAccuracy returns the best accuracy or 0.
@@ -83,20 +87,28 @@ type StudyOptions struct {
 	Visualise bool
 	// CheckpointPath, when non-empty, persists finished trials as JSON
 	// after every round and resumes from it on the next Run — master-side
-	// fault tolerance complementing the runtime's task retries.
+	// fault tolerance complementing the runtime's task retries. Shorthand
+	// for Recorder = store.NewFileRecorder(path); ignored when Recorder is
+	// set.
 	CheckpointPath string
+	// Recorder, when non-nil, persists finished trials after every round
+	// and restores them on the next Run. A journal-backed recorder
+	// (store.Journal.Recorder) additionally memoizes: configs already
+	// solved by any persisted study return their cached result instead of
+	// re-executing.
+	Recorder store.Recorder
 }
 
 // Study orchestrates an HPO run on the task runtime: one task per config,
 // exactly the application structure of the paper's Figure 2.
 type Study struct {
-	opts StudyOptions
+	opts     StudyOptions
+	recorder store.Recorder
 
-	mu       sync.Mutex
-	results  []TrialResult
-	stopped  bool
-	nextID   int
-	reported map[int]bool
+	mu      sync.Mutex
+	results []TrialResult
+	stopped bool
+	nextID  int
 }
 
 // NewStudy validates options and builds a study.
@@ -110,7 +122,11 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 	if opts.Runtime == nil {
 		return nil, errors.New("hpo: study needs a Runtime")
 	}
-	return &Study{opts: opts, reported: make(map[int]bool)}, nil
+	rec := opts.Recorder
+	if rec == nil && opts.CheckpointPath != "" {
+		rec = store.NewFileRecorder(opts.CheckpointPath)
+	}
+	return &Study{opts: opts, recorder: rec}, nil
 }
 
 // taskName is the registered experiment task type.
@@ -143,7 +159,7 @@ func (s *Study) Run() (*StudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	resumed := 0
+	resumed, memoized := 0, 0
 	start := time.Now()
 
 	var visFuts []*runtime.Future
@@ -170,7 +186,8 @@ func (s *Study) Run() (*StudyResult, error) {
 		ids := make([]int, 0, len(configs))
 		pendingCfgs := make([]Config, 0, len(configs))
 		for _, cfg := range configs {
-			if cached, ok := checkpoint[cfg.Fingerprint()]; ok {
+			fp := cfg.Fingerprint()
+			if cached, ok := checkpoint[fp]; ok {
 				roundResults = append(roundResults, cached)
 				resumed++
 				continue
@@ -179,6 +196,15 @@ func (s *Study) Run() (*StudyResult, error) {
 			id := s.nextID
 			s.nextID++
 			s.mu.Unlock()
+			if memo, ok := s.memoLookup(fp); ok {
+				// Another persisted study already evaluated this exact
+				// config: reuse its result under a fresh trial id.
+				memo.ID = id
+				memo.Config = cfg
+				roundResults = append(roundResults, memo)
+				memoized++
+				continue
+			}
 			fut, err := rt.Submit1(taskName, id, cfg)
 			if err != nil {
 				return nil, err
@@ -219,7 +245,7 @@ func (s *Study) Run() (*StudyResult, error) {
 		s.mu.Lock()
 		s.results = append(s.results, roundResults...)
 		s.mu.Unlock()
-		if err := s.saveCheckpoint(); err != nil {
+		if err := s.recordRound(roundResults); err != nil {
 			return nil, err
 		}
 		s.opts.Sampler.Tell(roundResults)
@@ -260,6 +286,7 @@ func (s *Study) Run() (*StudyResult, error) {
 		Duration:  time.Since(start),
 		Plot:      plot,
 		Resumed:   resumed,
+		Memoized:  memoized,
 	}
 	sort.Slice(out.Trials, func(i, j int) bool { return out.Trials[i].ID < out.Trials[j].ID })
 	for i := range out.Trials {

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/hpo"
+	"repro/internal/runtime"
+	"repro/internal/store"
+)
+
+// RuntimeFactory builds a fresh task runtime for one study execution plus a
+// release function invoked after the study finishes. Each study owns its
+// runtime for the run: task registrations (the experiment closure captures
+// the study's objective) must not leak between studies.
+type RuntimeFactory func(spec StudySpec) (*runtime.Runtime, func(), error)
+
+// Runner executes persisted studies asynchronously: a bounded worker pool
+// of jobs, each building a study from its stored spec and running it on a
+// factory-provided runtime, recording trials through the journal.
+type Runner struct {
+	store   *store.Journal
+	pool    *runtime.Pool
+	factory RuntimeFactory
+	// Objectives overrides spec→objective construction (tests inject fast
+	// synthetic objectives here); nil uses StudySpec.BuildObjective.
+	Objectives func(StudySpec) (hpo.Objective, error)
+}
+
+// NewRunner builds a runner executing at most maxConcurrent studies at once.
+func NewRunner(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Runner {
+	return &Runner{store: st, pool: runtime.NewPool(maxConcurrent), factory: factory}
+}
+
+// Start queues a persisted study for execution and returns its job handle.
+// Starting a study that is already queued or running returns the live
+// handle (idempotent); finished studies re-run, resuming every recorded
+// trial from the journal.
+func (r *Runner) Start(id string) (*runtime.Job, error) {
+	if _, err := r.store.GetStudy(id); err != nil {
+		return nil, err
+	}
+	if job, ok := r.pool.Job(id); ok {
+		if st := job.State(); st == runtime.JobQueued || st == runtime.JobRunning {
+			return job, nil
+		}
+	}
+	if err := r.store.SetStudyState(id, store.StateQueued, "", nil); err != nil {
+		return nil, err
+	}
+	return r.pool.Submit(id, func() error { return r.execute(id) })
+}
+
+// Resume re-queues every study the journal recorded as queued or running —
+// the restart path: finished trials replay from the journal, only the
+// remainder executes.
+func (r *Runner) Resume() ([]*runtime.Job, error) {
+	var jobs []*runtime.Job
+	for _, id := range r.store.ActiveStudies() {
+		job, err := r.Start(id)
+		if err != nil {
+			return jobs, err
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// Job exposes a study's execution handle.
+func (r *Runner) Job(id string) (*runtime.Job, bool) { return r.pool.Job(id) }
+
+// Close stops accepting work and waits up to drain for in-flight studies
+// (their journaled trials make abandonment safe; zero waits forever). It
+// reports whether the pool fully drained.
+func (r *Runner) Close(drain time.Duration) bool {
+	r.pool.Close()
+	return r.pool.Drain(drain)
+}
+
+// execute runs one study to completion, transitioning its journal state.
+func (r *Runner) execute(id string) error {
+	meta, err := r.store.GetStudy(id)
+	if err != nil {
+		return err
+	}
+	spec, err := ParseSpec(meta.Spec)
+	if err != nil {
+		return r.fail(id, err)
+	}
+	if err := r.store.SetStudyState(id, store.StateRunning, "", nil); err != nil {
+		return err
+	}
+
+	sampler, err := spec.buildSampler()
+	if err != nil {
+		return r.fail(id, err)
+	}
+	buildObjective := r.Objectives
+	if buildObjective == nil {
+		buildObjective = StudySpec.BuildObjective
+	}
+	objective, err := buildObjective(spec)
+	if err != nil {
+		return r.fail(id, err)
+	}
+	rt, release, err := r.factory(spec)
+	if err != nil {
+		return r.fail(id, err)
+	}
+	defer release()
+
+	var recorder store.Recorder = r.store.Recorder(id, spec.memoScope())
+	if !spec.memoize() {
+		// Strip the Memoizer extension so the study only resumes its own
+		// trials.
+		recorder = struct{ store.Recorder }{recorder}
+	}
+	study, err := hpo.NewStudy(hpo.StudyOptions{
+		Sampler:        sampler,
+		Objective:      objective,
+		Runtime:        rt,
+		Constraint:     runtime.Constraint{Cores: spec.Cores},
+		BatchSize:      spec.BatchSize,
+		TargetAccuracy: spec.Target,
+		Seed:           spec.Seed,
+		Recorder:       recorder,
+	})
+	if err != nil {
+		return r.fail(id, err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		return r.fail(id, err)
+	}
+	sum := &store.Summary{
+		Trials:   len(res.Trials),
+		Resumed:  res.Resumed,
+		Memoized: res.Memoized,
+		BestAcc:  res.BestAccuracy(),
+	}
+	return r.store.SetStudyState(id, store.StateDone, "", sum)
+}
+
+// fail marks the study failed, preserving the original error. A store
+// already closed by shutdown is expected — the study resumes on restart.
+func (r *Runner) fail(id string, cause error) error {
+	if err := r.store.SetStudyState(id, store.StateFailed, cause.Error(), nil); err != nil {
+		return fmt.Errorf("%w (state update: %v)", cause, err)
+	}
+	return cause
+}
+
+// NewStudyID returns a fresh random study identifier.
+func NewStudyID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: reading random id: %v", err))
+	}
+	return "s" + hex.EncodeToString(b[:])
+}

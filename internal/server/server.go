@@ -1,0 +1,269 @@
+// Package server is the hpod HTTP control plane: a net/http API over the
+// persistent study store (internal/store) and the async study runner
+// (bounded worker pool over internal/runtime). Studies are created from
+// JSON specs, executed asynchronously, and observable via polling or a
+// per-study SSE event stream fed by the journal.
+//
+//	POST /v1/studies             create a study (spec body; "start": true to run)
+//	GET  /v1/studies             list studies
+//	GET  /v1/studies/{id}        study metadata + progress
+//	POST /v1/studies/{id}/start  queue the study for (re-)execution
+//	GET  /v1/studies/{id}/trials finished trials
+//	GET  /v1/studies/{id}/events SSE stream of trial/state events (?since=seq)
+//	GET  /healthz                liveness + counters
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/store"
+)
+
+// Server is the hpod control plane. Create with New and mount via Handler.
+type Server struct {
+	store   *store.Journal
+	runner  *Runner
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// New wires a server over a journal and a runtime factory. maxConcurrent
+// bounds simultaneously executing studies.
+func New(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Server {
+	s := &Server{
+		store:   st,
+		runner:  NewRunner(st, factory, maxConcurrent),
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/studies", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/studies", s.handleList)
+	s.mux.HandleFunc("GET /v1/studies/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/studies/{id}/start", s.handleStart)
+	s.mux.HandleFunc("GET /v1/studies/{id}/trials", s.handleTrials)
+	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.handleEvents)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runner exposes the study executor (daemon resume, tests).
+func (s *Server) Runner() *Runner { return s.runner }
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps sentinel errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, store.ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, ErrBadSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, store.ErrClosed), errors.Is(err, runtime.ErrPoolClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// studyView is the API rendering of a study.
+type studyView struct {
+	ID        string           `json:"id"`
+	Name      string           `json:"name,omitempty"`
+	State     store.StudyState `json:"state"`
+	Job       string           `json:"job,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	CreatedAt time.Time        `json:"created_at"`
+	UpdatedAt time.Time        `json:"updated_at"`
+	Trials    int              `json:"trials"`
+	Resumed   int              `json:"resumed,omitempty"`
+	Memoized  int              `json:"memoized,omitempty"`
+	BestAcc   float64          `json:"best_acc,omitempty"`
+	Spec      json.RawMessage  `json:"spec,omitempty"`
+}
+
+// view renders meta, preferring live trial counts over end-of-run summary
+// so pollers watch progress while the study runs.
+func (s *Server) view(meta store.StudyMeta, withSpec bool) studyView {
+	v := studyView{
+		ID: meta.ID, Name: meta.Name, State: meta.State, Error: meta.Error,
+		CreatedAt: meta.CreatedAt, UpdatedAt: meta.UpdatedAt,
+		Trials: meta.Trials, Resumed: meta.Resumed,
+		Memoized: meta.Memoized, BestAcc: meta.BestAcc,
+	}
+	if n := s.store.TrialCount(meta.ID); n > v.Trials {
+		v.Trials = n
+	}
+	if job, ok := s.runner.Job(meta.ID); ok {
+		v.Job = job.State().String()
+	}
+	if withSpec {
+		v.Spec = json.RawMessage(meta.Spec)
+	}
+	return v
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	studies := s.store.ListStudies()
+	active := 0
+	for _, m := range studies {
+		if m.State.Active() {
+			active++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": int(time.Since(s.started).Seconds()),
+		"studies":        len(studies),
+		"active":         active,
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		return
+	}
+	spec, err := ParseSpec(raw)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id := NewStudyID()
+	name := spec.Name
+	if name == "" {
+		name = id
+	}
+	if err := s.store.CreateStudy(store.StudyMeta{ID: id, Name: name, Spec: raw}); err != nil {
+		writeError(w, err)
+		return
+	}
+	if spec.Start {
+		if _, err := s.runner.Start(id); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	meta, err := s.store.GetStudy(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.view(meta, false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	metas := s.store.ListStudies()
+	out := make([]studyView, 0, len(metas))
+	for _, m := range metas {
+		out = append(out, s.view(m, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"studies": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	meta, err := s.store.GetStudy(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(meta, true))
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.runner.Start(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	meta, err := s.store.GetStudy(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.view(meta, false))
+}
+
+func (s *Server) handleTrials(w http.ResponseWriter, r *http.Request) {
+	trials, err := s.store.StudyTrials(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"trials": trials})
+}
+
+// handleEvents streams a study's journal records as Server-Sent Events.
+// Every event carries its journal sequence number as the SSE id, so a
+// dropped client resumes with ?since=<last-id>. The stream ends once the
+// study reaches a terminal state and all its events have been sent.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.store.GetStudy(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	since := uint64(0)
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("server: since must be a sequence number, got %q", q)})
+			return
+		}
+		since = v
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("server: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	for {
+		watch := s.store.Watch()
+		events, tail := s.store.EventsSince(id, since)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		}
+		flusher.Flush()
+		since = tail
+		if meta, err := s.store.GetStudy(id); err != nil ||
+			(meta.State == store.StateDone || meta.State == store.StateFailed) {
+			// Re-check for events raced in between the snapshot and the
+			// state read before closing the stream.
+			if rest, _ := s.store.EventsSince(id, since); len(rest) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-watch:
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/hpo"
+	"repro/internal/store"
+)
+
+// ErrBadSpec reports an invalid study specification (HTTP 400); wrap it
+// with the detail and check with errors.Is.
+var ErrBadSpec = errors.New("server: invalid study spec")
+
+// StudySpec is the JSON body of POST /v1/studies — everything needed to
+// build and run one study. Space uses the paper's Listing-1 config format.
+type StudySpec struct {
+	Name string `json:"name,omitempty"`
+	// Algo is the sampler: grid | random | bayes | tpe | hyperband.
+	Algo  string          `json:"algo"`
+	Space json.RawMessage `json:"space"`
+	// Budget bounds random/model-based samplers (hyperband: max resource).
+	Budget int    `json:"budget,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Dataset and Samples select the objective's training data
+	// (synthetic mnist | cifar10 substitutes).
+	Dataset string `json:"dataset,omitempty"`
+	Samples int    `json:"samples,omitempty"`
+	// CVFolds > 1 evaluates each config with k-fold cross-validation.
+	CVFolds int `json:"cv_folds,omitempty"`
+	// Hidden is the default hidden-layer widths of the model.
+	Hidden []int `json:"hidden,omitempty"`
+	// Cores is the per-trial @constraint.
+	Cores int `json:"cores,omitempty"`
+	// Target stops the study at this validation accuracy (0 = off).
+	Target float64 `json:"target,omitempty"`
+	// BatchSize bounds in-flight configs per Ask/Tell round (0 = all).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Memoize opts out of cross-study result reuse when false is wanted;
+	// defaults to true (identical configs return persisted results).
+	Memoize *bool `json:"memoize,omitempty"`
+	// Start queues the study for execution immediately on creation.
+	Start bool `json:"start,omitempty"`
+}
+
+// ParseSpec decodes and validates a study spec, applying defaults.
+func ParseSpec(raw []byte) (StudySpec, error) {
+	var spec StudySpec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if spec.Algo == "" {
+		spec.Algo = "grid"
+	}
+	if spec.Dataset == "" {
+		spec.Dataset = "mnist"
+	}
+	if spec.Samples <= 0 {
+		spec.Samples = 800
+	}
+	if spec.Budget <= 0 {
+		spec.Budget = 20
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Cores <= 0 {
+		spec.Cores = 1
+	}
+	if len(spec.Space) == 0 {
+		return spec, fmt.Errorf("%w: missing search space", ErrBadSpec)
+	}
+	if _, err := spec.BuildSpace(); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if _, err := spec.buildSampler(); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if _, err := datasets.ByName(spec.Dataset, 8, 1); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return spec, nil
+}
+
+// BuildSpace parses the spec's search space.
+func (s StudySpec) BuildSpace() (*hpo.Space, error) {
+	return hpo.ParseSpaceJSON(s.Space)
+}
+
+// buildSampler constructs a fresh sampler for one run.
+func (s StudySpec) buildSampler() (hpo.Sampler, error) {
+	space, err := s.BuildSpace()
+	if err != nil {
+		return nil, err
+	}
+	return hpo.NewSampler(s.Algo, space, s.Budget, s.Seed)
+}
+
+// BuildObjective constructs the training objective the spec describes.
+func (s StudySpec) BuildObjective() (hpo.Objective, error) {
+	ds, err := datasets.ByName(s.Dataset, s.Samples, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hidden := s.Hidden
+	if len(hidden) == 0 {
+		hidden = hpo.DefaultHidden()
+	}
+	if s.CVFolds > 1 {
+		return &hpo.CVObjective{Dataset: ds, Folds: s.CVFolds, Hidden: hidden}, nil
+	}
+	return &hpo.MLObjective{Dataset: ds, Hidden: hidden}, nil
+}
+
+// memoize reports whether cross-study result reuse is enabled (default on).
+func (s StudySpec) memoize() bool { return s.Memoize == nil || *s.Memoize }
+
+// memoScope identifies everything besides the config that determines a
+// trial's result, so the memo index never reuses results across different
+// objectives. Must stay in sync with BuildObjective's defaults.
+func (s StudySpec) memoScope() string {
+	hidden := s.Hidden
+	if len(hidden) == 0 {
+		hidden = hpo.DefaultHidden()
+	}
+	return store.MemoScope(s.Dataset, s.Samples, s.CVFolds, hidden, s.Seed, s.Target)
+}

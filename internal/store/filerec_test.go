@@ -1,0 +1,122 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "study.json")
+	rec := NewFileRecorder(path)
+	if trials, err := rec.Load(); err != nil || len(trials) != 0 {
+		t.Fatalf("empty load = %v, %v", trials, err)
+	}
+	failed := mkTrial(1, 8, 0)
+	failed.Err = "boom"
+	if err := rec.Record([]Trial{mkTrial(0, 2, 0.5), failed}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh recorder (new process) sees everything, including the failure
+	// so the study can rerun it.
+	rec2 := NewFileRecorder(path)
+	trials, err := rec2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 2 {
+		t.Fatalf("loaded %d trials", len(trials))
+	}
+	if v, ok := trials[0].Config["num_epochs"].(int); !ok || v != 2 {
+		t.Fatalf("config ints lost: %#v", trials[0].Config)
+	}
+	// Re-recording the resumed success is a no-op; the rerun failure result
+	// replaces nothing but appends.
+	if err := rec2.Record([]Trial{trials[0], mkTrial(2, 8, 0.8)}); err != nil {
+		t.Fatal(err)
+	}
+	rec3 := NewFileRecorder(path)
+	trials, _ = rec3.Load()
+	succeeded := 0
+	for _, tr := range trials {
+		if tr.Succeeded() {
+			succeeded++
+		}
+	}
+	if succeeded != 2 {
+		t.Fatalf("after resume round: %d successes in %d trials", succeeded, len(trials))
+	}
+}
+
+func TestCheckpointToJournalMigrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "study.json")
+
+	// Write a legacy checkpoint via the file recorder.
+	orig := []Trial{mkTrial(0, 2, 0.5), mkTrial(1, 4, 0.9)}
+	rec := NewFileRecorder(ckpt)
+	if err := rec.Record(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	j := openTestJournal(t, filepath.Join(dir, "j.journal"))
+	n, err := MigrateCheckpoint(j, "legacy", ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("migrated %d trials, want 2", n)
+	}
+	// Idempotent: a second migration imports nothing new.
+	if n, err = MigrateCheckpoint(j, "legacy", ckpt); err != nil || n != 0 {
+		t.Fatalf("re-migration imported %d (%v)", n, err)
+	}
+
+	got, err := j.StudyTrials("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("journal holds %d trials", len(got))
+	}
+	for i, tr := range got {
+		if tr.ID != orig[i].ID || tr.BestAcc != orig[i].BestAcc ||
+			tr.Fingerprint != Fingerprint(orig[i].Config) {
+			t.Fatalf("trial %d mismatch: %+v vs %+v", i, tr, orig[i])
+		}
+		if v, ok := tr.Config["num_epochs"].(int); !ok || v != orig[i].Epochs {
+			t.Fatalf("trial %d config mangled: %#v", i, tr.Config)
+		}
+	}
+	// Migrated results feed cross-study memoization.
+	if hit, found := j.LookupMemo("", Fingerprint(orig[1].Config)); !found || hit.BestAcc != 0.9 {
+		t.Fatalf("migrated trial not memoized: %+v found=%v", hit, found)
+	}
+	j.Close()
+
+	// Round trip back out: journal trials re-encode to a valid checkpoint.
+	raw, err := EncodeCheckpoint(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Fingerprint != got[1].Fingerprint {
+		t.Fatalf("re-encoded checkpoint mismatch: %+v", back)
+	}
+	_ = os.Remove(ckpt)
+}
+
+func TestFingerprintSkipsInternalKeys(t *testing.T) {
+	a := Fingerprint(map[string]interface{}{"lr": 0.1, "_bracket": 3})
+	b := Fingerprint(map[string]interface{}{"lr": 0.1})
+	if a != b {
+		t.Fatalf("underscore keys must not affect identity: %q vs %q", a, b)
+	}
+	if a != "lr=0.1" {
+		t.Fatalf("fingerprint format changed: %q", a)
+	}
+}

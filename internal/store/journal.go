@@ -1,0 +1,484 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// record is one JSONL journal line. Exactly one of Study / Trial / State
+// payloads is set, per Type.
+type record struct {
+	Seq     uint64     `json:"seq"`
+	Type    string     `json:"type"` // "study" | "state" | "trial"
+	StudyID string     `json:"study_id,omitempty"`
+	Study   *StudyMeta `json:"study,omitempty"`
+	State   StudyState `json:"state,omitempty"`
+	Error   string     `json:"error,omitempty"`
+	Summary *Summary   `json:"summary,omitempty"`
+	Trial   *Trial     `json:"trial,omitempty"`
+	At      time.Time  `json:"at"`
+}
+
+// Event is a journal record surfaced to watchers (the server's per-trial
+// event stream). Seq orders events globally and doubles as the SSE id, so
+// clients can resume a stream with "?since=<seq>".
+type Event struct {
+	Seq     uint64     `json:"seq"`
+	Type    string     `json:"type"`
+	StudyID string     `json:"study_id"`
+	State   StudyState `json:"state,omitempty"`
+	Error   string     `json:"error,omitempty"`
+	Trial   *Trial     `json:"trial,omitempty"`
+}
+
+// JournalOptions tunes Open.
+type JournalOptions struct {
+	// NoSync skips fsync after commits (tests, benchmarks). The journal is
+	// still written append-only and crash recovery still works up to the OS
+	// page cache.
+	NoSync bool
+}
+
+// Journal is the persistent study store: an append-only JSONL write-ahead
+// log plus an in-memory index rebuilt on Open. All methods are safe for
+// concurrent use.
+//
+// Durability uses group commit: every append flushes and fsyncs, but
+// concurrent appenders coalesce onto a single fsync (the first writer
+// through syncs everything buffered so far; the rest observe their
+// sequence number already durable and return without touching the disk).
+type Journal struct {
+	mu     sync.Mutex // guards file writes and the index
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	opts   JournalOptions
+	closed bool
+	seq    uint64
+
+	studies map[string]*StudyMeta
+	order   []string           // study ids in creation order
+	trials  map[string][]Trial // per-study, append order
+	// seenOK tracks successful fingerprints per study (resume dedup).
+	seenOK map[string]map[string]bool
+	// memo maps scope+fingerprint → first successful trial across all
+	// studies (see Trial.Scope).
+	memo map[string]Trial
+	// events is the replayable event log served to watchers; it mirrors the
+	// journal (which already lives in memory via the index) so SSE clients
+	// can resume from any sequence number, including across restarts.
+	events []Event
+	// watchers are closed-and-replaced on every append (broadcast).
+	watch chan struct{}
+
+	// commitMu serialises fsyncs; synced is the highest durable seq.
+	commitMu sync.Mutex
+	synced   uint64
+}
+
+// OpenJournal opens (or creates) the journal at path and replays it into
+// memory. The file is flock'd exclusively — a second process opening the
+// same journal gets ErrLocked rather than silently interleaving writes. A
+// partially written final record — the signature of a crash mid append —
+// is detected and truncated away; corruption before the tail returns
+// ErrCorrupt.
+func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
+	j := &Journal{
+		path:    path,
+		opts:    opts,
+		studies: make(map[string]*StudyMeta),
+		trials:  make(map[string][]Trial),
+		seenOK:  make(map[string]map[string]bool),
+		memo:    make(map[string]Trial),
+		watch:   make(chan struct{}),
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	// Replay (and possibly truncate a torn tail) only after the lock is
+	// held, so recovery never races a live writer. Closing f releases the
+	// flock.
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// replay loads the journal file into the index, truncating a torn tail.
+func (j *Journal) replay() error {
+	raw, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading journal: %w", err)
+	}
+	offset := 0 // byte offset just past the last good record
+	for len(raw) > offset {
+		rest := raw[offset:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			// A record is committed iff newline-terminated. A parseable but
+			// unterminated tail must still be dropped: keeping it while
+			// appending in O_APPEND mode would concatenate the next record
+			// onto the same line and corrupt the journal for good.
+			break
+		}
+		var rec record
+		if err := json.Unmarshal(rest[:nl], &rec); err != nil || rec.Type == "" {
+			// Torn tail: the final line is half-flushed. Anything before it
+			// that fails to parse is real corruption.
+			if offset+nl+1 >= len(raw) {
+				break
+			}
+			return fmt.Errorf("%w: bad record at byte %d of %s", ErrCorrupt, offset, j.path)
+		}
+		j.apply(rec)
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		offset += nl + 1
+	}
+	j.synced = j.seq
+	if offset < len(raw) {
+		if err := os.Truncate(j.path, int64(offset)); err != nil {
+			return fmt.Errorf("store: truncating torn journal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply folds one record into the in-memory index and event log.
+func (j *Journal) apply(rec record) {
+	switch rec.Type {
+	case "study":
+		if rec.Study == nil {
+			return
+		}
+		meta := *rec.Study
+		if meta.State == "" {
+			meta.State = StateCreated
+		}
+		if _, dup := j.studies[meta.ID]; !dup {
+			j.order = append(j.order, meta.ID)
+		}
+		j.studies[meta.ID] = &meta
+		j.events = append(j.events, Event{Seq: rec.Seq, Type: "study", StudyID: meta.ID, State: meta.State})
+	case "state":
+		meta, ok := j.studies[rec.StudyID]
+		if !ok {
+			return
+		}
+		meta.State = rec.State
+		meta.Error = rec.Error
+		meta.UpdatedAt = rec.At
+		if rec.Summary != nil {
+			meta.Trials = rec.Summary.Trials
+			meta.Resumed = rec.Summary.Resumed
+			meta.Memoized = rec.Summary.Memoized
+			meta.BestAcc = rec.Summary.BestAcc
+		}
+		j.events = append(j.events, Event{Seq: rec.Seq, Type: "state", StudyID: rec.StudyID, State: rec.State, Error: rec.Error})
+	case "trial":
+		if rec.Trial == nil {
+			return
+		}
+		t := *rec.Trial
+		t.Config = NormaliseConfig(t.Config)
+		if t.Fingerprint == "" {
+			t.Fingerprint = Fingerprint(t.Config)
+		}
+		j.trials[rec.StudyID] = append(j.trials[rec.StudyID], t)
+		if t.Succeeded() {
+			if j.seenOK[rec.StudyID] == nil {
+				j.seenOK[rec.StudyID] = make(map[string]bool)
+			}
+			j.seenOK[rec.StudyID][t.Fingerprint] = true
+			key := memoKey(t.Scope, t.Fingerprint)
+			if _, hit := j.memo[key]; !hit {
+				j.memo[key] = t
+			}
+		}
+		tc := t
+		j.events = append(j.events, Event{Seq: rec.Seq, Type: "trial", StudyID: rec.StudyID, Trial: &tc})
+	}
+}
+
+// memoKey namespaces the memo index by objective scope.
+func memoKey(scope, fingerprint string) string { return scope + "\x00" + fingerprint }
+
+// append writes one record, updates the index, wakes watchers and group
+// commits. Returns the record's sequence number.
+func (j *Journal) append(rec record) (uint64, error) {
+	return j.appendBatch([]record{rec})
+}
+
+// appendBatch writes several records under one lock hold and one fsync —
+// the round-commit fast path (a study recording a 32-trial round performs
+// one durable write, not 32).
+func (j *Journal) appendBatch(recs []record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, ErrClosed
+	}
+	now := time.Now().UTC()
+	var seq uint64
+	for i := range recs {
+		j.seq++
+		recs[i].Seq = j.seq
+		recs[i].At = now
+		line, err := json.Marshal(recs[i])
+		if err != nil {
+			j.mu.Unlock()
+			return 0, fmt.Errorf("store: encoding record: %w", err)
+		}
+		if _, err := j.w.Write(append(line, '\n')); err != nil {
+			j.mu.Unlock()
+			return 0, fmt.Errorf("store: appending record: %w", err)
+		}
+		j.apply(recs[i])
+		seq = recs[i].Seq
+	}
+	close(j.watch)
+	j.watch = make(chan struct{})
+	j.mu.Unlock()
+	return seq, j.commit(seq)
+}
+
+// commit makes everything up to seq durable. Concurrent callers coalesce:
+// whoever holds commitMu flushes and fsyncs the journal's current tail, so
+// later callers usually find their seq already synced.
+func (j *Journal) commit(seq uint64) error {
+	j.commitMu.Lock()
+	defer j.commitMu.Unlock()
+	if j.synced >= seq {
+		return nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	err := j.w.Flush()
+	tail := j.seq
+	j.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("store: flushing journal: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync journal: %w", err)
+		}
+	}
+	j.synced = tail
+	return nil
+}
+
+// Close flushes, fsyncs and closes the journal. Further operations return
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	err := j.w.Flush()
+	close(j.watch)
+	j.watch = make(chan struct{})
+	j.mu.Unlock()
+	if err == nil && !j.opts.NoSync {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CreateStudy persists a new study. The meta's State defaults to
+// StateCreated and CreatedAt/UpdatedAt to now.
+func (j *Journal) CreateStudy(meta StudyMeta) error {
+	if meta.ID == "" {
+		return fmt.Errorf("store: study needs an id")
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := j.studies[meta.ID]; dup {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrExists, meta.ID)
+	}
+	j.mu.Unlock()
+	if meta.State == "" {
+		meta.State = StateCreated
+	}
+	now := time.Now().UTC()
+	if meta.CreatedAt.IsZero() {
+		meta.CreatedAt = now
+	}
+	meta.UpdatedAt = now
+	_, err := j.append(record{Type: "study", StudyID: meta.ID, Study: &meta})
+	return err
+}
+
+// SetStudyState transitions a study, optionally attaching an error message
+// and end-of-run summary counters.
+func (j *Journal) SetStudyState(id string, state StudyState, errMsg string, sum *Summary) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := j.studies[id]; !ok {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	j.mu.Unlock()
+	_, err := j.append(record{Type: "state", StudyID: id, State: state, Error: errMsg, Summary: sum})
+	return err
+}
+
+// GetStudy returns a study's metadata.
+func (j *Journal) GetStudy(id string) (StudyMeta, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	meta, ok := j.studies[id]
+	if !ok {
+		return StudyMeta{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return *meta, nil
+}
+
+// ListStudies returns all studies in creation order.
+func (j *Journal) ListStudies() []StudyMeta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]StudyMeta, 0, len(j.order))
+	for _, id := range j.order {
+		out = append(out, *j.studies[id])
+	}
+	return out
+}
+
+// ActiveStudies returns ids of studies that were queued or running — the
+// set a restarting daemon re-submits.
+func (j *Journal) ActiveStudies() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []string
+	for _, id := range j.order {
+		if j.studies[id].State.Active() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AppendTrials persists finished trials for a study as one durable batch
+// (single fsync). Trials whose fingerprint already has a successful record
+// in this study are skipped, so resumed rounds do not duplicate journal
+// entries.
+func (j *Journal) AppendTrials(id string, trials []Trial) error {
+	j.mu.Lock()
+	if _, ok := j.studies[id]; !ok && !j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	recs := make([]record, 0, len(trials))
+	batch := make(map[string]bool, len(trials))
+	for _, t := range trials {
+		t.Fingerprint = fingerprintOf(t)
+		if j.seenOK[id][t.Fingerprint] || batch[t.Fingerprint] {
+			continue
+		}
+		if t.Succeeded() {
+			batch[t.Fingerprint] = true
+		}
+		tc := t
+		recs = append(recs, record{Type: "trial", StudyID: id, Trial: &tc})
+	}
+	j.mu.Unlock()
+	_, err := j.appendBatch(recs)
+	return err
+}
+
+// TrialCount returns how many trials a study has recorded, without copying
+// them (progress polling hot path).
+func (j *Journal) TrialCount(id string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.trials[id])
+}
+
+// StudyTrials returns all recorded trials of a study, ordered by trial id.
+func (j *Journal) StudyTrials(id string) ([]Trial, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.studies[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	out := append([]Trial(nil), j.trials[id]...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// LookupMemo returns the first successful trial recorded for a config
+// fingerprint within an objective scope, across all studies. Scopes must
+// match exactly — results from a different dataset, sample count or model
+// never answer a lookup.
+func (j *Journal) LookupMemo(scope, fingerprint string) (Trial, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t, ok := j.memo[memoKey(scope, fingerprint)]
+	return t, ok
+}
+
+// EventsSince returns journal events with sequence numbers greater than
+// since, filtered to one study when id is non-empty, plus the current tail
+// sequence. Study-creation records are included so a watcher sees the full
+// lifecycle.
+func (j *Journal) EventsSince(id string, since uint64) ([]Event, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	// events is sorted by Seq (append order), so skip the prefix at or
+	// below since instead of rescanning the whole log per watcher tick.
+	start := sort.Search(len(j.events), func(i int) bool { return j.events[i].Seq > since })
+	for _, ev := range j.events[start:] {
+		if id != "" && ev.StudyID != id {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out, j.seq
+}
+
+// Watch returns a channel closed on the next journal append (a broadcast
+// tick). Callers re-invoke EventsSince after each tick.
+func (j *Journal) Watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.watch
+}

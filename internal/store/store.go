@@ -1,0 +1,183 @@
+// Package store persists HPO studies and trial results. Its centrepiece is
+// the crash-safe append-only Journal (JSONL write-ahead log with fsync
+// batching and an in-memory index) that backs the hpod control plane; the
+// package also subsumes the legacy single-study checkpoint file format
+// (FileRecorder) so hpo.Study checkpointing goes through one narrow
+// Recorder interface regardless of backing storage.
+//
+// The Journal additionally indexes every successful trial by its config
+// fingerprint, so identical configurations — within a study or across
+// studies — can return a cached result instead of re-executing the
+// training (Hippo-style result memoization).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sentinel errors, checkable via errors.Is.
+var (
+	// ErrNotFound reports a study id the store has never seen.
+	ErrNotFound = errors.New("store: study not found")
+	// ErrExists reports a CreateStudy with an id already in use.
+	ErrExists = errors.New("store: study already exists")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrCorrupt reports an unreadable journal record before the tail.
+	ErrCorrupt = errors.New("store: corrupt journal")
+	// ErrLocked reports a journal already opened by another process.
+	ErrLocked = errors.New("store: journal locked by another process")
+)
+
+// StudyState is the lifecycle of a persisted study.
+type StudyState string
+
+// Study lifecycle states. Created studies wait for an explicit start;
+// queued/running studies are re-submitted after a daemon restart.
+const (
+	StateCreated StudyState = "created"
+	StateQueued  StudyState = "queued"
+	StateRunning StudyState = "running"
+	StateDone    StudyState = "done"
+	StateFailed  StudyState = "failed"
+)
+
+// Active reports whether the state should be resumed after a restart.
+func (s StudyState) Active() bool { return s == StateQueued || s == StateRunning }
+
+// StudyMeta is the persisted description of one study.
+type StudyMeta struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name,omitempty"`
+	Spec      []byte     `json:"spec,omitempty"` // submitted spec, verbatim JSON
+	State     StudyState `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	CreatedAt time.Time  `json:"created_at"`
+	UpdatedAt time.Time  `json:"updated_at"`
+	// Summary fields, filled when a run finishes (and preserved across
+	// restarts for finished studies).
+	Trials   int     `json:"trials,omitempty"`
+	Resumed  int     `json:"resumed,omitempty"`
+	Memoized int     `json:"memoized,omitempty"`
+	BestAcc  float64 `json:"best_acc,omitempty"`
+}
+
+// Summary carries end-of-run counters into SetStudyState.
+type Summary struct {
+	Trials   int
+	Resumed  int
+	Memoized int
+	BestAcc  float64
+}
+
+// Trial is the storage form of one finished trial — the same shape the
+// legacy checkpoint file used, plus the config fingerprint that keys
+// memoization.
+type Trial struct {
+	ID          int                    `json:"id"`
+	Config      map[string]interface{} `json:"config"`
+	Fingerprint string                 `json:"fingerprint,omitempty"`
+	// Scope namespaces the memo index: trials only answer lookups from
+	// studies with an identical scope (the objective identity — dataset,
+	// sample count, model widths, seed… — as opposed to the config, which
+	// the fingerprint covers). Empty scope matches only empty scope.
+	Scope         string    `json:"scope,omitempty"`
+	FinalAcc      float64   `json:"final_acc"`
+	BestAcc       float64   `json:"best_acc"`
+	FinalLoss     float64   `json:"final_loss"`
+	Epochs        int       `json:"epochs"`
+	ValAccHistory []float64 `json:"val_acc_history,omitempty"`
+	Stopped       bool      `json:"stopped,omitempty"`
+	StopReason    string    `json:"stop_reason,omitempty"`
+	DurationNS    int64     `json:"duration_ns"`
+	Err           string    `json:"err,omitempty"`
+	Canceled      bool      `json:"canceled,omitempty"`
+}
+
+// Succeeded reports whether the trial produced a usable result (memoizable
+// and skippable on resume).
+func (t Trial) Succeeded() bool { return t.Err == "" && !t.Canceled }
+
+// Recorder is the narrow persistence interface hpo.Study checkpoints
+// through: Load restores previously finished trials on resume, Record
+// persists a round of finished trials. Implementations must tolerate
+// Record receiving trials already persisted (resumed copies).
+type Recorder interface {
+	Load() ([]Trial, error)
+	Record(trials []Trial) error
+}
+
+// Memoizer is an optional Recorder extension: Lookup returns a previously
+// recorded successful trial for a config fingerprint, possibly from another
+// study (cross-study result reuse).
+type Memoizer interface {
+	Lookup(fingerprint string) (Trial, bool)
+}
+
+// Fingerprint returns the canonical deterministic identity of a config:
+// sorted "k=v" pairs joined by commas, skipping sampler-internal keys
+// (leading underscore). hpo.Config.Fingerprint delegates here so studies
+// and the store can never disagree on config identity.
+func Fingerprint(cfg map[string]interface{}) string {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		if strings.HasPrefix(k, "_") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, cfg[k])
+	}
+	return b.String()
+}
+
+// MemoScope renders the canonical objective-scope string that namespaces
+// journal memoization: the objective identity (dataset, sample count,
+// model widths, base seed, target). The daemon and cmd/hpo both use this
+// formula, so CLI and service studies share cache entries exactly when
+// their objectives match.
+//
+// Deliberately NOT part of the scope: the per-trial seed stream (each
+// trial perturbs the base seed by its trial id, which depends on sampler
+// order). A memo hit therefore returns a result trained under a different
+// split/init than the study would have drawn — memoization treats a
+// config's accuracy as seed-robust, trading exact RNG reproducibility for
+// reuse, as Hippo does. Studies that need bit-exact reproducibility set
+// "memoize": false.
+func MemoScope(dataset string, samples, cvFolds int, hidden []int, seed uint64, target float64) string {
+	return fmt.Sprintf("dataset=%s,samples=%d,cv=%d,hidden=%v,seed=%d,target=%v",
+		dataset, samples, cvFolds, hidden, seed, target)
+}
+
+// NormaliseConfig restores integer types lost by a JSON round trip
+// (20 → 20.0), keeping fingerprints identical across save/load cycles.
+func NormaliseConfig(m map[string]interface{}) map[string]interface{} {
+	cfg := make(map[string]interface{}, len(m))
+	for k, v := range m {
+		if f, ok := v.(float64); ok && f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			cfg[k] = int(f)
+			continue
+		}
+		cfg[k] = v
+	}
+	return cfg
+}
+
+// fingerprintOf fills in a missing fingerprint from the config.
+func fingerprintOf(t Trial) string {
+	if t.Fingerprint != "" {
+		return t.Fingerprint
+	}
+	return Fingerprint(t.Config)
+}
