@@ -12,7 +12,7 @@
 //
 //	hpo -space space.json [-algo grid] [-dataset mnist] [-samples 800]
 //	    [-model mlp] [-cores 1] [-parallel 8] [-workers 0] [-budget 20]
-//	    [-target 0] [-seed 1] [-checkpoint study.json] [-visualise]
+//	    [-target 0] [-seed 1] [-pruner median] [-checkpoint study.json] [-visualise]
 //	    [-journal hpod.journal -study cli] [-trace out.prv] [-graph out.dot]
 //	    [-policy fifo]
 package main
@@ -53,6 +53,7 @@ type options struct {
 	quiet      bool
 	cvFolds    int
 	reportOut  string
+	pruner     string
 }
 
 func main() {
@@ -78,6 +79,7 @@ func main() {
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress per-epoch progress lines")
 	flag.IntVar(&o.cvFolds, "cv", 0, "evaluate with k-fold cross-validation (0 = single split)")
 	flag.StringVar(&o.reportOut, "report", "", "write a Markdown study report here")
+	flag.StringVar(&o.pruner, "pruner", "", "prune losing trials mid-training: none | median | asha")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hpo:", err)
@@ -151,6 +153,10 @@ func run(o options) error {
 		fmt.Printf("hpo: grid size %d\n", space.Size())
 	}
 
+	pruner, err := hpo.NewPruner(o.pruner, 0, 0)
+	if err != nil {
+		return err
+	}
 	studyOpts := hpo.StudyOptions{
 		Space:          space,
 		Sampler:        sampler,
@@ -159,6 +165,7 @@ func run(o options) error {
 		Constraint:     constraint,
 		TargetAccuracy: o.target,
 		Seed:           o.seed,
+		Pruner:         pruner,
 		Visualise:      o.visualise && o.workers == 0,
 		CheckpointPath: o.checkpoint,
 	}
@@ -176,7 +183,9 @@ func run(o options) error {
 		scope := store.MemoScope(o.dataset, o.samples, o.cvFolds, hpo.DefaultHidden(), o.seed, o.target)
 		studyOpts.Recorder = journal.Recorder(o.studyID, scope)
 	}
-	if !o.quiet && o.workers == 0 {
+	if !o.quiet {
+		// Epoch reports stream from remote workers too, so the progress
+		// lines (and pruning) no longer need a local backend.
 		studyOpts.OnEpoch = func(trial, epoch int, acc float64) {
 			fmt.Printf("  trial %2d epoch %2d: val_acc %.4f\n", trial, epoch, acc)
 		}
@@ -201,8 +210,8 @@ func run(o options) error {
 	fmt.Print(hpo.RenderCurves(res.Trials, 72, 16))
 	fmt.Println()
 	fmt.Print(hpo.RenderTable(res.Trials))
-	fmt.Printf("\nstudy: %d trials (%d resumed, %d memoized), best %.4f, wall %v, runtime completed=%d retried=%d canceled=%d\n",
-		len(res.Trials), res.Resumed, res.Memoized, res.BestAccuracy(), res.Duration.Round(1e7),
+	fmt.Printf("\nstudy: %d trials (%d resumed, %d memoized, %d pruned), best %.4f, wall %v, runtime completed=%d retried=%d canceled=%d\n",
+		len(res.Trials), res.Resumed, res.Memoized, res.Pruned, res.BestAccuracy(), res.Duration.Round(1e7),
 		stats.Completed, stats.Retried, stats.Canceled)
 	if res.Stopped {
 		fmt.Println("study: stopped early — target accuracy reached")

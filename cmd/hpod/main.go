@@ -10,6 +10,7 @@
 //
 //	hpod -addr :8080 -journal hpod.journal [-backend local] [-parallel 8]
 //	     [-workers 3] [-max-studies 2] [-drain 30s] [-migrate study.json]
+//	     [-token secret] [-pruner median]
 //
 // See the README's "hpod HTTP API" section for the endpoint reference and
 // an example curl session.
@@ -44,6 +45,8 @@ type options struct {
 	drain      time.Duration
 	migrate    string
 	noResume   bool
+	token      string
+	pruner     string
 }
 
 func main() {
@@ -57,6 +60,8 @@ func main() {
 	flag.DurationVar(&o.drain, "drain", 30*time.Second, "max wait for running studies on shutdown")
 	flag.StringVar(&o.migrate, "migrate", "", "import a legacy -checkpoint JSON file into the journal, then continue")
 	flag.BoolVar(&o.noResume, "no-resume", false, "do not re-queue studies left running by a previous daemon")
+	flag.StringVar(&o.token, "token", "", "bearer token required on every endpoint except /healthz (empty = no auth)")
+	flag.StringVar(&o.pruner, "pruner", "", "default trial pruner for specs that set none: none | median | asha")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -96,6 +101,10 @@ type daemon struct {
 // newDaemon opens the journal (replaying it) and wires the control plane;
 // nothing listens until Start.
 func newDaemon(o options) (*daemon, error) {
+	// A mistyped -pruner must fail the boot, not every future study.
+	if _, err := hpo.NewPruner(o.pruner, 0, 0); err != nil {
+		return nil, err
+	}
 	journal, err := store.OpenJournal(o.journal, store.JournalOptions{})
 	if err != nil {
 		return nil, err
@@ -109,6 +118,8 @@ func newDaemon(o options) (*daemon, error) {
 		fmt.Printf("hpod: migrated %d trials from %s\n", n, o.migrate)
 	}
 	srv := server.New(journal, runtimeFactory(o), o.maxStudies)
+	srv.SetAuthToken(o.token)
+	srv.Runner().DefaultPruner = o.pruner
 	d := &daemon{
 		opts:    o,
 		journal: journal,

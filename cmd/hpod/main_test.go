@@ -171,6 +171,108 @@ func TestDaemonKillRestartResume(t *testing.T) {
 	}
 }
 
+// haltingObjectives injects an objective whose trials run many short
+// epochs and honour Halt, so an HTTP cancel can land mid-trial.
+func haltingObjectives(executed *atomic.Int32) func(server.StudySpec) (hpo.Objective, error) {
+	return func(server.StudySpec) (hpo.Objective, error) {
+		return &hpo.FuncObjective{ObjName: "halting", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+			var m hpo.TrialMetrics
+			for e := 0; e < 100; e++ {
+				if ctx.Halt != nil {
+					if reason := ctx.Halt(); reason != "" {
+						m.Stopped, m.StopReason = true, reason
+						return m, nil
+					}
+				}
+				m.Epochs, m.BestAcc, m.FinalAcc = e+1, 0.5, 0.5
+				executed.Add(1)
+				time.Sleep(5 * time.Millisecond)
+			}
+			return m, nil
+		}}, nil
+	}
+}
+
+// TestDaemonCancelIsTerminalAcrossRestart: POST /cancel stops a running
+// study cleanly (terminal "canceled" in the journal) and a restarted daemon
+// does not re-queue it.
+func TestDaemonCancelIsTerminalAcrossRestart(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "hpod.journal")
+
+	var executed atomic.Int32
+	d1, err := newDaemon(testOptions(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.srv.Runner().Objectives = haltingObjectives(&executed)
+	if err := d1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d1.Addr()
+
+	spec := `{"name":"cancelme","algo":"grid","space":{"num_epochs":[1,2,3,4,5,6]},"start":true}`
+	code, created := httpJSON(t, "POST", base+"/v1/studies", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+
+	deadline := time.Now().Add(20 * time.Second)
+	for executed.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if executed.Load() == 0 {
+		t.Fatal("study never started")
+	}
+	code, view := httpJSON(t, "POST", base+"/v1/studies/"+id+"/cancel", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel = %d %v", code, view)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		code, s := httpJSON(t, "GET", base+"/v1/studies/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("get = %d", code)
+		}
+		if s["state"] == "canceled" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := d1.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	// Restarted daemon over the same journal: the canceled study must stay
+	// terminal — no resume, no new executions.
+	before := executed.Load()
+	d2, err := newDaemon(testOptions(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.srv.Runner().Objectives = haltingObjectives(&executed)
+	if err := d2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Stop()
+	base = "http://" + d2.Addr()
+
+	time.Sleep(150 * time.Millisecond)
+	code, s := httpJSON(t, "GET", base+"/v1/studies/"+id, "")
+	if code != http.StatusOK {
+		t.Fatalf("get after restart = %d", code)
+	}
+	if s["state"] != "canceled" {
+		t.Fatalf("state after restart = %v, want canceled", s["state"])
+	}
+	if s["job"] != nil {
+		t.Fatalf("canceled study has a live job after restart: %v", s["job"])
+	}
+	if after := executed.Load(); after != before {
+		t.Fatalf("restart re-executed a canceled study: %d → %d epochs", before, after)
+	}
+}
+
 // TestDaemonMigrateFlag imports a legacy checkpoint on boot.
 func TestDaemonMigrateFlag(t *testing.T) {
 	dir := t.TempDir()

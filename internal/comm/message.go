@@ -25,6 +25,11 @@ const (
 	MsgCancelTask
 	MsgShutdown
 	MsgDataTransfer
+	// MsgEpochReport streams one intermediate (epoch, value) metric of a
+	// running task from worker to master, so the master can prune losing
+	// trials mid-flight. Appended after the original types so wire values
+	// stay stable across mixed versions.
+	MsgEpochReport
 )
 
 // String names the message type for logs.
@@ -48,6 +53,8 @@ func (m MsgType) String() string {
 		return "Shutdown"
 	case MsgDataTransfer:
 		return "DataTransfer"
+	case MsgEpochReport:
+		return "EpochReport"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(m))
 	}
@@ -76,6 +83,9 @@ type Message struct {
 	Payload []byte
 	// Seq is a heartbeat sequence number.
 	Seq int64
+	// Epoch and Value carry one intermediate metric point for EpochReport.
+	Epoch int
+	Value float64
 }
 
 // RegisterGobTypes registers the concrete argument/result types that cross

@@ -49,8 +49,8 @@ func (b *BayesOpt) Done() bool { return b.drawn >= b.budget }
 // Tell implements Sampler.
 func (b *BayesOpt) Tell(trials []TrialResult) {
 	for _, t := range trials {
-		if t.Err != "" {
-			continue // failed trials carry no signal for the surrogate
+		if !t.Succeeded() {
+			continue // failed/pruned/canceled trials carry no signal for the surrogate
 		}
 		b.xs = append(b.xs, b.space.Encode(t.Config))
 		b.ys = append(b.ys, t.BestAcc)

@@ -83,6 +83,9 @@ func (o *CVObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
 		if ctx.TargetAccuracy > 0 {
 			callbacks = append(callbacks, &nn.TargetAccuracy{Target: ctx.TargetAccuracy})
 		}
+		if ctx.Halt != nil {
+			callbacks = append(callbacks, &haltCallback{halt: ctx.Halt})
+		}
 		h, err := model.Fit(train.X, train.Y, val.X, val.Y, nn.FitConfig{
 			Epochs: epochs, BatchSize: batch, Optimizer: opt,
 			Shuffle: true, RNG: modelRNG, Callbacks: callbacks,

@@ -91,6 +91,8 @@ func RenderTable(trials []TrialResult) string {
 	for i, t := range sorted {
 		status := "ok"
 		switch {
+		case t.Pruned:
+			status = "pruned"
 		case t.Canceled:
 			status = "canceled"
 		case t.Err != "":

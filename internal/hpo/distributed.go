@@ -65,37 +65,67 @@ func RegisterWireTypes() {
 	comm.RegisterGobTypes(Config{}, TrialResult{}, TrialMetrics{})
 }
 
-// ExperimentTaskDef builds the worker-side "experiment" task definition for
-// distributed studies: the same (trialID, config) → TrialResult contract the
-// Study submits, executed against a worker-local objective (each worker
+// ExperimentTaskDef builds the "experiment" task definition used by both
+// local studies and distributed workers: the same (trialID, config) →
+// TrialResult contract, executed against the given objective (each worker
 // holds its own dataset copy, as COMPSs workers read from the PFS).
 //
-// Per-epoch streaming callbacks do not cross the wire; trials still stop
-// themselves at targetAcc, and the master-side Study stops the whole run
-// when a returned result reaches its target.
+// Per-epoch metrics stream back to the master through TaskContext.Report —
+// in-process on the Real backend, over the worker transport on Remote — so
+// the master-side Study can prune losing trials and stop at the target
+// accuracy off-node, not just locally. Cancellation arrives cooperatively
+// through TaskContext.Canceled and stops the training at the next epoch
+// boundary with a partial result.
 func ExperimentTaskDef(obj Objective, constraint runtime.Constraint, seed uint64, targetAcc float64) runtime.TaskDef {
 	return runtime.TaskDef{
 		Name:       taskName,
 		Returns:    1,
 		Constraint: constraint,
 		Fn: func(ctx *runtime.TaskContext, args []interface{}) ([]interface{}, error) {
-			trialID := args[0].(int)
-			cfg := args[1].(Config)
-			t0 := time.Now()
-			metrics, err := obj.Run(ObjectiveContext{
-				Config:         cfg,
-				Parallelism:    ctx.Cores,
-				Seed:           seed + uint64(trialID)*0x9e37,
-				TargetAccuracy: targetAcc,
-			})
-			res := TrialResult{
-				ID: trialID, Config: cfg, TrialMetrics: metrics,
-				Duration: time.Since(t0),
-			}
-			if err != nil {
-				res.Err = err.Error()
-			}
-			return []interface{}{res}, nil
+			return runExperimentBody(obj, seed, targetAcc, ctx, args)
 		},
 	}
+}
+
+// runExperimentBody executes one trial against the objective, wiring the
+// task context's streaming and cancellation into the objective contract.
+// The task never errors at the runtime level for objective failures: a
+// failed experiment is a result, not a scheduling fault (a Python exception
+// in one training would not crash the COMPSs master).
+func runExperimentBody(obj Objective, seed uint64, targetAcc float64,
+	ctx *runtime.TaskContext, args []interface{}) ([]interface{}, error) {
+
+	trialID := args[0].(int)
+	cfg := args[1].(Config)
+	t0 := time.Now()
+
+	octx := ObjectiveContext{
+		Config:         cfg,
+		Parallelism:    ctx.Cores,
+		Seed:           seed + uint64(trialID)*0x9e37,
+		TargetAccuracy: targetAcc,
+	}
+	if report := ctx.Report; report != nil {
+		octx.Report = func(epoch int, acc float64) { report(epoch, acc) }
+	}
+	if done := ctx.Canceled; done != nil {
+		octx.Halt = func() string {
+			select {
+			case <-done:
+				return "canceled by master"
+			default:
+				return ""
+			}
+		}
+	}
+
+	metrics, err := obj.Run(octx)
+	res := TrialResult{
+		ID: trialID, Config: cfg, TrialMetrics: metrics,
+		Duration: time.Since(t0),
+	}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return []interface{}{res}, nil
 }

@@ -150,8 +150,8 @@ func (h *Hyperband) Tell(trials []TrialResult) {
 			continue
 		}
 		acc := t.BestAcc
-		if t.Err != "" {
-			acc = -1 // failed trials lose the rung
+		if !t.Succeeded() {
+			acc = -1 // failed, pruned and canceled trials lose the rung
 		}
 		b.results[id] = acc
 	}

@@ -18,10 +18,16 @@ type ObjectiveContext struct {
 	// Seed makes the trial deterministic.
 	Seed uint64
 	// Report, when non-nil, streams per-epoch validation accuracy to the
-	// study (drives the dashboard and study-level early stopping).
+	// study (drives the dashboard, pruning and study-level early stopping).
 	Report func(epoch int, valAcc float64)
 	// TargetAccuracy stops the trial itself once reached (0 = disabled).
 	TargetAccuracy float64
+	// Halt, when non-nil, is polled at epoch boundaries; a non-empty
+	// return stops the trial early with that reason (master-side pruning
+	// or cancellation). Objectives that ignore Halt still terminate — the
+	// master's cancel stays cooperative — but they waste the epochs a
+	// compliant objective would skip.
+	Halt func() string
 }
 
 // TrialMetrics is what an objective returns.
@@ -135,6 +141,10 @@ func (o *MLObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
 	if ctx.TargetAccuracy > 0 {
 		callbacks = append(callbacks, &nn.TargetAccuracy{Target: ctx.TargetAccuracy})
 	}
+	if ctx.Halt != nil {
+		// Last: the epoch that triggered a prune is still reported above.
+		callbacks = append(callbacks, &haltCallback{halt: ctx.Halt})
+	}
 
 	h, err := model.Fit(train.X, train.Y, val.X, val.Y, nn.FitConfig{
 		Epochs: epochs, BatchSize: batch, Optimizer: opt,
@@ -152,6 +162,18 @@ func (o *MLObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
 		Stopped:       h.Stopped,
 		StopReason:    h.StopReason,
 	}, nil
+}
+
+// haltCallback adapts ObjectiveContext.Halt to the nn callback contract:
+// a non-empty halt reason ends training cleanly at the epoch boundary.
+type haltCallback struct{ halt func() string }
+
+// OnEpochEnd implements nn.Callback.
+func (c *haltCallback) OnEpochEnd(epoch int, h *nn.History) error {
+	if reason := c.halt(); reason != "" {
+		return fmt.Errorf("%s: %w", reason, nn.ErrStopTraining)
+	}
+	return nil
 }
 
 // FuncObjective adapts a plain function, for tests and synthetic benchmark

@@ -77,8 +77,8 @@ func (s *Study) loadCheckpoint() (map[string]TrialResult, error) {
 	maxID := -1
 	for _, st := range stored {
 		t := FromStoreTrial(st)
-		if t.Err != "" || t.Canceled {
-			continue // rerun failures and cancellations
+		if !t.Succeeded() {
+			continue // rerun failures, cancellations and pruned trials
 		}
 		out[t.Config.Fingerprint()] = t
 		if t.ID > maxID {

@@ -1,0 +1,216 @@
+package hpo
+
+import (
+	"testing"
+)
+
+func TestNewPrunerByName(t *testing.T) {
+	if p, err := NewPruner("", 0, 0); err != nil || p != nil {
+		t.Fatalf("empty name = %v, %v; want nil pruner", p, err)
+	}
+	if p, err := NewPruner("none", 0, 0); err != nil || p != nil {
+		t.Fatalf("none = %v, %v; want nil pruner", p, err)
+	}
+	if p, err := NewPruner("median", 0, 0); err != nil || p == nil || p.Name() != "median" {
+		t.Fatalf("median = %v, %v", p, err)
+	}
+	if p, err := NewPruner("asha", 0, 0); err != nil || p == nil || p.Name() != "asha" {
+		t.Fatalf("asha = %v, %v", p, err)
+	}
+	if _, err := NewPruner("bogus", 0, 0); err == nil {
+		t.Fatal("unknown pruner accepted")
+	}
+}
+
+func TestMedianStopPrunesBelowMedian(t *testing.T) {
+	m := NewMedianStop(1, 2)
+	// Epoch 0 is warmup: nobody is pruned regardless of values.
+	for id, v := range []float64{0.9, 0.8, 0.1} {
+		if m.Observe(id, 0, v) {
+			t.Fatalf("trial %d pruned during warmup", id)
+		}
+	}
+	// Epoch 1: the two good trials report first, then the laggard.
+	if m.Observe(0, 1, 0.92) {
+		t.Fatal("trial 0 pruned with no peers at epoch 1")
+	}
+	if m.Observe(1, 1, 0.85) {
+		t.Fatal("trial 1 pruned with one peer (< MinTrials)")
+	}
+	if !m.Observe(2, 1, 0.12) {
+		t.Fatal("losing trial 2 not pruned below the median")
+	}
+	// A trial at the median survives (strictly-below rule).
+	if m.Observe(3, 1, 0.885) {
+		t.Fatal("median-straddling trial pruned")
+	}
+}
+
+func TestMedianStopMedianHelper(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestASHARungRanking(t *testing.T) {
+	a := NewASHA(2, 1) // rungs at 1, 2, 4, 8... epochs
+	// First arrival at rung 0 always survives (keep >= 1).
+	if a.Observe(0, 0, 0.1) {
+		t.Fatal("first arrival pruned")
+	}
+	// A better later arrival survives; the earlier one is now bottom, but
+	// decisions are made per arrival — only the arriving trial is judged.
+	if a.Observe(1, 0, 0.5) {
+		t.Fatal("rank-1 arrival pruned")
+	}
+	// n=3, keep=1: arriving mid-pack ranks 2 → pruned.
+	if !a.Observe(2, 0, 0.3) {
+		t.Fatal("rank-2 arrival not pruned at rung 0")
+	}
+	// Non-rung epochs never prune (resource 3 is not a power-of-2 rung).
+	if a.Observe(1, 2, 0.01) {
+		t.Fatal("non-rung epoch pruned")
+	}
+	// Rung 1 (resource 2): fresh ranking.
+	if a.Observe(1, 1, 0.6) {
+		t.Fatal("first arrival at rung 1 pruned")
+	}
+	if !a.Observe(0, 1, 0.2) {
+		t.Fatal("bottom arrival at rung 1 (n=2, keep=1) not pruned")
+	}
+}
+
+func TestASHARungIndex(t *testing.T) {
+	a := NewASHA(3, 1)
+	want := map[int]int{1: 0, 3: 1, 9: 2, 27: 3}
+	for res, k := range want {
+		if got := a.rungIndex(res); got != k {
+			t.Fatalf("rungIndex(%d) = %d, want %d", res, got, k)
+		}
+	}
+	for _, res := range []int{0, 2, 4, 8, 10} {
+		if got := a.rungIndex(res); got != -1 {
+			t.Fatalf("rungIndex(%d) = %d, want -1", res, got)
+		}
+	}
+}
+
+// TestHyperbandRungMath pins the bracket arithmetic for R=9, eta=3 (Li et
+// al.): three brackets with initial sizes 9, 5, 3; rung populations per
+// budget must come out exactly 9@1, (3+5)@3 and (1+1+3)@9.
+func TestHyperbandRungMath(t *testing.T) {
+	s, _ := ParseSpaceJSON([]byte(`{"x": {"type": "float", "min": 0, "max": 1}}`))
+	h := NewHyperband(s, 9, 3, 7)
+
+	if len(h.brackets) != 3 {
+		t.Fatalf("brackets = %d, want 3 (sMax=2)", len(h.brackets))
+	}
+	wantInit := []int{9, 5, 3}
+	wantBudget := []int{1, 3, 9}
+	for i, b := range h.brackets {
+		if len(b.alive) != wantInit[i] {
+			t.Fatalf("bracket %d starts with %d configs, want %d", i, len(b.alive), wantInit[i])
+		}
+		if b.budget != wantBudget[i] {
+			t.Fatalf("bracket %d first budget = %d, want %d", i, b.budget, wantBudget[i])
+		}
+	}
+
+	id := 0
+	totalByBudget := map[int]int{}
+	rungSizes := []int{}
+	for !h.Done() {
+		cfgs := h.Ask(0)
+		if len(cfgs) == 0 {
+			if h.Done() {
+				break
+			}
+			t.Fatal("hyperband stalled")
+		}
+		rungSizes = append(rungSizes, len(cfgs))
+		var results []TrialResult
+		for _, c := range cfgs {
+			budget := c.Int("num_epochs", -1)
+			totalByBudget[budget] += 1
+			results = append(results, TrialResult{ID: id, Config: c,
+				TrialMetrics: TrialMetrics{BestAcc: c.Float("x", 0)}})
+			id++
+		}
+		h.Tell(results)
+	}
+
+	want := map[int]int{1: 9, 3: 8, 9: 5}
+	for budget, n := range want {
+		if totalByBudget[budget] != n {
+			t.Fatalf("trials at budget %d = %d, want %d (all: %v)", budget, totalByBudget[budget], n, totalByBudget)
+		}
+	}
+	// Promotion counts: bracket 0 runs rungs of 9 → 3 → 1, bracket 1 runs
+	// 5 → 1, bracket 2 runs 3.
+	wantRungs := []int{9, 3, 1, 5, 1, 3}
+	if len(rungSizes) != len(wantRungs) {
+		t.Fatalf("rung count = %d (%v), want %v", len(rungSizes), rungSizes, wantRungs)
+	}
+	for i, n := range wantRungs {
+		if rungSizes[i] != n {
+			t.Fatalf("rung %d size = %d, want %d (%v)", i, rungSizes[i], n, rungSizes)
+		}
+	}
+}
+
+// TestHyperbandPrunedTrialsLoseTheRung: a pruned trial must never be
+// promoted as a success, however good its partial accuracy looked.
+func TestHyperbandPrunedTrialsLoseTheRung(t *testing.T) {
+	s, _ := ParseSpaceJSON([]byte(`{"x": {"type": "float", "min": 0, "max": 1}}`))
+	h := NewHyperband(s, 9, 3, 8)
+	first := h.Ask(0)
+	if len(first) != 9 {
+		t.Fatalf("first rung = %d", len(first))
+	}
+	// The pruned trial reports the best accuracy of the rung; everyone
+	// else completes with mediocre ones.
+	var results []TrialResult
+	prunedID, _ := first[0]["_hb"].(string)
+	for i, c := range first {
+		tr := TrialResult{ID: i, Config: c, TrialMetrics: TrialMetrics{BestAcc: 0.5}}
+		if i == 0 {
+			tr.BestAcc = 0.99
+			tr.Pruned = true
+			tr.PruneReason = "median pruner: losing at epoch 1"
+		}
+		results = append(results, tr)
+	}
+	h.Tell(results)
+	second := h.Ask(0)
+	if len(second) == 0 {
+		t.Fatal("no promotion rung")
+	}
+	for _, c := range second {
+		if id, _ := c["_hb"].(string); id == prunedID {
+			t.Fatal("pruned trial promoted despite losing its rung")
+		}
+	}
+}
+
+// TestSamplersIgnorePrunedTrials: model-based samplers must not feed pruned
+// partial results into their surrogates.
+func TestSamplersIgnorePrunedTrials(t *testing.T) {
+	s, _ := ParseSpaceJSON([]byte(`{"x": {"type": "float", "min": 0, "max": 1}}`))
+	tpe := NewTPE(s, 10, 1)
+	bayes := NewBayesOpt(s, 10, 1)
+	pruned := TrialResult{ID: 0, Config: Config{"x": 0.5}, Pruned: true,
+		TrialMetrics: TrialMetrics{BestAcc: 0.99}}
+	canceled := TrialResult{ID: 1, Config: Config{"x": 0.6}, Canceled: true,
+		TrialMetrics: TrialMetrics{BestAcc: 0.98}}
+	tpe.Tell([]TrialResult{pruned, canceled})
+	bayes.Tell([]TrialResult{pruned, canceled})
+	if len(tpe.xs) != 0 || len(tpe.ys) != 0 {
+		t.Fatalf("TPE absorbed pruned/canceled trials: %d observations", len(tpe.xs))
+	}
+	if len(bayes.xs) != 0 || len(bayes.ys) != 0 {
+		t.Fatalf("BayesOpt absorbed pruned/canceled trials: %d observations", len(bayes.xs))
+	}
+}

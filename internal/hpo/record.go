@@ -16,6 +16,7 @@ func ToStoreTrial(t TrialResult) store.Trial {
 		Epochs: t.Epochs, ValAccHistory: t.ValAccHistory,
 		Stopped: t.Stopped, StopReason: t.StopReason,
 		DurationNS: int64(t.Duration), Err: t.Err, Canceled: t.Canceled,
+		Pruned: t.Pruned, PruneReason: t.PruneReason,
 	}
 }
 
@@ -29,9 +30,11 @@ func FromStoreTrial(t store.Trial) TrialResult {
 			Epochs: t.Epochs, ValAccHistory: t.ValAccHistory,
 			Stopped: t.Stopped, StopReason: t.StopReason,
 		},
-		Duration: time.Duration(t.DurationNS),
-		Err:      t.Err,
-		Canceled: t.Canceled,
+		Duration:    time.Duration(t.DurationNS),
+		Err:         t.Err,
+		Canceled:    t.Canceled,
+		Pruned:      t.Pruned,
+		PruneReason: t.PruneReason,
 	}
 }
 

@@ -20,6 +20,12 @@ func WriteReport(w io.Writer, res *StudyResult) error {
 	if res.Stopped {
 		fmt.Fprintf(&b, "- stopped early: target accuracy reached\n")
 	}
+	if res.Canceled {
+		fmt.Fprintf(&b, "- canceled: %s\n", res.CancelReason)
+	}
+	if res.Pruned > 0 {
+		fmt.Fprintf(&b, "- pruned: %d trials stopped mid-training\n", res.Pruned)
+	}
 	if res.Best != nil {
 		fmt.Fprintf(&b, "- best: **%.4f** with `%s` (trial %d, %d epochs)\n",
 			res.Best.BestAcc, res.Best.Config.Fingerprint(), res.Best.ID, res.Best.Epochs)

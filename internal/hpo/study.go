@@ -3,6 +3,7 @@ package hpo
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -11,7 +12,9 @@ import (
 	"repro/internal/store"
 )
 
-// TrialResult is the outcome of one experiment task.
+// TrialResult is the terminal rendering of one trial — what samplers are
+// told and what persistence stores. Live trials are represented by Trial
+// handles; a TrialResult only exists once the trial is terminal.
 type TrialResult struct {
 	ID     int
 	Config Config
@@ -20,9 +23,20 @@ type TrialResult struct {
 	// Err is the failure text ("" on success); kept as a string so results
 	// cross gob transports.
 	Err string
-	// Canceled marks trials dropped by study-level early stopping.
+	// Canceled marks trials dropped by study-level early stopping or an
+	// operator cancellation.
 	Canceled bool
+	// Pruned marks trials stopped mid-training by the study's pruner; their
+	// metrics cover only the epochs run before losing. Pruned trials never
+	// count as successes.
+	Pruned      bool
+	PruneReason string
 }
+
+// Succeeded reports whether the trial ran to completion with a usable
+// result. Pruned and canceled trials are not successes: they must never
+// win a study or seed a sampler's model as if they had finished.
+func (t TrialResult) Succeeded() bool { return t.Err == "" && !t.Canceled && !t.Pruned }
 
 // StudyResult aggregates a finished study.
 type StudyResult struct {
@@ -31,8 +45,12 @@ type StudyResult struct {
 	// Best is the successful trial with the highest BestAcc.
 	Best *TrialResult
 	// Stopped reports study-level early stopping (target accuracy reached).
-	Stopped  bool
-	Duration time.Duration
+	Stopped bool
+	// Canceled reports the study was stopped by Stop (operator
+	// cancellation); CancelReason carries the reason given.
+	Canceled     bool
+	CancelReason string
+	Duration     time.Duration
 	// Plot holds the final plot task's output when Visualise was set.
 	Plot string
 	// Resumed counts trials restored from the checkpoint instead of run.
@@ -40,6 +58,8 @@ type StudyResult struct {
 	// Memoized counts trials answered from another study's persisted
 	// results via the store's fingerprint index (Hippo-style reuse).
 	Memoized int
+	// Pruned counts trials stopped mid-training by the pruner.
+	Pruned int
 }
 
 // BestAccuracy returns the best accuracy or 0.
@@ -77,9 +97,15 @@ type StudyOptions struct {
 	// Seed drives per-trial seeds.
 	Seed uint64
 	// OnEpoch, when non-nil, observes streamed per-epoch accuracy from all
-	// trials (trialID, epoch, accuracy). Local backends only — epoch
-	// streams do not cross Remote transports.
+	// trials (trialID, epoch, accuracy). Guaranteed on every backend that
+	// can stream reports — Real in-process and Remote over the worker
+	// transport; NewStudy rejects the combination with a backend that
+	// cannot (Sim) instead of silently dropping epochs.
 	OnEpoch func(trial, epoch int, acc float64)
+	// Pruner, when non-nil, consumes the same intermediate epoch stream
+	// and cancels losing trials mid-training (MedianStop, ASHA). Requires
+	// a streaming backend, like OnEpoch.
+	Pruner Pruner
 	// Visualise, when true, rebuilds the paper's Figure-3 application
 	// shape for real: each experiment feeds a visualisation task and a
 	// final plot task aggregates them; the plot output lands in
@@ -93,22 +119,34 @@ type StudyOptions struct {
 	CheckpointPath string
 	// Recorder, when non-nil, persists finished trials after every round
 	// and restores them on the next Run. A journal-backed recorder
-	// (store.Journal.Recorder) additionally memoizes: configs already
+	// (store.Journal.Recorder) additionally memoizes (configs already
 	// solved by any persisted study return their cached result instead of
-	// re-executing.
+	// re-executing) and journals intermediate epoch metrics and prune
+	// decisions as they stream in.
 	Recorder store.Recorder
 }
 
 // Study orchestrates an HPO run on the task runtime: one task per config,
-// exactly the application structure of the paper's Figure 2.
+// exactly the application structure of the paper's Figure 2. Each in-flight
+// configuration is a Trial handle moving through the lifecycle
+// running → reported/pruned/failed/canceled; intermediate epoch metrics
+// stream from the executing backend (local or remote) into the study's
+// report handler, which feeds OnEpoch observers, the journal's metric
+// events, target-accuracy early stopping and the pruner.
 type Study struct {
 	opts     StudyOptions
 	recorder store.Recorder
+	// telemetry is the recorder's optional metric/prune sink.
+	telemetry store.MetricRecorder
 
-	mu      sync.Mutex
-	results []TrialResult
-	stopped bool
-	nextID  int
+	mu           sync.Mutex
+	trials       []*Trial
+	byTask       map[int]*Trial // runtime task id → live trial
+	results      []TrialResult
+	stopped      bool
+	canceled     bool
+	cancelReason string
+	nextID       int
 }
 
 // NewStudy validates options and builds a study.
@@ -122,29 +160,41 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 	if opts.Runtime == nil {
 		return nil, errors.New("hpo: study needs a Runtime")
 	}
+	if (opts.OnEpoch != nil || opts.Pruner != nil) && !opts.Runtime.CanStreamReports() {
+		return nil, errors.New("hpo: OnEpoch/Pruner need a backend that streams epoch reports (Real or Remote, not Sim)")
+	}
 	rec := opts.Recorder
 	if rec == nil && opts.CheckpointPath != "" {
 		rec = store.NewFileRecorder(opts.CheckpointPath)
 	}
-	return &Study{opts: opts, recorder: rec}, nil
+	s := &Study{opts: opts, recorder: rec, byTask: make(map[int]*Trial)}
+	if mr, ok := rec.(store.MetricRecorder); ok {
+		s.telemetry = mr
+	}
+	return s, nil
 }
 
 // taskName is the registered experiment task type.
 const taskName = "experiment"
 
-// Run executes the study to completion (or early stop) and returns the
-// aggregated result.
+// Trials returns the study's trial handles in creation order (live view;
+// states advance as the study runs).
+func (s *Study) Trials() []*Trial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Trial(nil), s.trials...)
+}
+
+// Run executes the study to completion (or early stop/cancellation) and
+// returns the aggregated result.
 func (s *Study) Run() (*StudyResult, error) {
 	rt := s.opts.Runtime
 	// In distributed deployments the master pre-registers the experiment
-	// task via ExperimentTaskDef; otherwise register the local wrapper.
+	// task via ExperimentTaskDef; otherwise register the local equivalent —
+	// the identical task body, so local and remote trials stream and halt
+	// the same way.
 	if !rt.Registered(taskName) {
-		def := runtime.TaskDef{
-			Name:       taskName,
-			Returns:    1,
-			Constraint: s.opts.Constraint,
-			Fn:         s.experimentTask,
-		}
+		def := ExperimentTaskDef(s.opts.Objective, s.opts.Constraint, s.opts.Seed, s.opts.TargetAccuracy)
 		if err := rt.Register(def); err != nil {
 			return nil, err
 		}
@@ -154,6 +204,8 @@ func (s *Study) Run() (*StudyResult, error) {
 			return nil, err
 		}
 	}
+	rt.SetTaskReportHandler(s.onTaskReport)
+	defer rt.SetTaskReportHandler(nil)
 
 	checkpoint, err := s.loadCheckpoint()
 	if err != nil {
@@ -166,9 +218,9 @@ func (s *Study) Run() (*StudyResult, error) {
 	batch := s.opts.BatchSize
 	for {
 		s.mu.Lock()
-		stopped := s.stopped
+		halted := s.stopped || s.canceled
 		s.mu.Unlock()
-		if stopped {
+		if halted {
 			break
 		}
 		configs := s.opts.Sampler.Ask(batch)
@@ -183,11 +235,11 @@ func (s *Study) Run() (*StudyResult, error) {
 
 		roundResults := make([]TrialResult, 0, len(configs))
 		futs := make([]*runtime.Future, 0, len(configs))
-		ids := make([]int, 0, len(configs))
-		pendingCfgs := make([]Config, 0, len(configs))
+		roundTrials := make([]*Trial, 0, len(configs))
 		for _, cfg := range configs {
 			fp := cfg.Fingerprint()
 			if cached, ok := checkpoint[fp]; ok {
+				s.adoptFinished(cached)
 				roundResults = append(roundResults, cached)
 				resumed++
 				continue
@@ -201,17 +253,27 @@ func (s *Study) Run() (*StudyResult, error) {
 				// config: reuse its result under a fresh trial id.
 				memo.ID = id
 				memo.Config = cfg
+				s.adoptFinished(memo)
 				roundResults = append(roundResults, memo)
 				memoized++
 				continue
 			}
+			trial := newTrial(id, cfg)
+			// Submit under s.mu: the task may stream its first report the
+			// instant it launches, and onTaskReport must already find the
+			// byTask mapping (it blocks on s.mu until we finish here).
+			s.mu.Lock()
 			fut, err := rt.Submit1(taskName, id, cfg)
 			if err != nil {
+				s.mu.Unlock()
 				return nil, err
 			}
+			trial.markRunning(fut.TaskID())
+			s.trials = append(s.trials, trial)
+			s.byTask[fut.TaskID()] = trial
+			s.mu.Unlock()
 			futs = append(futs, fut)
-			ids = append(ids, id)
-			pendingCfgs = append(pendingCfgs, cfg)
+			roundTrials = append(roundTrials, trial)
 			if s.opts.Visualise {
 				vf, err := rt.Submit1(visTaskName, fut)
 				if err != nil {
@@ -223,22 +285,35 @@ func (s *Study) Run() (*StudyResult, error) {
 
 		vals, _ := rt.WaitOn(futs...) // per-trial errors live in the results
 		for i, v := range vals {
+			trial := roundTrials[i]
 			var res TrialResult
 			if tr, ok := v.(TrialResult); ok {
 				res = tr
 			} else {
-				// Task failed or was canceled: synthesise a result.
-				res = TrialResult{ID: ids[i], Config: pendingCfgs[i]}
+				// Task failed or was canceled before producing a result:
+				// synthesise one.
+				res = TrialResult{ID: trial.ID, Config: trial.Config}
 				s.mu.Lock()
-				stopped := s.stopped
+				stopped, canceled, reason := s.stopped, s.canceled, s.cancelReason
 				s.mu.Unlock()
-				if stopped {
+				switch {
+				case canceled:
+					res.Canceled = true
+					res.Err = "canceled: " + reason
+				case stopped:
 					res.Canceled = true
 					res.Err = "canceled: study target reached"
-				} else {
+				default:
 					res.Err = "task failed"
 				}
 			}
+			trial.finalize(&res)
+			if s.opts.Pruner != nil {
+				s.opts.Pruner.Complete(trial.ID)
+			}
+			s.mu.Lock()
+			delete(s.byTask, trial.TaskID())
+			s.mu.Unlock()
 			roundResults = append(roundResults, res)
 		}
 
@@ -250,11 +325,11 @@ func (s *Study) Run() (*StudyResult, error) {
 		}
 		s.opts.Sampler.Tell(roundResults)
 
-		// Remote backends cannot stream epochs, so also honour the target
-		// on completed results.
+		// Streaming already stops the study mid-epoch; also honour the
+		// target on completed results so resumed/memoized rounds count.
 		if s.opts.TargetAccuracy > 0 {
 			for _, res := range roundResults {
-				if res.Err == "" && res.BestAcc >= s.opts.TargetAccuracy {
+				if res.Succeeded() && res.BestAcc >= s.opts.TargetAccuracy {
 					s.triggerStop()
 					break
 				}
@@ -280,59 +355,80 @@ func (s *Study) Run() (*StudyResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := &StudyResult{
-		Algorithm: s.opts.Sampler.Name(),
-		Trials:    append([]TrialResult(nil), s.results...),
-		Stopped:   s.stopped,
-		Duration:  time.Since(start),
-		Plot:      plot,
-		Resumed:   resumed,
-		Memoized:  memoized,
+		Algorithm:    s.opts.Sampler.Name(),
+		Trials:       append([]TrialResult(nil), s.results...),
+		Stopped:      s.stopped,
+		Canceled:     s.canceled,
+		CancelReason: s.cancelReason,
+		Duration:     time.Since(start),
+		Plot:         plot,
+		Resumed:      resumed,
+		Memoized:     memoized,
 	}
 	sort.Slice(out.Trials, func(i, j int) bool { return out.Trials[i].ID < out.Trials[j].ID })
 	for i := range out.Trials {
 		t := &out.Trials[i]
-		if t.Err == "" && (out.Best == nil || t.BestAcc > out.Best.BestAcc) {
+		if t.Pruned {
+			out.Pruned++
+		}
+		if t.Succeeded() && (out.Best == nil || t.BestAcc > out.Best.BestAcc) {
 			out.Best = t
 		}
 	}
 	return out, nil
 }
 
-// experimentTask is the runtime task body wrapping the objective — the
-// analogue of the paper's decorated experiment() function.
-func (s *Study) experimentTask(ctx *runtime.TaskContext, args []interface{}) ([]interface{}, error) {
-	trialID := args[0].(int)
-	cfg := args[1].(Config)
-	t0 := time.Now()
+// adoptFinished registers a handle for a trial that never ran (checkpoint
+// resume or memo hit) so the lifecycle view stays complete.
+func (s *Study) adoptFinished(res TrialResult) {
+	trial := newTrial(res.ID, res.Config)
+	trial.finalize(&res)
+	s.mu.Lock()
+	s.trials = append(s.trials, trial)
+	s.mu.Unlock()
+}
 
-	metrics, err := s.opts.Objective.Run(ObjectiveContext{
-		Config:         cfg,
-		Parallelism:    ctx.Cores,
-		Seed:           s.opts.Seed + uint64(trialID)*0x9e37,
-		TargetAccuracy: s.opts.TargetAccuracy,
-		Report: func(epoch int, acc float64) {
-			if s.opts.OnEpoch != nil {
-				s.opts.OnEpoch(trialID, epoch, acc)
-			}
-			if s.opts.TargetAccuracy > 0 && acc >= s.opts.TargetAccuracy {
-				s.triggerStop()
-			}
-		},
-	})
-	res := TrialResult{
-		ID: trialID, Config: cfg, TrialMetrics: metrics,
-		Duration: time.Since(t0),
+// onTaskReport is the study's central intermediate-metric sink: every
+// running trial's per-epoch accuracy lands here, whether the task executes
+// in-process or streams over a worker transport. It feeds (in order) the
+// trial's report history, the OnEpoch observer, the journal's metric
+// events, target-accuracy early stopping and the pruner.
+func (s *Study) onTaskReport(taskID, epoch int, value float64) {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return // a diverged epoch carries no signal for observers or pruners
 	}
-	if err != nil {
-		res.Err = err.Error()
+	s.mu.Lock()
+	trial := s.byTask[taskID]
+	s.mu.Unlock()
+	if trial == nil {
+		return
 	}
-	// The task never errors at the runtime level for objective failures:
-	// a failed experiment is a result, not a scheduling fault (a Python
-	// exception in one training would not crash the COMPSs master).
-	return []interface{}{res}, nil
+	if !trial.observe(epoch, value) {
+		return // trial already terminal (late report after prune/cancel)
+	}
+	if s.opts.OnEpoch != nil {
+		s.opts.OnEpoch(trial.ID, epoch, value)
+	}
+	if s.telemetry != nil {
+		_ = s.telemetry.RecordMetric(trial.ID, epoch, value)
+	}
+	if s.opts.TargetAccuracy > 0 && value >= s.opts.TargetAccuracy {
+		s.triggerStop()
+		return
+	}
+	if s.opts.Pruner != nil && s.opts.Pruner.Observe(trial.ID, epoch, value) {
+		reason := fmt.Sprintf("%s pruner: losing at epoch %d (value %.4f)", s.opts.Pruner.Name(), epoch, value)
+		if trial.requestPrune(reason) {
+			if s.telemetry != nil {
+				_ = s.telemetry.RecordPrune(trial.ID, epoch, reason)
+			}
+			s.opts.Runtime.CancelTask(taskID)
+		}
+	}
 }
 
 // triggerStop cancels all pending work once (study-level early stop).
+// Running trials stop themselves via their TargetAccuracy callback.
 func (s *Study) triggerStop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -341,5 +437,30 @@ func (s *Study) triggerStop() {
 	}
 	s.stopped = true
 	s.mu.Unlock()
+	s.opts.Runtime.CancelPending()
+}
+
+// Stop cancels the study from outside (the control plane's POST /cancel):
+// pending work is dropped, running trials receive cooperative per-task
+// cancellation (local and remote) and are marked canceled, and the run
+// loop exits after the in-flight round drains. Idempotent.
+func (s *Study) Stop(reason string) {
+	s.mu.Lock()
+	if s.canceled {
+		s.mu.Unlock()
+		return
+	}
+	s.canceled = true
+	s.cancelReason = reason
+	live := make([]*Trial, 0, len(s.byTask))
+	for _, t := range s.byTask {
+		live = append(live, t)
+	}
+	s.mu.Unlock()
+	for _, t := range live {
+		if t.requestCancel(reason) {
+			s.opts.Runtime.CancelTask(t.TaskID())
+		}
+	}
 	s.opts.Runtime.CancelPending()
 }

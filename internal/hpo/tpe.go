@@ -48,8 +48,8 @@ func (t *TPE) Done() bool { return t.drawn >= t.budget }
 // Tell implements Sampler.
 func (t *TPE) Tell(trials []TrialResult) {
 	for _, tr := range trials {
-		if tr.Err != "" {
-			continue
+		if !tr.Succeeded() {
+			continue // failed/pruned/canceled trials carry no full-budget signal
 		}
 		t.xs = append(t.xs, t.space.Encode(tr.Config))
 		t.ys = append(t.ys, tr.BestAcc)

@@ -76,6 +76,9 @@ func TestFigure6HalfNodesCheaperThanTwice(t *testing.T) {
 }
 
 func TestFigure7MNISTMostlyAbove90(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper reproduction; skipped in -short (race CI) runs")
+	}
 	r, err := Figure7()
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +96,9 @@ func TestFigure7MNISTMostlyAbove90(t *testing.T) {
 }
 
 func TestFigure8CIFARHarderThanMNIST(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper reproduction; skipped in -short (race CI) runs")
+	}
 	r8, err := Figure8()
 	if err != nil {
 		t.Fatal(err)
@@ -322,6 +328,9 @@ func TestGPUComparisonOrdering(t *testing.T) {
 }
 
 func TestAlgorithmComparisonRandomRecoversMost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper reproduction; skipped in -short (race CI) runs")
+	}
 	r, err := AlgorithmComparison()
 	if err != nil {
 		t.Fatal(err)

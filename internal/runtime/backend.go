@@ -10,11 +10,14 @@ import (
 
 // backend abstracts execution and time. launch is always called with rt.mu
 // held (placement in inv.allocs is complete); drive is always called
-// without it and must evaluate pred under rt.mu.
+// without it and must evaluate pred under rt.mu; cancelRunning is called
+// with rt.mu held on a stateRunning invocation and delivers a cooperative
+// cancel signal, reporting whether one was sent.
 type backend interface {
 	now() time.Duration
 	launch(inv *invocation, args []interface{})
 	drive(pred func() bool)
+	cancelRunning(inv *invocation) bool
 	close()
 }
 
@@ -36,12 +39,17 @@ func (b *realBackend) launch(inv *invocation, args []interface{}) {
 	for i, al := range inv.allocs {
 		nodeIDs[i] = al.node
 	}
+	rt := b.rt
 	ctx := &TaskContext{
 		TaskID: inv.id, Node: inv.primaryNode(),
 		Cores: inv.def.Constraint.Cores, GPUs: inv.def.Constraint.GPUs,
 		CoreIDs: append([]int(nil), inv.allocs[0].coreIDs...),
 		NodeIDs: nodeIDs,
 		Attempt: inv.attempt,
+		Report: func(epoch int, value float64) {
+			rt.emitTaskReport(inv.id, epoch, value)
+		},
+		Canceled: inv.cancel,
 	}
 	fn := inv.def.Fn
 	if limit := inv.def.Timeout; limit > 0 {
@@ -75,6 +83,15 @@ func (b *realBackend) drive(pred func() bool) {
 		b.rt.cond.Wait()
 	}
 	b.rt.mu.Unlock()
+}
+
+// cancelRunning signals the attempt's cancel channel (rt.mu held).
+func (b *realBackend) cancelRunning(inv *invocation) bool {
+	if !inv.cancelSignaled {
+		inv.cancelSignaled = true
+		close(inv.cancel)
+	}
+	return true
 }
 
 func (b *realBackend) close() {}
@@ -160,5 +177,9 @@ func (b *simBackend) drive(pred func() bool) {
 		}
 	}
 }
+
+// cancelRunning is unsupported in simulation: modelled tasks have no
+// mid-flight observation points.
+func (b *simBackend) cancelRunning(inv *invocation) bool { return false }
 
 func (b *simBackend) close() {}

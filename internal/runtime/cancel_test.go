@@ -1,0 +1,288 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+)
+
+// TestCancelTaskPendingResolvesErrCanceled: canceling a not-yet-started
+// invocation resolves its future with ErrCanceled without waiting.
+func TestCancelTaskPendingResolvesErrCanceled(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Local(1), Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	release := make(chan struct{})
+	rt.MustRegister(TaskDef{Name: "blocker", Returns: 1, MaxRetries: -1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			<-release
+			return []interface{}{1}, nil
+		}})
+	first, err := rt.Submit1("blocker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := rt.Submit1("blocker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single core runs the first; the second waits for resources.
+	if !rt.CancelTask(second.TaskID()) {
+		t.Fatal("pending task not canceled")
+	}
+	close(release)
+	if _, err := rt.WaitOn(second); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled future error = %v, want ErrCanceled", err)
+	}
+	if vals, err := rt.WaitOn(first); err != nil || vals[0] != 1 {
+		t.Fatalf("survivor = %v, %v", vals, err)
+	}
+	if st := rt.Stats(); st.Canceled != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCancelTaskRunningIsCooperative: a running task observes
+// TaskContext.Canceled and returns a partial result through the normal
+// completion path.
+func TestCancelTaskRunningIsCooperative(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Local(1), Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	started := make(chan struct{})
+	var once sync.Once
+	rt.MustRegister(TaskDef{Name: "loop", Returns: 1, MaxRetries: -1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			once.Do(func() { close(started) })
+			select {
+			case <-ctx.Canceled:
+				return []interface{}{"partial"}, nil
+			case <-time.After(10 * time.Second):
+				return []interface{}{"full"}, nil
+			}
+		}})
+	fut, err := rt.Submit1("loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !rt.CancelTask(fut.TaskID()) {
+		t.Fatal("running task reported uncancelable")
+	}
+	vals, err := rt.WaitOn(fut)
+	if err != nil || vals[0] != "partial" {
+		t.Fatalf("cooperative cancel result = %v, %v", vals, err)
+	}
+}
+
+// TestCancelTaskFinishedIsNoop: canceling after completion returns false.
+func TestCancelTaskFinishedIsNoop(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Local(1), Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	rt.MustRegister(TaskDef{Name: "quick", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			return []interface{}{1}, nil
+		}})
+	fut, _ := rt.Submit1("quick")
+	if _, err := rt.WaitOn(fut); err != nil {
+		t.Fatal(err)
+	}
+	if rt.CancelTask(fut.TaskID()) {
+		t.Fatal("finished task canceled")
+	}
+	if rt.CancelTask(999) {
+		t.Fatal("unknown id canceled")
+	}
+}
+
+// TestTaskReportStreamsLocally: TaskContext.Report on the Real backend
+// reaches the installed handler with the right task id.
+func TestTaskReportStreamsLocally(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Local(2), Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	var mu sync.Mutex
+	type point struct {
+		task, epoch int
+		value       float64
+	}
+	var got []point
+	rt.SetTaskReportHandler(func(taskID, epoch int, value float64) {
+		mu.Lock()
+		got = append(got, point{taskID, epoch, value})
+		mu.Unlock()
+	})
+	rt.MustRegister(TaskDef{Name: "reporter", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			for e := 0; e < 3; e++ {
+				ctx.Report(e, float64(e)*0.1)
+			}
+			return []interface{}{true}, nil
+		}})
+	fut, _ := rt.Submit1("reporter")
+	if _, err := rt.WaitOn(fut); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("reports = %v", got)
+	}
+	for i, p := range got {
+		if p.task != fut.TaskID() || p.epoch != i {
+			t.Fatalf("report %d = %+v", i, p)
+		}
+	}
+}
+
+// TestWorkerCancelBeforeSubmit: the master sends submits and cancels from
+// independent goroutines, so a cancel can overtake its submit on the wire.
+// The worker must remember the early cancel and start the task with its
+// Canceled channel already closed instead of dropping the cancel.
+func TestWorkerCancelBeforeSubmit(t *testing.T) {
+	master, side := comm.NewMemPair(16)
+	w := NewWorker(1, 0)
+	if err := w.Register(TaskDef{Name: "train", Returns: 1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			select {
+			case <-ctx.Canceled:
+				return []interface{}{"canceled"}, nil
+			case <-time.After(5 * time.Second):
+				return []interface{}{"ran-to-completion"}, nil
+			}
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := w.Serve(side); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	if msg, err := master.Recv(); err != nil || msg.Type != comm.MsgRegister {
+		t.Fatalf("handshake: %v %v", msg, err)
+	}
+	if err := master.Send(&comm.Message{Type: comm.MsgRegisterAck, WorkerID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel arrives first, then the submit it was aimed at.
+	if err := master.Send(&comm.Message{Type: comm.MsgCancelTask, TaskID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := master.Send(&comm.Message{Type: comm.MsgSubmitTask, TaskID: 7, TaskName: "train", Units: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		var msg *comm.Message
+		done := make(chan struct{})
+		var err error
+		go func() { msg, err = master.Recv(); close(done) }()
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("worker never answered the pre-canceled submit")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type == comm.MsgHeartbeat {
+			continue
+		}
+		if msg.Type != comm.MsgTaskDone || msg.TaskID != 7 {
+			t.Fatalf("unexpected reply %v", msg)
+		}
+		if msg.Args[0] != "canceled" {
+			t.Fatalf("task result = %v, want canceled (pre-cancel dropped)", msg.Args[0])
+		}
+		_ = master.Send(&comm.Message{Type: comm.MsgShutdown})
+		return
+	}
+}
+
+// TestRemoteEpochReportAndCancel exercises the full wire round trip over an
+// in-memory transport: the worker streams epoch reports to the master's
+// handler, and a master-side CancelTask crosses back as MsgCancelTask,
+// stopping the task cooperatively.
+func TestRemoteEpochReportAndCancel(t *testing.T) {
+	rt, err := New(Options{Backend: Remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	def := TaskDef{Name: "train", Returns: 1, MaxRetries: -1,
+		Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+			for e := 0; e < 100; e++ {
+				select {
+				case <-ctx.Canceled:
+					return []interface{}{e}, nil // epochs completed before cancel
+				default:
+				}
+				ctx.Report(e, float64(e))
+				time.Sleep(2 * time.Millisecond)
+			}
+			return []interface{}{100}, nil
+		}}
+	rt.MustRegister(def)
+
+	master, side := comm.NewMemPair(64)
+	w := NewWorker(1, 0)
+	if err := w.Register(def); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := w.Serve(side); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	if _, err := rt.AttachWorker(master); err != nil {
+		t.Fatal(err)
+	}
+
+	reports := make(chan int, 128)
+	rt.SetTaskReportHandler(func(taskID, epoch int, value float64) {
+		reports <- epoch
+	})
+	fut, err := rt.Submit1("train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for a few streamed epochs, then cancel mid-flight.
+	seen := 0
+	deadline := time.After(10 * time.Second)
+	for seen < 3 {
+		select {
+		case <-reports:
+			seen++
+		case <-deadline:
+			t.Fatal("no epoch reports crossed the transport")
+		}
+	}
+	if !rt.CancelTask(fut.TaskID()) {
+		t.Fatal("remote cancel not delivered")
+	}
+	vals, err := rt.WaitOn(fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := vals[0].(int)
+	if epochs >= 100 {
+		t.Fatal("task ran to completion despite cancel")
+	}
+	if epochs < 3 {
+		t.Fatalf("task stopped before streaming: %d epochs", epochs)
+	}
+}

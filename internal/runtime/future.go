@@ -34,6 +34,16 @@ type Future struct {
 // ID returns the "dNvV" data label used in graph exports.
 func (f *Future) ID() string { return fmt.Sprintf("d%dv%d", f.dataID, f.version) }
 
+// TaskID returns the producing invocation's id — the handle CancelTask and
+// SetTaskReportHandler identify tasks by. The producer is fixed at Submit
+// time, so no lock is needed.
+func (f *Future) TaskID() int {
+	if f.producer == nil {
+		return 0
+	}
+	return f.producer.id
+}
+
 // Resolved reports whether the value is available (requires no lock for
 // callers that already hold results from WaitOn; safe snapshot otherwise).
 func (f *Future) Resolved() bool {

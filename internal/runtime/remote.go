@@ -163,6 +163,10 @@ func (b *remoteBackend) readLoop(w *remoteWorker) {
 			if inv != nil {
 				b.rt.onDone(inv, nil, errors.New(msg.Err), b.now())
 			}
+		case comm.MsgEpochReport:
+			// Intermediate metric streamed by a running task: surface it to
+			// the master's report handler (trial pruning, dashboards).
+			b.rt.emitTaskReport(msg.TaskID, msg.Epoch, msg.Value)
 		case comm.MsgHeartbeat:
 			// Liveness only; nothing to update in this implementation.
 		default:
@@ -238,6 +242,24 @@ func (b *remoteBackend) launch(inv *invocation, args []interface{}) {
 			b.rt.onDone(inv, nil, fmt.Errorf("runtime: submitting to worker %d: %w", w.id, err), b.now())
 		}
 	}()
+}
+
+// cancelRunning forwards a cooperative cancel to the worker executing the
+// invocation (rt.mu held; the send happens off-lock). The worker closes the
+// task's Canceled channel and the task returns early through the normal
+// TaskDone path.
+func (b *remoteBackend) cancelRunning(inv *invocation) bool {
+	nodeID := inv.primaryNode()
+	b.mu.Lock()
+	w := b.workers[nodeID]
+	b.mu.Unlock()
+	if w == nil {
+		return false
+	}
+	go func() {
+		_ = w.tr.Send(&comm.Message{Type: comm.MsgCancelTask, TaskID: inv.id})
+	}()
+	return true
 }
 
 func (b *remoteBackend) drive(pred func() bool) {
@@ -351,6 +373,16 @@ func (w *Worker) Serve(tr comm.Transport) error {
 		}()
 	}
 
+	// Running-task cancellation registry: the master may send CancelTask
+	// for an in-flight submission; the matching task's Canceled channel is
+	// closed so it can stop cooperatively at its next observation point.
+	// The master sends submits and cancels from independent goroutines, so
+	// a cancel may overtake its submit — preCanceled remembers those and
+	// the late-arriving submit starts with its channel already closed.
+	var runMu sync.Mutex
+	running := make(map[int]chan struct{})
+	preCanceled := make(map[int]bool)
+
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -364,6 +396,15 @@ func (w *Worker) Serve(tr comm.Transport) error {
 		switch msg.Type {
 		case comm.MsgShutdown:
 			return nil
+		case comm.MsgCancelTask:
+			runMu.Lock()
+			if ch, ok := running[msg.TaskID]; ok {
+				close(ch)
+				delete(running, msg.TaskID)
+			} else {
+				preCanceled[msg.TaskID] = true
+			}
+			runMu.Unlock()
 		case comm.MsgSubmitTask:
 			def, ok := w.defs[msg.TaskName]
 			if !ok {
@@ -371,13 +412,34 @@ func (w *Worker) Serve(tr comm.Transport) error {
 					Err: fmt.Sprintf("worker: task %q not registered", msg.TaskName)})
 				continue
 			}
+			cancel := make(chan struct{})
+			runMu.Lock()
+			if preCanceled[msg.TaskID] {
+				delete(preCanceled, msg.TaskID)
+				close(cancel)
+			} else {
+				running[msg.TaskID] = cancel
+			}
+			runMu.Unlock()
 			wg.Add(1)
 			go func(msg *comm.Message) {
 				defer wg.Done()
+				defer func() {
+					runMu.Lock()
+					delete(running, msg.TaskID)
+					runMu.Unlock()
+				}()
 				ctx := &TaskContext{
 					TaskID: msg.TaskID, Node: workerID,
 					Cores: msg.Units, GPUs: msg.GPUs,
 					CoreIDs: identityCores(msg.Units),
+					Report: func(epoch int, value float64) {
+						// Stream the point to the master; transports
+						// serialise concurrent sends internally.
+						_ = tr.Send(&comm.Message{Type: comm.MsgEpochReport,
+							TaskID: msg.TaskID, WorkerID: workerID, Epoch: epoch, Value: value})
+					},
+					Canceled: cancel,
 				}
 				results, err := runSafely(def.Fn, ctx, msg.Args)
 				if err != nil {

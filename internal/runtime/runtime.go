@@ -80,6 +80,10 @@ type Runtime struct {
 	rec     *trace.Recorder
 	graph   *graphBuilder
 
+	// reportFn receives intermediate (taskID, epoch, value) metric points
+	// streamed by running tasks (set via SetTaskReportHandler).
+	reportFn func(taskID, epoch int, value float64)
+
 	// stats
 	started   int
 	retried   int
@@ -306,6 +310,10 @@ func (rt *Runtime) compactReady() {
 
 // place assigns inv to its node set and launches it. Callers hold rt.mu.
 func (rt *Runtime) place(inv *invocation, nodes []*nodeState) {
+	// Fresh cancellation signal per attempt: a retried invocation must not
+	// observe a cancel aimed at its previous attempt.
+	inv.cancel = make(chan struct{})
+	inv.cancelSignaled = false
 	inv.allocs = inv.allocs[:0]
 	for _, n := range nodes {
 		coreIDs, gpuIDs := n.allocate(inv.def.Constraint)
@@ -519,6 +527,67 @@ func (rt *Runtime) WaitOn(futs ...*Future) ([]interface{}, error) {
 // Barrier blocks until every submitted invocation has finished.
 func (rt *Runtime) Barrier() {
 	rt.backend.drive(func() bool { return rt.pending == 0 })
+}
+
+// SetTaskReportHandler installs (or clears, with nil) the observer of
+// intermediate metric points streamed by running tasks via
+// TaskContext.Report — the master side of per-epoch trial telemetry. The
+// handler runs outside the runtime lock and may call CancelTask.
+func (rt *Runtime) SetTaskReportHandler(h func(taskID, epoch int, value float64)) {
+	rt.mu.Lock()
+	rt.reportFn = h
+	rt.mu.Unlock()
+}
+
+// emitTaskReport forwards one streamed metric point to the installed
+// handler. Called by backends without rt.mu held.
+func (rt *Runtime) emitTaskReport(taskID, epoch int, value float64) {
+	rt.mu.Lock()
+	h := rt.reportFn
+	rt.mu.Unlock()
+	if h != nil {
+		h(taskID, epoch, value)
+	}
+}
+
+// CanStreamReports reports whether this backend delivers TaskContext.Report
+// points back to the master: Real streams in-process, Remote streams over
+// the worker transport, Sim models durations and cannot stream.
+func (rt *Runtime) CanStreamReports() bool { return rt.opts.Backend != Sim }
+
+// CancelTask cancels one invocation by id. A not-yet-started invocation is
+// dropped like CancelPending (its future resolves with ErrCanceled); a
+// running one receives a cooperative cancel signal — locally by closing
+// TaskContext.Canceled, remotely via a CancelTask protocol message — and is
+// expected to finish early with a partial result. It reports whether a
+// cancellation was delivered; finished tasks return false.
+func (rt *Runtime) CancelTask(id int) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if id < 1 || id > len(rt.invs) {
+		return false
+	}
+	inv := rt.invs[id-1]
+	switch inv.state {
+	case stateReady, stateBlocked:
+		for i, r := range rt.ready {
+			if r == inv {
+				rt.ready[i] = nil
+			}
+		}
+		rt.compactReady()
+		rt.finishLocked(inv, nil, ErrCanceled, false)
+		inv.state = stateCanceled
+		rt.canceled++
+		rt.failed-- // finishLocked counted it as failed
+		rt.dispatch()
+		rt.cond.Broadcast()
+		return true
+	case stateRunning:
+		return rt.backend.cancelRunning(inv)
+	default:
+		return false
+	}
 }
 
 // CancelPending cancels every invocation that has not started executing;

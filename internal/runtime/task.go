@@ -71,6 +71,16 @@ type TaskContext struct {
 	NodeIDs []int
 	// Attempt counts executions of this invocation (0 = first try).
 	Attempt int
+	// Report, when non-nil, streams an intermediate (epoch, value) metric
+	// point back to the submitting master — locally via the runtime's
+	// report handler, remotely over the worker transport. Backends that
+	// cannot stream leave it nil; task bodies must tolerate that.
+	Report func(epoch int, value float64)
+	// Canceled, when non-nil, is closed if the master cancels this task
+	// mid-flight (trial pruning, study cancellation). Cancellation is
+	// cooperative: the task should observe the channel at convenient
+	// boundaries (e.g. epoch ends) and return early with a partial result.
+	Canceled <-chan struct{}
 }
 
 // TaskFunc is the body of a task. Args are the submitted arguments with any
@@ -200,6 +210,10 @@ type invocation struct {
 	started time.Duration
 	// err holds the final failure.
 	err error
+	// cancel is closed (under rt.mu, via cancelSignaled) to signal a
+	// cooperative mid-flight cancellation to a locally running attempt.
+	cancel         chan struct{}
+	cancelSignaled bool
 }
 
 // nodeAlloc is the resources an invocation holds on one node.

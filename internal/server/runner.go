@@ -3,13 +3,19 @@ package server
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/hpo"
 	"repro/internal/runtime"
 	"repro/internal/store"
 )
+
+// ErrNotCancelable reports a cancel request for a study that is neither
+// queued nor running (HTTP 409).
+var ErrNotCancelable = errors.New("server: study is not queued or running")
 
 // RuntimeFactory builds a fresh task runtime for one study execution plus a
 // release function invoked after the study finishes. Each study owns its
@@ -19,7 +25,9 @@ type RuntimeFactory func(spec StudySpec) (*runtime.Runtime, func(), error)
 
 // Runner executes persisted studies asynchronously: a bounded worker pool
 // of jobs, each building a study from its stored spec and running it on a
-// factory-provided runtime, recording trials through the journal.
+// factory-provided runtime, recording trials through the journal. Running
+// studies are registered as live hpo.Study handles so Cancel can stop them
+// mid-flight.
 type Runner struct {
 	store   *store.Journal
 	pool    *runtime.Pool
@@ -27,17 +35,31 @@ type Runner struct {
 	// Objectives overrides spec→objective construction (tests inject fast
 	// synthetic objectives here); nil uses StudySpec.BuildObjective.
 	Objectives func(StudySpec) (hpo.Objective, error)
+	// DefaultPruner names the pruner applied to specs that leave the
+	// field empty ("" = none) — the daemon's -pruner flag.
+	DefaultPruner string
+
+	mu sync.Mutex
+	// active maps a study id to its live handle while execute holds it.
+	active map[string]*hpo.Study
+	// cancelReq marks studies whose cancellation was requested; execute
+	// consults it before running and when choosing the terminal state.
+	cancelReq map[string]bool
 }
 
 // NewRunner builds a runner executing at most maxConcurrent studies at once.
 func NewRunner(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Runner {
-	return &Runner{store: st, pool: runtime.NewPool(maxConcurrent), factory: factory}
+	return &Runner{
+		store: st, pool: runtime.NewPool(maxConcurrent), factory: factory,
+		active:    make(map[string]*hpo.Study),
+		cancelReq: make(map[string]bool),
+	}
 }
 
 // Start queues a persisted study for execution and returns its job handle.
 // Starting a study that is already queued or running returns the live
-// handle (idempotent); finished studies re-run, resuming every recorded
-// trial from the journal.
+// handle (idempotent); finished (or canceled) studies re-run, resuming
+// every recorded trial from the journal.
 func (r *Runner) Start(id string) (*runtime.Job, error) {
 	if _, err := r.store.GetStudy(id); err != nil {
 		return nil, err
@@ -47,15 +69,47 @@ func (r *Runner) Start(id string) (*runtime.Job, error) {
 			return job, nil
 		}
 	}
+	r.mu.Lock()
+	delete(r.cancelReq, id) // an explicit restart clears a stale cancel
+	r.mu.Unlock()
 	if err := r.store.SetStudyState(id, store.StateQueued, "", nil); err != nil {
 		return nil, err
 	}
 	return r.pool.Submit(id, func() error { return r.execute(id) })
 }
 
+// Cancel stops a queued or running study: the live study (if any) receives
+// Stop — pending trials are dropped, running ones get cooperative per-task
+// cancellation — and the journal records the terminal canceled state, so a
+// restarting daemon never re-queues it.
+func (r *Runner) Cancel(id string) error {
+	meta, err := r.store.GetStudy(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	study := r.active[id]
+	if study != nil || meta.State.Active() {
+		r.cancelReq[id] = true
+	}
+	r.mu.Unlock()
+	if study != nil {
+		// execute observes the request and journals the canceled state
+		// once the in-flight round drains.
+		study.Stop("canceled by operator")
+		return nil
+	}
+	if !meta.State.Active() {
+		return fmt.Errorf("%w: %s is %s", ErrNotCancelable, id, meta.State)
+	}
+	// Queued but not yet executing: journal the terminal state now;
+	// execute skips it when the pool slot frees up.
+	return r.store.SetStudyState(id, store.StateCanceled, "canceled by operator", nil)
+}
+
 // Resume re-queues every study the journal recorded as queued or running —
 // the restart path: finished trials replay from the journal, only the
-// remainder executes.
+// remainder executes. Canceled studies are terminal and never re-queued.
 func (r *Runner) Resume() ([]*runtime.Job, error) {
 	var jobs []*runtime.Job
 	for _, id := range r.store.ActiveStudies() {
@@ -79,8 +133,20 @@ func (r *Runner) Close(drain time.Duration) bool {
 	return r.pool.Drain(drain)
 }
 
+// canceled reports whether a cancel was requested for id.
+func (r *Runner) canceled(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cancelReq[id]
+}
+
 // execute runs one study to completion, transitioning its journal state.
 func (r *Runner) execute(id string) error {
+	if r.canceled(id) {
+		// Canceled while waiting for a pool slot; Cancel already journaled
+		// the terminal state.
+		return nil
+	}
 	meta, err := r.store.GetStudy(id)
 	if err != nil {
 		return err
@@ -94,6 +160,10 @@ func (r *Runner) execute(id string) error {
 	}
 
 	sampler, err := spec.buildSampler()
+	if err != nil {
+		return r.fail(id, err)
+	}
+	pruner, err := spec.BuildPruner(r.DefaultPruner)
 	if err != nil {
 		return r.fail(id, err)
 	}
@@ -114,8 +184,8 @@ func (r *Runner) execute(id string) error {
 	var recorder store.Recorder = r.store.Recorder(id, spec.memoScope())
 	if !spec.memoize() {
 		// Strip the Memoizer extension so the study only resumes its own
-		// trials.
-		recorder = struct{ store.Recorder }{recorder}
+		// trials; metric/prune telemetry still flows to the journal.
+		recorder = store.WithoutMemo(recorder)
 	}
 	study, err := hpo.NewStudy(hpo.StudyOptions{
 		Sampler:        sampler,
@@ -125,11 +195,27 @@ func (r *Runner) execute(id string) error {
 		BatchSize:      spec.BatchSize,
 		TargetAccuracy: spec.Target,
 		Seed:           spec.Seed,
+		Pruner:         pruner,
 		Recorder:       recorder,
 	})
 	if err != nil {
 		return r.fail(id, err)
 	}
+
+	r.mu.Lock()
+	r.active[id] = study
+	requested := r.cancelReq[id]
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.active, id)
+		r.mu.Unlock()
+	}()
+	if requested {
+		// Cancel raced the study registration: stop before the first round.
+		study.Stop("canceled by operator")
+	}
+
 	res, err := study.Run()
 	if err != nil {
 		return r.fail(id, err)
@@ -139,6 +225,13 @@ func (r *Runner) execute(id string) error {
 		Resumed:  res.Resumed,
 		Memoized: res.Memoized,
 		BestAcc:  res.BestAccuracy(),
+	}
+	if r.canceled(id) || res.Canceled {
+		reason := res.CancelReason
+		if reason == "" {
+			reason = "canceled by operator"
+		}
+		return r.store.SetStudyState(id, store.StateCanceled, reason, sum)
 	}
 	return r.store.SetStudyState(id, store.StateDone, "", sum)
 }

@@ -8,12 +8,17 @@
 //	GET  /v1/studies             list studies
 //	GET  /v1/studies/{id}        study metadata + progress
 //	POST /v1/studies/{id}/start  queue the study for (re-)execution
+//	POST /v1/studies/{id}/cancel stop a queued/running study (terminal "canceled")
 //	GET  /v1/studies/{id}/trials finished trials
-//	GET  /v1/studies/{id}/events SSE stream of trial/state events (?since=seq)
+//	GET  /v1/studies/{id}/events SSE stream of trial/metric/prune/state events (?since=seq)
 //	GET  /healthz                liveness + counters
+//
+// When a bearer token is configured (SetAuthToken / hpod -token), every
+// endpoint except /healthz requires "Authorization: Bearer <token>".
 package server
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +37,9 @@ type Server struct {
 	runner  *Runner
 	started time.Time
 	mux     *http.ServeMux
+	// token, when non-empty, gates every endpoint except /healthz behind
+	// bearer auth.
+	token string
 }
 
 // New wires a server over a journal and a runtime factory. maxConcurrent
@@ -48,13 +56,32 @@ func New(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Server {
 	s.mux.HandleFunc("GET /v1/studies", s.handleList)
 	s.mux.HandleFunc("GET /v1/studies/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/studies/{id}/start", s.handleStart)
+	s.mux.HandleFunc("POST /v1/studies/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/studies/{id}/trials", s.handleTrials)
 	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.handleEvents)
 	return s
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// SetAuthToken enables bearer-token auth: when tok is non-empty, every
+// endpoint except GET /healthz (liveness probes stay unauthenticated)
+// rejects requests lacking "Authorization: Bearer <tok>". Reads are gated
+// too — study specs and trial metrics are not public data.
+func (s *Server) SetAuthToken(tok string) { s.token = tok }
+
+// Handler returns the HTTP handler tree (wrapped with auth when a token is
+// configured).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.token != "" && r.URL.Path != "/healthz" {
+			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.token)) != 1 {
+				w.Header().Set("WWW-Authenticate", "Bearer")
+				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "server: missing or invalid bearer token"})
+				return
+			}
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Runner exposes the study executor (daemon resume, tests).
 func (s *Server) Runner() *Runner { return s.runner }
@@ -76,6 +103,8 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrBadSpec):
 		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotCancelable):
+		code = http.StatusConflict
 	case errors.Is(err, store.ErrClosed), errors.Is(err, runtime.ErrPoolClosed):
 		code = http.StatusServiceUnavailable
 	}
@@ -201,6 +230,22 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.view(meta, false))
 }
 
+// handleCancel stops a queued or running study. The canceled state is
+// terminal and journaled, so a restarting daemon never re-queues it.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.runner.Cancel(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	meta, err := s.store.GetStudy(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.view(meta, false))
+}
+
 func (s *Server) handleTrials(w http.ResponseWriter, r *http.Request) {
 	trials, err := s.store.StudyTrials(r.PathValue("id"))
 	if err != nil {
@@ -251,8 +296,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		flusher.Flush()
 		since = tail
-		if meta, err := s.store.GetStudy(id); err != nil ||
-			(meta.State == store.StateDone || meta.State == store.StateFailed) {
+		if meta, err := s.store.GetStudy(id); err != nil || meta.State.Terminal() {
 			// Re-check for events raced in between the snapshot and the
 			// state read before closing the stream.
 			if rest, _ := s.store.EventsSince(id, since); len(rest) == 0 {

@@ -42,6 +42,15 @@ type StudySpec struct {
 	// Memoize opts out of cross-study result reuse when false is wanted;
 	// defaults to true (identical configs return persisted results).
 	Memoize *bool `json:"memoize,omitempty"`
+	// Pruner selects a trial pruner: "" (daemon default) | none | median |
+	// asha. Pruned trials stop mid-training when their intermediate
+	// accuracy loses to the field.
+	Pruner string `json:"pruner,omitempty"`
+	// PrunerEta is ASHA's halving factor (default 3).
+	PrunerEta int `json:"pruner_eta,omitempty"`
+	// PrunerWarmup is the epochs a trial is immune (median) or the first
+	// rung's resource (asha); 0 selects the rule's default.
+	PrunerWarmup int `json:"pruner_warmup,omitempty"`
 	// Start queues the study for execution immediately on creation.
 	Start bool `json:"start,omitempty"`
 }
@@ -81,6 +90,9 @@ func ParseSpec(raw []byte) (StudySpec, error) {
 	if _, err := spec.buildSampler(); err != nil {
 		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
+	if _, err := spec.BuildPruner(""); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
 	if _, err := datasets.ByName(spec.Dataset, 8, 1); err != nil {
 		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
@@ -99,6 +111,17 @@ func (s StudySpec) buildSampler() (hpo.Sampler, error) {
 		return nil, err
 	}
 	return hpo.NewSampler(s.Algo, space, s.Budget, s.Seed)
+}
+
+// BuildPruner constructs the spec's pruner; an empty Pruner field falls
+// back to defaultName (the daemon's -pruner flag), and "none" explicitly
+// disables pruning either way.
+func (s StudySpec) BuildPruner(defaultName string) (hpo.Pruner, error) {
+	name := s.Pruner
+	if name == "" {
+		name = defaultName
+	}
+	return hpo.NewPruner(name, s.PrunerEta, s.PrunerWarmup)
 }
 
 // BuildObjective constructs the training objective the spec describes.

@@ -93,6 +93,7 @@ func (r *FileRecorder) Record(trials []Trial) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, t := range trials {
+		t = t.sanitize()
 		t.Fingerprint = fingerprintOf(t)
 		if r.seen[t.Fingerprint] {
 			continue
@@ -162,6 +163,17 @@ func (r *journalRecorder) Record(trials []Trial) error {
 }
 
 func (r *journalRecorder) Lookup(fp string) (Trial, bool) { return r.j.LookupMemo(r.scope, fp) }
+
+// RecordMetric implements MetricRecorder: intermediate epoch metrics land
+// in the journal (and its event stream) as they happen.
+func (r *journalRecorder) RecordMetric(trialID, epoch int, value float64) error {
+	return r.j.AppendMetric(r.id, trialID, epoch, value)
+}
+
+// RecordPrune implements MetricRecorder.
+func (r *journalRecorder) RecordPrune(trialID, epoch int, reason string) error {
+	return r.j.AppendPrune(r.id, trialID, epoch, reason)
+}
 
 // MigrateCheckpoint imports a legacy checkpoint file into the journal under
 // studyID, creating the study when absent. It returns the number of trials

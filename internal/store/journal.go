@@ -12,30 +12,34 @@ import (
 	"time"
 )
 
-// record is one JSONL journal line. Exactly one of Study / Trial / State
-// payloads is set, per Type.
+// record is one JSONL journal line. Exactly one of Study / Trial / State /
+// Metric / Prune payloads is set, per Type.
 type record struct {
-	Seq     uint64     `json:"seq"`
-	Type    string     `json:"type"` // "study" | "state" | "trial"
-	StudyID string     `json:"study_id,omitempty"`
-	Study   *StudyMeta `json:"study,omitempty"`
-	State   StudyState `json:"state,omitempty"`
-	Error   string     `json:"error,omitempty"`
-	Summary *Summary   `json:"summary,omitempty"`
-	Trial   *Trial     `json:"trial,omitempty"`
-	At      time.Time  `json:"at"`
+	Seq     uint64         `json:"seq"`
+	Type    string         `json:"type"` // "study" | "state" | "trial" | "metric" | "prune"
+	StudyID string         `json:"study_id,omitempty"`
+	Study   *StudyMeta     `json:"study,omitempty"`
+	State   StudyState     `json:"state,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Summary *Summary       `json:"summary,omitempty"`
+	Trial   *Trial         `json:"trial,omitempty"`
+	Metric  *MetricPoint   `json:"metric,omitempty"`
+	Prune   *PruneDecision `json:"prune,omitempty"`
+	At      time.Time      `json:"at"`
 }
 
 // Event is a journal record surfaced to watchers (the server's per-trial
 // event stream). Seq orders events globally and doubles as the SSE id, so
 // clients can resume a stream with "?since=<seq>".
 type Event struct {
-	Seq     uint64     `json:"seq"`
-	Type    string     `json:"type"`
-	StudyID string     `json:"study_id"`
-	State   StudyState `json:"state,omitempty"`
-	Error   string     `json:"error,omitempty"`
-	Trial   *Trial     `json:"trial,omitempty"`
+	Seq     uint64         `json:"seq"`
+	Type    string         `json:"type"`
+	StudyID string         `json:"study_id"`
+	State   StudyState     `json:"state,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Trial   *Trial         `json:"trial,omitempty"`
+	Metric  *MetricPoint   `json:"metric,omitempty"`
+	Prune   *PruneDecision `json:"prune,omitempty"`
 }
 
 // JournalOptions tunes Open.
@@ -216,6 +220,18 @@ func (j *Journal) apply(rec record) {
 		}
 		tc := t
 		j.events = append(j.events, Event{Seq: rec.Seq, Type: "trial", StudyID: rec.StudyID, Trial: &tc})
+	case "metric":
+		if rec.Metric == nil {
+			return
+		}
+		m := *rec.Metric
+		j.events = append(j.events, Event{Seq: rec.Seq, Type: "metric", StudyID: rec.StudyID, Metric: &m})
+	case "prune":
+		if rec.Prune == nil {
+			return
+		}
+		p := *rec.Prune
+		j.events = append(j.events, Event{Seq: rec.Seq, Type: "prune", StudyID: rec.StudyID, Prune: &p})
 	}
 }
 
@@ -232,6 +248,15 @@ func (j *Journal) append(rec record) (uint64, error) {
 // the round-commit fast path (a study recording a 32-trial round performs
 // one durable write, not 32).
 func (j *Journal) appendBatch(recs []record) (uint64, error) {
+	return j.appendBatchOpts(recs, true)
+}
+
+// appendBatchOpts is appendBatch with durability control: with sync false
+// the records land in the index, the event stream and the buffered writer
+// but are not flushed/fsynced — best-effort telemetry (per-epoch metrics)
+// must never serialise a transport read loop behind the disk. The next
+// durable append (or Close) carries them down.
+func (j *Journal) appendBatchOpts(recs []record, sync bool) (uint64, error) {
 	if len(recs) == 0 {
 		return 0, nil
 	}
@@ -261,6 +286,9 @@ func (j *Journal) appendBatch(recs []record) (uint64, error) {
 	close(j.watch)
 	j.watch = make(chan struct{})
 	j.mu.Unlock()
+	if !sync {
+		return seq, nil
+	}
 	return seq, j.commit(seq)
 }
 
@@ -409,6 +437,7 @@ func (j *Journal) AppendTrials(id string, trials []Trial) error {
 	recs := make([]record, 0, len(trials))
 	batch := make(map[string]bool, len(trials))
 	for _, t := range trials {
+		t = t.sanitize()
 		t.Fingerprint = fingerprintOf(t)
 		if j.seenOK[id][t.Fingerprint] || batch[t.Fingerprint] {
 			continue
@@ -422,6 +451,45 @@ func (j *Journal) AppendTrials(id string, trials []Trial) error {
 	j.mu.Unlock()
 	_, err := j.appendBatch(recs)
 	return err
+}
+
+// AppendMetric journals one intermediate per-epoch metric point of a
+// running trial. Metrics are telemetry, not state: they append without a
+// synchronous flush (a crash may lose the tail of the stream) so the
+// per-epoch hot path — which on the remote backend runs on the transport
+// read loop — never waits on an fsync. The next trial/state append or
+// Close makes them durable.
+func (j *Journal) AppendMetric(id string, trialID, epoch int, value float64) error {
+	if err := j.checkStudy(id); err != nil {
+		return err
+	}
+	_, err := j.appendBatchOpts([]record{{Type: "metric", StudyID: id,
+		Metric: &MetricPoint{TrialID: trialID, Epoch: epoch, Value: finiteOr0(value)}}}, false)
+	return err
+}
+
+// AppendPrune journals a pruner's decision to stop a trial mid-flight.
+func (j *Journal) AppendPrune(id string, trialID, epoch int, reason string) error {
+	if err := j.checkStudy(id); err != nil {
+		return err
+	}
+	_, err := j.append(record{Type: "prune", StudyID: id,
+		Prune: &PruneDecision{TrialID: trialID, Epoch: epoch, Reason: reason}})
+	return err
+}
+
+// checkStudy verifies the study exists (without holding the lock across the
+// subsequent append).
+func (j *Journal) checkStudy(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if _, ok := j.studies[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return nil
 }
 
 // TrialCount returns how many trials a study has recorded, without copying

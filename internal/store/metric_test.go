@@ -1,0 +1,175 @@
+package store
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalMetricAndPruneEvents: intermediate metrics and prune decisions
+// journal as first-class event types and replay across reopen.
+func TestJournalMetricAndPruneEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CreateStudy(StudyMeta{ID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendMetric("s1", 0, 0, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendMetric("s1", 0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendPrune("s1", 0, 1, "median pruner: losing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendMetric("nope", 0, 0, 0.1); err == nil {
+		t.Fatal("metric for unknown study accepted")
+	}
+	check := func(j *Journal, phase string) {
+		t.Helper()
+		events, _ := j.EventsSince("s1", 0)
+		metrics, prunes := 0, 0
+		for _, ev := range events {
+			switch ev.Type {
+			case "metric":
+				if ev.Metric == nil || ev.Metric.TrialID != 0 {
+					t.Fatalf("%s: malformed metric %+v", phase, ev)
+				}
+				metrics++
+			case "prune":
+				if ev.Prune == nil || ev.Prune.Reason == "" || ev.Prune.Epoch != 1 {
+					t.Fatalf("%s: malformed prune %+v", phase, ev)
+				}
+				prunes++
+			}
+		}
+		if metrics != 2 || prunes != 1 {
+			t.Fatalf("%s: metrics=%d prunes=%d, want 2/1", phase, metrics, prunes)
+		}
+	}
+	check(j, "live")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	check(j2, "replayed")
+}
+
+// TestPrunedTrialsAreNotMemoizedOrResumed: a pruned trial's partial result
+// must not answer memo lookups nor count as done on resume.
+func TestPrunedTrialsAreNotMemoizedOrResumed(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.journal"), JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	pruned := Trial{ID: 0, Config: map[string]interface{}{"x": 1}, Scope: "sc",
+		BestAcc: 0.9, Pruned: true, PruneReason: "losing"}
+	if pruned.Succeeded() {
+		t.Fatal("pruned trial counts as success")
+	}
+	if err := j.AppendTrials("s1", []Trial{pruned}); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := j.LookupMemo("sc", Fingerprint(pruned.Config)); hit {
+		t.Fatal("pruned trial answered a memo lookup")
+	}
+	// The same fingerprint can be re-recorded once it actually finishes
+	// (pruned records do not poison the per-study dedup set).
+	done := pruned
+	done.Pruned, done.PruneReason = false, ""
+	if err := j.AppendTrials("s1", []Trial{done}); err != nil {
+		t.Fatal(err)
+	}
+	trials, err := j.StudyTrials("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 2 {
+		t.Fatalf("trials = %d, want pruned + finished records", len(trials))
+	}
+	if _, hit := j.LookupMemo("sc", Fingerprint(done.Config)); !hit {
+		t.Fatal("finished trial missing from memo index")
+	}
+}
+
+// TestJournalSurvivesNaNMetrics: a diverged training (NaN loss/accuracy)
+// must journal as a zeroed bad result, not fail the append with a JSON
+// encoding error.
+func TestJournalSurvivesNaNMetrics(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.journal"), JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	diverged := Trial{ID: 0, Config: map[string]interface{}{"lr": 9},
+		FinalAcc: nan, BestAcc: nan, FinalLoss: math.Inf(1),
+		ValAccHistory: []float64{0.3, nan}, Epochs: 2}
+	if err := j.AppendTrials("s1", []Trial{diverged}); err != nil {
+		t.Fatalf("NaN trial rejected: %v", err)
+	}
+	if err := j.AppendMetric("s1", 0, 1, nan); err != nil {
+		t.Fatalf("NaN metric rejected: %v", err)
+	}
+	trials, err := j.StudyTrials("s1")
+	if err != nil || len(trials) != 1 {
+		t.Fatalf("trials = %v, %v", trials, err)
+	}
+	got := trials[0]
+	if got.FinalAcc != 0 || got.BestAcc != 0 || got.FinalLoss != 0 || got.ValAccHistory[1] != 0 {
+		t.Fatalf("non-finite values not sanitized: %+v", got)
+	}
+	if got.ValAccHistory[0] != 0.3 {
+		t.Fatalf("finite values mangled: %+v", got)
+	}
+}
+
+// TestWithoutMemoKeepsTelemetry: stripping the Memoizer must not strip the
+// MetricRecorder extension.
+func TestWithoutMemoKeepsTelemetry(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.journal"), JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := WithoutMemo(j.Recorder("s1", "sc"))
+	if _, ok := rec.(Memoizer); ok {
+		t.Fatal("WithoutMemo kept the Memoizer")
+	}
+	mr, ok := rec.(MetricRecorder)
+	if !ok {
+		t.Fatal("WithoutMemo dropped the MetricRecorder")
+	}
+	if err := mr.RecordMetric(1, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.RecordPrune(1, 0, "r"); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := j.EventsSince("s1", 0)
+	var seen []string
+	for _, ev := range events {
+		seen = append(seen, ev.Type)
+	}
+	if len(events) != 3 { // study + metric + prune
+		t.Fatalf("events = %v", seen)
+	}
+}

@@ -45,10 +45,20 @@ const (
 	StateRunning StudyState = "running"
 	StateDone    StudyState = "done"
 	StateFailed  StudyState = "failed"
+	// StateCanceled is the terminal state of a study stopped by an operator
+	// (POST /cancel). Like done/failed it is NOT Active: a restarting
+	// daemon must never re-queue a canceled study.
+	StateCanceled StudyState = "canceled"
 )
 
 // Active reports whether the state should be resumed after a restart.
 func (s StudyState) Active() bool { return s == StateQueued || s == StateRunning }
+
+// Terminal reports whether the study reached an end state (no more trials
+// will be recorded under it).
+func (s StudyState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // StudyMeta is the persisted description of one study.
 type StudyMeta struct {
@@ -97,11 +107,48 @@ type Trial struct {
 	DurationNS    int64     `json:"duration_ns"`
 	Err           string    `json:"err,omitempty"`
 	Canceled      bool      `json:"canceled,omitempty"`
+	// Pruned marks a trial stopped mid-training by a pruner decision; its
+	// metrics are partial (the epochs it ran before losing its rung).
+	Pruned      bool   `json:"pruned,omitempty"`
+	PruneReason string `json:"prune_reason,omitempty"`
 }
 
 // Succeeded reports whether the trial produced a usable result (memoizable
-// and skippable on resume).
-func (t Trial) Succeeded() bool { return t.Err == "" && !t.Canceled }
+// and skippable on resume). Pruned trials carry only partial training, so
+// they are neither memoized nor skipped — a resumed study re-evaluates
+// them under its then-current pruner.
+func (t Trial) Succeeded() bool { return t.Err == "" && !t.Canceled && !t.Pruned }
+
+// sanitize replaces non-finite metric values with zeros so the trial
+// always JSON-encodes: a diverged training (NaN loss) must journal as a
+// bad result, not kill the study with an encoding error. The history is
+// copied before rewriting — the caller's slice must not change underneath
+// it.
+func (t Trial) sanitize() Trial {
+	t.FinalAcc = finiteOr0(t.FinalAcc)
+	t.BestAcc = finiteOr0(t.BestAcc)
+	t.FinalLoss = finiteOr0(t.FinalLoss)
+	for i, v := range t.ValAccHistory {
+		if v == finiteOr0(v) {
+			continue
+		}
+		cp := append([]float64(nil), t.ValAccHistory...)
+		for j := i; j < len(cp); j++ {
+			cp[j] = finiteOr0(cp[j])
+		}
+		t.ValAccHistory = cp
+		break
+	}
+	return t
+}
+
+// finiteOr0 maps NaN and ±Inf to 0 (JSON has no encoding for them).
+func finiteOr0(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
 
 // Recorder is the narrow persistence interface hpo.Study checkpoints
 // through: Load restores previously finished trials on resume, Record
@@ -117,6 +164,42 @@ type Recorder interface {
 // study (cross-study result reuse).
 type Memoizer interface {
 	Lookup(fingerprint string) (Trial, bool)
+}
+
+// MetricPoint is one intermediate per-epoch metric streamed by a running
+// trial — the journal's record of training progress between trial records.
+type MetricPoint struct {
+	TrialID int     `json:"trial_id"`
+	Epoch   int     `json:"epoch"`
+	Value   float64 `json:"value"`
+}
+
+// PruneDecision records a pruner killing a trial mid-flight.
+type PruneDecision struct {
+	TrialID int    `json:"trial_id"`
+	Epoch   int    `json:"epoch"`
+	Reason  string `json:"reason"`
+}
+
+// MetricRecorder is an optional Recorder extension for trial lifecycle
+// telemetry: intermediate epoch metrics and prune decisions, persisted as
+// they happen (not just at round boundaries like Record).
+type MetricRecorder interface {
+	RecordMetric(trialID, epoch int, value float64) error
+	RecordPrune(trialID, epoch int, reason string) error
+}
+
+// WithoutMemo wraps a Recorder so it no longer answers memo lookups while
+// preserving the MetricRecorder extension when the underlying recorder has
+// one — the memoize:false path must still journal epoch metrics.
+func WithoutMemo(r Recorder) Recorder {
+	if mr, ok := r.(MetricRecorder); ok {
+		return struct {
+			Recorder
+			MetricRecorder
+		}{r, mr}
+	}
+	return struct{ Recorder }{r}
 }
 
 // Fingerprint returns the canonical deterministic identity of a config:
