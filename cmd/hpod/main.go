@@ -10,7 +10,15 @@
 //
 //	hpod -addr :8080 -journal hpod.journal [-backend local] [-parallel 8]
 //	     [-workers 3] [-max-studies 2] [-drain 30s] [-migrate study.json]
-//	     [-token secret] [-pruner median]
+//	     [-token secret] [-pruner median] [-retain-events 1024]
+//	     [-compact-interval 10m]
+//
+// The journal is a sharded directory store (docs/JOURNAL.md): terminal
+// studies are compacted down to their summary records on -compact-interval
+// (or on demand via POST /v1/admin/compact), so boot replay stays fast no
+// matter how much per-epoch telemetry history the daemon has served. A
+// pre-shard single-file journal passed as -journal is migrated in place on
+// boot.
 //
 // See the README's "hpod HTTP API" section for the endpoint reference and
 // an example curl session.
@@ -36,17 +44,19 @@ import (
 )
 
 type options struct {
-	addr       string
-	journal    string
-	backend    string
-	parallel   int
-	workers    int
-	maxStudies int
-	drain      time.Duration
-	migrate    string
-	noResume   bool
-	token      string
-	pruner     string
+	addr            string
+	journal         string
+	backend         string
+	parallel        int
+	workers         int
+	maxStudies      int
+	drain           time.Duration
+	migrate         string
+	noResume        bool
+	token           string
+	pruner          string
+	retainEvents    int
+	compactInterval time.Duration
 }
 
 func main() {
@@ -62,6 +72,10 @@ func main() {
 	flag.BoolVar(&o.noResume, "no-resume", false, "do not re-queue studies left running by a previous daemon")
 	flag.StringVar(&o.token, "token", "", "bearer token required on every endpoint except /healthz (empty = no auth)")
 	flag.StringVar(&o.pruner, "pruner", "", "default trial pruner for specs that set none: none | median | asha")
+	flag.IntVar(&o.retainEvents, "retain-events", 0,
+		"per-study in-memory event window for SSE resume (0 = default, negative = unbounded)")
+	flag.DurationVar(&o.compactInterval, "compact-interval", 10*time.Minute,
+		"how often terminal studies' journal segments are compacted in the background (0 = only on POST /v1/admin/compact)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -105,7 +119,10 @@ func newDaemon(o options) (*daemon, error) {
 	if _, err := hpo.NewPruner(o.pruner, 0, 0); err != nil {
 		return nil, err
 	}
-	journal, err := store.OpenJournal(o.journal, store.JournalOptions{})
+	journal, err := store.OpenJournal(o.journal, store.JournalOptions{
+		RetainEvents:    o.retainEvents,
+		CompactInterval: o.compactInterval,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -273,6 +273,98 @@ func TestDaemonCancelIsTerminalAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestDaemonCompactionSurvivesRestart: finish studies, compact the journal
+// over the admin endpoint, kill the daemon, restart over the same journal
+// — every acknowledged trial result and final metric must still be served,
+// with zero re-executions, and the compacted studies must not re-queue.
+func TestDaemonCompactionSurvivesRestart(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "hpod.journal")
+
+	var calls1 atomic.Int32
+	d1, err := newDaemon(testOptions(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.srv.Runner().Objectives = slowObjectives(time.Millisecond, &calls1)
+	if err := d1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d1.Addr()
+
+	spec := `{"name":"compactme","algo":"grid","space":{"num_epochs":[1,2,3,4]},"start":true}`
+	code, created := httpJSON(t, "POST", base+"/v1/studies", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, s := httpJSON(t, "GET", base+"/v1/studies/"+id, ""); s["state"] == "done" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wantAccs := trialAccs(t, base, id)
+	if len(wantAccs) != 4 {
+		t.Fatalf("study did not finish: %d trials", len(wantAccs))
+	}
+
+	code, out := httpJSON(t, "POST", base+"/v1/admin/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("compact = %d %v", code, out)
+	}
+	if delta, _ := out["compacted"].(map[string]interface{}); delta == nil || delta["studies_compacted"].(float64) < 1 {
+		t.Fatalf("nothing compacted: %v", out)
+	}
+	if err := d1.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	var calls2 atomic.Int32
+	d2, err := newDaemon(testOptions(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.srv.Runner().Objectives = slowObjectives(time.Millisecond, &calls2)
+	if err := d2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Stop()
+	base = "http://" + d2.Addr()
+
+	code, s := httpJSON(t, "GET", base+"/v1/studies/"+id, "")
+	if code != http.StatusOK || s["state"] != "done" {
+		t.Fatalf("compacted study after restart = %d %v", code, s)
+	}
+	gotAccs := trialAccs(t, base, id)
+	if len(gotAccs) != len(wantAccs) {
+		t.Fatalf("trials after compaction+restart = %d, want %d", len(gotAccs), len(wantAccs))
+	}
+	for k, v := range wantAccs {
+		if gotAccs[k] != v {
+			t.Fatalf("trial %d final acc drifted: %v → %v", k, v, gotAccs[k])
+		}
+	}
+	if calls2.Load() != 0 {
+		t.Fatalf("restart re-executed %d trials of a compacted done study", calls2.Load())
+	}
+}
+
+// trialAccs maps trial id → final accuracy as served by the API.
+func trialAccs(t *testing.T, base, id string) map[int]float64 {
+	t.Helper()
+	code, out := httpJSON(t, "GET", base+"/v1/studies/"+id+"/trials", "")
+	if code != http.StatusOK {
+		t.Fatalf("trials = HTTP %d", code)
+	}
+	accs := make(map[int]float64)
+	for _, raw := range out["trials"].([]interface{}) {
+		tr := raw.(map[string]interface{})
+		accs[int(tr["id"].(float64))] = tr["final_acc"].(float64)
+	}
+	return accs
+}
+
 // TestDaemonMigrateFlag imports a legacy checkpoint on boot.
 func TestDaemonMigrateFlag(t *testing.T) {
 	dir := t.TempDir()

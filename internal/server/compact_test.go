@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hpo"
+	"repro/internal/runtime"
+	"repro/internal/store"
+)
+
+// newCompactTestServer wires a server over a journal with a tiny SSE
+// retention window, returning the journal for direct event injection.
+func newCompactTestServer(t *testing.T, opts store.JournalOptions) (*store.Journal, *httptest.Server) {
+	t.Helper()
+	journal, err := store.OpenJournal(filepath.Join(t.TempDir(), "j"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal.Close() })
+	factory := func(spec StudySpec) (*runtime.Runtime, func(), error) {
+		rt, err := runtime.New(runtime.Options{Cluster: cluster.Local(2), Backend: runtime.Real})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rt, rt.Shutdown, nil
+	}
+	srv := New(journal, factory, 2)
+	srv.Runner().Objectives = func(spec StudySpec) (hpo.Objective, error) {
+		return &hpo.FuncObjective{ObjName: "fast", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+			return hpo.TrialMetrics{BestAcc: 0.5, FinalAcc: 0.5, Epochs: 1, ValAccHistory: []float64{0.5}}, nil
+		}}, nil
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return journal, ts
+}
+
+// TestAdminCompactEndpoint: POST /v1/admin/compact rewrites terminal
+// studies and reports reclaim counters; /healthz carries the cumulative
+// journal stats.
+func TestAdminCompactEndpoint(t *testing.T) {
+	journal, ts := newCompactTestServer(t, store.JournalOptions{NoSync: true})
+
+	// A finished study with per-epoch telemetry, built through the store.
+	if err := journal.CreateStudy(store.StudyMeta{ID: "done1"}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 30; e++ {
+		if err := journal.AppendMetric("done1", 0, e, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := journal.AppendTrials("done1", []store.Trial{{ID: 0, Config: map[string]interface{}{"x": 1}, FinalAcc: 0.7, BestAcc: 0.7, Epochs: 30}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.SetStudyState("done1", store.StateDone, "", &store.Summary{Trials: 1, BestAcc: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := postJSON(t, ts.URL+"/v1/admin/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("compact = %d %v", code, out)
+	}
+	delta, ok := out["compacted"].(map[string]interface{})
+	if !ok || delta["studies_compacted"].(float64) != 1 {
+		t.Fatalf("compact response = %v", out)
+	}
+	if delta["records_dropped"].(float64) < 30 {
+		t.Fatalf("compaction dropped too few records: %v", delta)
+	}
+
+	code, health := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	js, ok := health["journal"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("healthz missing journal stats: %v", health)
+	}
+	comp, ok := js["compaction"].(map[string]interface{})
+	if !ok || comp["studies_compacted"].(float64) != 1 {
+		t.Fatalf("healthz compaction stats = %v", js)
+	}
+
+	// The compacted study still serves its trials.
+	code, trials := getJSON(t, ts.URL+"/v1/studies/done1/trials")
+	if code != http.StatusOK || len(trials["trials"].([]interface{})) != 1 {
+		t.Fatalf("trials after compact = %d %v", code, trials)
+	}
+}
+
+// TestSSEResumeBelowRetentionWindow: an events request whose since
+// predates the in-memory window gets a snapshot-then-tail stream — study
+// state and trials reconstructed from the index with non-decreasing SSE
+// ids — rather than an error or a silent gap.
+func TestSSEResumeBelowRetentionWindow(t *testing.T) {
+	journal, ts := newCompactTestServer(t, store.JournalOptions{NoSync: true, RetainEvents: 4})
+
+	if err := journal.CreateStudy(store.StudyMeta{ID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.AppendTrials("s", []store.Trial{{ID: 0, Config: map[string]interface{}{"x": 1}, FinalAcc: 0.6, BestAcc: 0.6}}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 40; e++ {
+		if err := journal.AppendMetric("s", 1, e, 0.01*float64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Terminal state so the SSE stream closes once it has caught up.
+	if err := journal.SetStudyState("s", store.StateDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/studies/s/events?since=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", resp.StatusCode)
+	}
+	var types []string
+	sawSnapshotStudy, sawSnapshotTrial, sawState := false, false, false
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		data := strings.TrimPrefix(line, "data: ")
+		switch {
+		case strings.Contains(data, `"snapshot":true`) && strings.Contains(data, `"type":"study"`):
+			sawSnapshotStudy = true
+		case strings.Contains(data, `"snapshot":true`) && strings.Contains(data, `"type":"trial"`):
+			sawSnapshotTrial = true
+		case strings.Contains(data, `"type":"state"`):
+			sawState = true
+		}
+		types = append(types, data)
+	}
+	if !sawSnapshotStudy || !sawSnapshotTrial {
+		t.Fatalf("below-window resume missing snapshot events; stream: %v", types)
+	}
+	if !sawState {
+		t.Fatalf("stream missing the terminal state event; stream: %v", types)
+	}
+}

@@ -11,7 +11,8 @@
 //	POST /v1/studies/{id}/cancel stop a queued/running study (terminal "canceled")
 //	GET  /v1/studies/{id}/trials finished trials
 //	GET  /v1/studies/{id}/events SSE stream of trial/metric/prune/state events (?since=seq)
-//	GET  /healthz                liveness + counters
+//	POST /v1/admin/compact       compact terminal studies' journal segments now
+//	GET  /healthz                liveness + counters + journal/compaction stats
 //
 // When a bearer token is configured (SetAuthToken / hpod -token), every
 // endpoint except /healthz requires "Authorization: Bearer <token>".
@@ -59,6 +60,7 @@ func New(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Server {
 	s.mux.HandleFunc("POST /v1/studies/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/studies/{id}/trials", s.handleTrials)
 	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
 	return s
 }
 
@@ -161,6 +163,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"studies":        len(studies),
 		"active":         active,
+		"journal":        s.store.Stats(),
+	})
+}
+
+// handleCompact runs an on-demand journal compaction: every terminal study
+// is rewritten down to its summary records (per-epoch metric telemetry is
+// dropped from disk and from the SSE resume window). Returns the run's
+// reclaim counters plus the cumulative totals — the same numbers /healthz
+// reports under "journal".
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	delta, err := s.store.Compact()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"compacted": delta,
+		"journal":   s.store.Stats(),
 	})
 }
 

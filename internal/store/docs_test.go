@@ -1,0 +1,31 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalDocSpecCoversRecordTypes pins docs/JOURNAL.md to the code:
+// every record type this package emits must be documented (as a backticked
+// term) in the on-disk format spec, so the spec cannot silently fall
+// behind a new event type. CI runs this as the docs check.
+func TestJournalDocSpecCoversRecordTypes(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "JOURNAL.md"))
+	if err != nil {
+		t.Fatalf("docs/JOURNAL.md unreadable: %v", err)
+	}
+	spec := string(raw)
+	for _, typ := range recordTypes {
+		if !strings.Contains(spec, "`"+typ+"`") {
+			t.Errorf("docs/JOURNAL.md does not document record type %q", typ)
+		}
+	}
+	// The spec must also cover the structural pillars of the format.
+	for _, term := range []string{"MANIFEST.json", "segment-", "seq", "compact", "flock", "snapshot"} {
+		if !strings.Contains(strings.ToLower(spec), strings.ToLower(term)) {
+			t.Errorf("docs/JOURNAL.md does not mention %q", term)
+		}
+	}
+}

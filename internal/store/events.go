@@ -1,0 +1,134 @@
+package store
+
+import "sort"
+
+// eventWindow is the per-study in-memory event ring that feeds SSE resume:
+// a circular buffer of the last cap events. dropped remembers the highest
+// sequence number evicted from the window, which is the boundary below
+// which EventsSince must synthesize a snapshot instead of replaying.
+type eventWindow struct {
+	buf     []Event
+	head    int // index of the oldest retained event once the ring is full
+	cap     int // 0 = unbounded
+	dropped uint64
+}
+
+// push appends an event, evicting the oldest once the window is full.
+func (w *eventWindow) push(ev Event) {
+	if w.cap <= 0 || len(w.buf) < w.cap {
+		w.buf = append(w.buf, ev)
+		return
+	}
+	w.dropped = w.buf[w.head].Seq
+	w.buf[w.head] = ev
+	w.head = (w.head + 1) % w.cap
+}
+
+// since returns retained events with sequence numbers greater than s,
+// oldest first.
+func (w *eventWindow) since(s uint64) []Event {
+	var out []Event
+	for i := 0; i < len(w.buf); i++ {
+		ev := w.buf[(w.head+i)%len(w.buf)]
+		if ev.Seq > s {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// drop removes retained events matching the predicate (compaction drops a
+// terminal study's metric telemetry from the resume window, matching what
+// it drops on disk). The eviction boundary is unchanged: removed events
+// simply no longer replay.
+func (w *eventWindow) drop(match func(Event) bool) {
+	kept := make([]Event, 0, len(w.buf))
+	for i := 0; i < len(w.buf); i++ {
+		ev := w.buf[(w.head+i)%len(w.buf)]
+		if match(ev) {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	w.buf, w.head = kept, 0
+}
+
+// pushEvent appends to a study's window, creating it on first use. Callers
+// must hold j.mu.
+func (j *Journal) pushEvent(ev Event) {
+	w := j.windows[ev.StudyID]
+	if w == nil {
+		w = &eventWindow{cap: j.retain}
+		j.windows[ev.StudyID] = w
+	}
+	w.push(ev)
+}
+
+// EventsSince returns journal events with sequence numbers greater than
+// since, filtered to one study when id is non-empty, plus the current tail
+// sequence (the resume point for the next call).
+//
+// Events are served from a bounded per-study window (JournalOptions.
+// RetainEvents), so a resume point may have aged out. In that case the gap
+// cannot be replayed verbatim; instead the call returns a snapshot-then-
+// tail view: synthesized events reconstructing the study's current state
+// from the index — one "study" event carrying the live state, then one
+// "trial" event per recorded trial, all marked Snapshot and stamped with
+// the eviction-boundary sequence — followed by the retained tail. Sequence
+// numbers remain non-decreasing across the response, and a resume at
+// exactly the boundary seq re-serves the whole (idempotent) snapshot, so a
+// client that disconnects mid-snapshot cannot strand itself. Clients lose
+// only per-epoch metric points older than the window, which compaction
+// drops from disk anyway.
+func (j *Journal) EventsSince(id string, since uint64) ([]Event, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	if id != "" {
+		out = j.eventsSinceLocked(id, since)
+	} else {
+		for _, sid := range j.order {
+			out = append(out, j.eventsSinceLocked(sid, since)...)
+		}
+		sort.SliceStable(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	}
+	return out, j.seq
+}
+
+// eventsSinceLocked serves one study's events, synthesizing the snapshot
+// when since predates the retention window. Callers must hold j.mu.
+func (j *Journal) eventsSinceLocked(id string, since uint64) []Event {
+	w := j.windows[id]
+	if w == nil {
+		return nil
+	}
+	// Serve the snapshot when since is at or below the eviction boundary:
+	// snapshot events are all stamped with the boundary seq, so a client
+	// that disconnects mid-snapshot resumes at exactly that seq and must
+	// receive the (idempotent) snapshot again rather than a tail missing
+	// the trial events it never saw.
+	if w.dropped == 0 || since > w.dropped {
+		return w.since(since)
+	}
+	meta := j.studies[id]
+	if meta == nil {
+		return w.since(since)
+	}
+	out := []Event{{Seq: w.dropped, Type: recStudy, StudyID: id, State: meta.State, Error: meta.Error, Snapshot: true}}
+	trials := append([]Trial(nil), j.trials[id]...)
+	sort.SliceStable(trials, func(a, b int) bool { return trials[a].ID < trials[b].ID })
+	for i := range trials {
+		out = append(out, Event{Seq: w.dropped, Type: recTrial, StudyID: id, Trial: &trials[i], Snapshot: true})
+	}
+	// Everything retained is newer than the eviction boundary, so sequence
+	// numbers stay non-decreasing after the snapshot.
+	return append(out, w.since(w.dropped)...)
+}
+
+// Watch returns a channel closed on the next journal append (a broadcast
+// tick). Callers re-invoke EventsSince after each tick.
+func (j *Journal) Watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.watch
+}

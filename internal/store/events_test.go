@@ -1,0 +1,154 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestEventsWindowSnapshotThenTail: when an SSE client resumes from a
+// sequence number that has aged out of the retention window, EventsSince
+// must return a synthesized snapshot of the study's current state followed
+// by the retained tail, with non-decreasing sequence numbers throughout.
+func TestEventsWindowSnapshotThenTail(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"), JournalOptions{NoSync: true, RetainEvents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendTrials("s", []Trial{mkTrial(0, 2, 0.5), mkTrial(1, 3, 0.6)}); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the window with telemetry so the early events are evicted.
+	for e := 0; e < 50; e++ {
+		if err := j.AppendMetric("s", 2, e, 0.01*float64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	events, tail := j.EventsSince("s", 0)
+	if len(events) == 0 {
+		t.Fatal("no events for below-window resume")
+	}
+	if !events[0].Snapshot || events[0].Type != "study" {
+		t.Fatalf("resume must start with a study snapshot, got %+v", events[0])
+	}
+	snapTrials, tailMetrics := 0, 0
+	var lastSeq uint64
+	for i, ev := range events {
+		if ev.Seq < lastSeq {
+			t.Fatalf("sequence regressed at %d: %d after %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch {
+		case ev.Snapshot && ev.Type == "trial":
+			snapTrials++
+		case !ev.Snapshot && ev.Type == "metric":
+			tailMetrics++
+		}
+	}
+	if snapTrials != 2 {
+		t.Fatalf("snapshot carried %d trials, want 2", snapTrials)
+	}
+	if tailMetrics == 0 || tailMetrics > 8 {
+		t.Fatalf("retained tail carried %d metrics, want 1..8", tailMetrics)
+	}
+
+	// Resuming from the returned tail yields nothing new — the client has
+	// converged.
+	rest, _ := j.EventsSince("s", tail)
+	if len(rest) != 0 {
+		t.Fatalf("resume from tail returned %d events", len(rest))
+	}
+	// A client that disconnected mid-snapshot resumes at exactly the
+	// boundary seq (every snapshot event carries it as its SSE id) and
+	// must get the whole snapshot again — not a tail missing the trial
+	// events it never received.
+	reentry, _ := j.EventsSince("s", events[0].Seq)
+	if len(reentry) == 0 || !reentry[0].Snapshot {
+		t.Fatalf("mid-snapshot resume lost the snapshot: %+v", reentry)
+	}
+	reTrials := 0
+	for _, ev := range reentry {
+		if ev.Snapshot && ev.Type == "trial" {
+			reTrials++
+		}
+	}
+	if reTrials != 2 {
+		t.Fatalf("mid-snapshot resume carried %d trials, want 2", reTrials)
+	}
+
+	// A resume point still inside the window replays verbatim: no snapshot.
+	inWindow, _ := j.EventsSince("s", tail-3)
+	if len(inWindow) != 3 {
+		t.Fatalf("in-window resume returned %d events, want 3", len(inWindow))
+	}
+	for _, ev := range inWindow {
+		if ev.Snapshot {
+			t.Fatalf("in-window resume synthesized a snapshot: %+v", ev)
+		}
+	}
+}
+
+// TestEventsWindowUnboundedOption: negative RetainEvents disables the
+// window (everything replays verbatim, as the pre-shard journal did).
+func TestEventsWindowUnboundedOption(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"), JournalOptions{NoSync: true, RetainEvents: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3000; e++ {
+		if err := j.AppendMetric("s", 0, e, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, _ := j.EventsSince("s", 0)
+	if len(events) != 3001 { // study + metrics
+		t.Fatalf("unbounded window retained %d events, want 3001", len(events))
+	}
+}
+
+// TestEventsWindowSurvivesCompaction: after compaction drops a terminal
+// study's metrics from the window, trial and state events still replay for
+// in-window resumes.
+func TestEventsWindowSurvivesCompaction(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"), JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 10; e++ {
+		if err := j.AppendMetric("s", 0, e, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.AppendTrials("s", []Trial{mkTrial(0, 2, 0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetStudyState("s", StateDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := j.EventsSince("s", 0)
+	var types []string
+	for _, ev := range events {
+		if ev.Type == "metric" {
+			t.Fatalf("metric event survived compaction: %+v", ev)
+		}
+		types = append(types, ev.Type)
+	}
+	if len(types) < 3 { // study, trial, state at minimum
+		t.Fatalf("compaction over-pruned the window: %v", types)
+	}
+}

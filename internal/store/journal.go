@@ -2,21 +2,32 @@ package store
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"syscall"
 	"time"
 )
 
+// Journal record types. Every JSONL line in a segment carries exactly one
+// of these in its "type" field; recordTypes (store.go) enumerates them for
+// the docs spec check.
+const (
+	recStudy  = "study"
+	recState  = "state"
+	recTrial  = "trial"
+	recMetric = "metric"
+	recPrune  = "prune"
+)
+
 // record is one JSONL journal line. Exactly one of Study / Trial / State /
 // Metric / Prune payloads is set, per Type.
 type record struct {
 	Seq     uint64         `json:"seq"`
-	Type    string         `json:"type"` // "study" | "state" | "trial" | "metric" | "prune"
+	Type    string         `json:"type"` // one of recordTypes
 	StudyID string         `json:"study_id,omitempty"`
 	Study   *StudyMeta     `json:"study,omitempty"`
 	State   StudyState     `json:"state,omitempty"`
@@ -30,17 +41,30 @@ type record struct {
 
 // Event is a journal record surfaced to watchers (the server's per-trial
 // event stream). Seq orders events globally and doubles as the SSE id, so
-// clients can resume a stream with "?since=<seq>".
+// clients can resume a stream with "?since=<seq>". Snapshot marks events
+// synthesized from the index when a resume point has aged out of the
+// in-memory retention window (see EventsSince).
 type Event struct {
-	Seq     uint64         `json:"seq"`
-	Type    string         `json:"type"`
-	StudyID string         `json:"study_id"`
-	State   StudyState     `json:"state,omitempty"`
-	Error   string         `json:"error,omitempty"`
-	Trial   *Trial         `json:"trial,omitempty"`
-	Metric  *MetricPoint   `json:"metric,omitempty"`
-	Prune   *PruneDecision `json:"prune,omitempty"`
+	Seq      uint64         `json:"seq"`
+	Type     string         `json:"type"`
+	StudyID  string         `json:"study_id"`
+	State    StudyState     `json:"state,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Trial    *Trial         `json:"trial,omitempty"`
+	Metric   *MetricPoint   `json:"metric,omitempty"`
+	Prune    *PruneDecision `json:"prune,omitempty"`
+	Snapshot bool           `json:"snapshot,omitempty"`
 }
+
+// Defaults for JournalOptions zero values.
+const (
+	// DefaultRetainEvents is the per-study in-memory event window used when
+	// JournalOptions.RetainEvents is zero.
+	DefaultRetainEvents = 1024
+	// DefaultMaxSegmentBytes is the segment rotation threshold used when
+	// JournalOptions.MaxSegmentBytes is zero.
+	DefaultMaxSegmentBytes = 4 << 20
+)
 
 // JournalOptions tunes Open.
 type JournalOptions struct {
@@ -48,24 +72,57 @@ type JournalOptions struct {
 	// still written append-only and crash recovery still works up to the OS
 	// page cache.
 	NoSync bool
+	// RetainEvents bounds the in-memory per-study event window that feeds
+	// SSE resume: only the last RetainEvents events of each study stay
+	// addressable by sequence number; resuming below the window returns a
+	// synthesized snapshot instead (see EventsSince). 0 means
+	// DefaultRetainEvents; negative means unbounded (tests).
+	RetainEvents int
+	// MaxSegmentBytes rotates a study's active segment once it grows past
+	// this size, so compaction and recovery work file-at-a-time. 0 means
+	// DefaultMaxSegmentBytes; negative disables rotation.
+	MaxSegmentBytes int64
+	// CompactInterval, when positive, runs Compact in the background on
+	// that period until Close.
+	CompactInterval time.Duration
 }
 
-// Journal is the persistent study store: an append-only JSONL write-ahead
-// log plus an in-memory index rebuilt on Open. All methods are safe for
-// concurrent use.
+// studySegments is the per-study file state: which segment numbers are
+// live, the open append handle on the highest one, and the counters that
+// drive rotation and compaction eligibility.
+type studySegments struct {
+	nums    []int // live segment numbers, ascending; the last is active
+	f       *os.File
+	w       *bufio.Writer
+	size    int64  // bytes in the active segment
+	recs    int    // records across all live segments (on-disk, pre-filter)
+	lastSeq uint64 // seq of the study's most recent record
+}
+
+// Journal is the persistent study store: a sharded append-only JSONL
+// write-ahead log (one directory of per-study segment files plus a
+// manifest, see docs/JOURNAL.md) and an in-memory index rebuilt on Open.
+// All methods are safe for concurrent use.
 //
 // Durability uses group commit: every append flushes and fsyncs, but
-// concurrent appenders coalesce onto a single fsync (the first writer
+// concurrent appenders coalesce onto a single fsync pass (the first writer
 // through syncs everything buffered so far; the rest observe their
 // sequence number already durable and return without touching the disk).
+//
+// Terminal studies are compactable: Compact (or the background compactor)
+// rewrites them down to their summary records — the study metadata and the
+// final trial results — dropping per-epoch metric telemetry, so boot
+// replay time scales with live studies rather than total history.
 type Journal struct {
 	mu     sync.Mutex // guards file writes and the index
-	f      *os.File
-	w      *bufio.Writer
-	path   string
+	dir    string
 	opts   JournalOptions
+	retain int   // resolved RetainEvents (0 = unbounded)
+	maxSeg int64 // resolved MaxSegmentBytes (0 = never rotate)
 	closed bool
 	seq    uint64
+
+	lock *os.File // flock'd LOCK file — the single-writer guard
 
 	studies map[string]*StudyMeta
 	order   []string           // study ids in creation order
@@ -75,102 +132,274 @@ type Journal struct {
 	// memo maps scope+fingerprint → first successful trial across all
 	// studies (see Trial.Scope).
 	memo map[string]Trial
-	// events is the replayable event log served to watchers; it mirrors the
-	// journal (which already lives in memory via the index) so SSE clients
-	// can resume from any sequence number, including across restarts.
-	events []Event
+	// seg tracks each study's live segment files; segOrder mirrors the
+	// manifest's study order (creation order, including studies whose
+	// first record never landed).
+	seg      map[string]*studySegments
+	segOrder []string
+	// dirtySet names studies with buffered writes awaiting the next commit.
+	dirtySet map[string]struct{}
+	// retired holds segment file handles sealed by rotation. They are
+	// already flushed and fsynced but must not be closed under j.mu alone:
+	// a commit in flight may have collected the handle for its lock-free
+	// fsync pass. They are closed under commitMu (commit, Close), which
+	// serialises with every fsync.
+	retired []*os.File
+	// windows holds the per-study retained event ring served to watchers.
+	windows map[string]*eventWindow
 	// watchers are closed-and-replaced on every append (broadcast).
 	watch chan struct{}
+
+	// stats accumulates compaction counters for Stats / healthz.
+	stats CompactionStats
+	// compactMu serialises whole compaction runs (ticker vs admin endpoint).
+	compactMu   sync.Mutex
+	compactStop chan struct{}
+	compactDone chan struct{}
 
 	// commitMu serialises fsyncs; synced is the highest durable seq.
 	commitMu sync.Mutex
 	synced   uint64
 }
 
-// OpenJournal opens (or creates) the journal at path and replays it into
-// memory. The file is flock'd exclusively — a second process opening the
-// same journal gets ErrLocked rather than silently interleaving writes. A
-// partially written final record — the signature of a crash mid append —
-// is detected and truncated away; corruption before the tail returns
-// ErrCorrupt.
+// OpenJournal opens (or creates) the sharded journal directory at path and
+// replays it into memory. A legacy single-file journal at path is migrated
+// to the sharded layout first (the original bytes are preserved inside the
+// directory as legacy.jsonl.bak). The store is flock'd exclusively — a
+// second process opening the same journal gets ErrLocked rather than
+// silently interleaving writes. A partially written final record in a
+// study's active segment — the signature of a crash mid append — is
+// detected and truncated away; corruption anywhere else returns ErrCorrupt.
 func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
 	j := &Journal{
-		path:    path,
-		opts:    opts,
-		studies: make(map[string]*StudyMeta),
-		trials:  make(map[string][]Trial),
-		seenOK:  make(map[string]map[string]bool),
-		memo:    make(map[string]Trial),
-		watch:   make(chan struct{}),
+		dir:      path,
+		opts:     opts,
+		retain:   resolveRetain(opts.RetainEvents),
+		maxSeg:   resolveMaxSeg(opts.MaxSegmentBytes),
+		studies:  make(map[string]*StudyMeta),
+		trials:   make(map[string][]Trial),
+		seenOK:   make(map[string]map[string]bool),
+		memo:     make(map[string]Trial),
+		seg:      make(map[string]*studySegments),
+		dirtySet: make(map[string]struct{}),
+		windows:  make(map[string]*eventWindow),
+		watch:    make(chan struct{}),
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	fi, err := os.Stat(path)
+	switch {
+	case err == nil && fi.IsDir():
+		// Already sharded.
+	case err == nil:
+		// Legacy single-file journal: migrate in place.
+		if err := migrateLegacyJournal(path, opts.NoSync); err != nil {
+			return nil, err
+		}
+	case os.IsNotExist(err):
+		if err := adoptOrInitDir(path, opts.NoSync); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("store: stat journal: %w", err)
+	}
+	lf, err := os.OpenFile(filepath.Join(path, lockName), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening journal: %w", err)
+		return nil, fmt.Errorf("store: opening journal lock: %w", err)
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lf.Close()
 		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
 	}
-	// Replay (and possibly truncate a torn tail) only after the lock is
-	// held, so recovery never races a live writer. Closing f releases the
-	// flock.
+	j.lock = lf
+	// Replay (and possibly truncate torn active-segment tails) only after
+	// the lock is held, so recovery never races a live writer. Closing the
+	// lock file releases the flock.
 	if err := j.replay(); err != nil {
-		f.Close()
+		lf.Close()
 		return nil, err
 	}
-	j.f = f
-	j.w = bufio.NewWriter(f)
+	j.synced = j.seq
+	if opts.CompactInterval > 0 {
+		j.startCompactor(opts.CompactInterval)
+	}
 	return j, nil
 }
 
-// replay loads the journal file into the index, truncating a torn tail.
-func (j *Journal) replay() error {
-	raw, err := os.ReadFile(j.path)
-	if os.IsNotExist(err) {
-		return nil
+// resolveRetain maps the RetainEvents option onto the window cap (0 =
+// unbounded).
+func resolveRetain(n int) int {
+	switch {
+	case n == 0:
+		return DefaultRetainEvents
+	case n < 0:
+		return 0
 	}
+	return n
+}
+
+// resolveMaxSeg maps the MaxSegmentBytes option onto the rotation
+// threshold (0 = never rotate).
+func resolveMaxSeg(n int64) int64 {
+	switch {
+	case n == 0:
+		return DefaultMaxSegmentBytes
+	case n < 0:
+		return 0
+	}
+	return n
+}
+
+// adoptOrInitDir handles Open on a path that does not exist: either a
+// migration crashed between its two directory renames (the fully built
+// ".migrating" staging dir exists — adopt it), or this is a fresh journal.
+func adoptOrInitDir(path string, noSync bool) error {
+	staging := path + migratingSuffix
+	_, ok, err := readManifest(staging)
 	if err != nil {
-		return fmt.Errorf("store: reading journal: %w", err)
+		// The staging dir exists but its manifest is damaged or from an
+		// unknown version: it may hold the only copy of migrated data
+		// (including the legacy backup), so surface the problem instead of
+		// silently booting an empty journal over it.
+		return fmt.Errorf("interrupted migration at %s unreadable: %w", staging, err)
 	}
-	offset := 0 // byte offset just past the last good record
-	for len(raw) > offset {
-		rest := raw[offset:]
-		nl := bytes.IndexByte(rest, '\n')
-		if nl < 0 {
-			// A record is committed iff newline-terminated. A parseable but
-			// unterminated tail must still be dropped: keeping it while
-			// appending in O_APPEND mode would concatenate the next record
-			// onto the same line and corrupt the journal for good.
-			break
+	if ok {
+		if err := os.Rename(staging, path); err != nil {
+			return fmt.Errorf("store: adopting interrupted migration: %w", err)
 		}
-		var rec record
-		if err := json.Unmarshal(rest[:nl], &rec); err != nil || rec.Type == "" {
-			// Torn tail: the final line is half-flushed. Anything before it
-			// that fails to parse is real corruption.
-			if offset+nl+1 >= len(raw) {
-				break
-			}
-			return fmt.Errorf("%w: bad record at byte %d of %s", ErrCorrupt, offset, j.path)
+		return syncDir(filepath.Dir(path), noSync)
+	}
+	if err := os.MkdirAll(filepath.Join(path, studiesDirName), 0o755); err != nil {
+		return fmt.Errorf("store: creating journal dir: %w", err)
+	}
+	return nil
+}
+
+// replay loads every manifest-listed segment into the index. Per study,
+// earlier segments must parse cleanly (they were fsynced before their
+// manifest commit); only the active segment may carry a torn tail, which
+// is truncated. Per-epoch metric records of terminal studies are skipped —
+// they are dropped by compaction anyway, and replaying them would grow
+// boot memory with history no consumer can use.
+func (j *Journal) replay() error {
+	man, ok, err := readManifest(j.dir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// No manifest: only legal before the first study exists (a fresh
+		// dir, or a crash before the first manifest write).
+		if entries, _ := os.ReadDir(filepath.Join(j.dir, studiesDirName)); len(entries) > 0 {
+			return fmt.Errorf("%w: segment data without a manifest in %s", ErrCorrupt, j.dir)
 		}
+		if err := os.MkdirAll(filepath.Join(j.dir, studiesDirName), 0o755); err != nil {
+			return fmt.Errorf("store: creating studies dir: %w", err)
+		}
+		return writeManifest(j.dir, manifest{Version: manifestVersion}, j.opts.NoSync)
+	}
+	var all []record
+	for _, ms := range man.Studies {
+		recs, ss, err := j.replayStudy(ms)
+		if err != nil {
+			return err
+		}
+		j.seg[ms.ID] = ss
+		j.segOrder = append(j.segOrder, ms.ID)
+		all = append(all, recs...)
+		// lastSeq counts filtered-out records too: the seq counter must
+		// never re-issue a number still occupied on disk.
+		if ss.lastSeq > j.seq {
+			j.seq = ss.lastSeq
+		}
+	}
+	// Segments hold per-study slices of the global sequence; interleave
+	// them back into append order before applying.
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Seq < all[b].Seq })
+	for _, rec := range all {
 		j.apply(rec)
 		if rec.Seq > j.seq {
 			j.seq = rec.Seq
-		}
-		offset += nl + 1
-	}
-	j.synced = j.seq
-	if offset < len(raw) {
-		if err := os.Truncate(j.path, int64(offset)); err != nil {
-			return fmt.Errorf("store: truncating torn journal tail: %w", err)
 		}
 	}
 	return nil
 }
 
-// apply folds one record into the in-memory index and event log.
+// replayStudy reads one study's live segments, truncating a torn tail on
+// the active segment and deleting stale (unlisted) segment files left by a
+// crashed compaction. Metric records are filtered out when the study ended
+// terminal.
+func (j *Journal) replayStudy(ms manifestStudy) ([]record, *studySegments, error) {
+	dir := studyDir(j.dir, ms.ID)
+	if _, err := pruneStaleSegments(dir, ms.Segments); err != nil {
+		return nil, nil, err
+	}
+	nums := append([]int(nil), ms.Segments...)
+	sort.Ints(nums)
+	ss := &studySegments{nums: nums}
+	var recs []record
+	for i, n := range nums {
+		path := filepath.Join(dir, segmentFileName(n))
+		active := i == len(nums)-1
+		raw, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			if active {
+				// Listed but never created: a crash between the manifest
+				// commit and the first write. An empty segment. Only the
+				// active segment can be in this state — sealed segments
+				// were fsynced before their manifest commit, so a missing
+				// one is lost acknowledged data, not a crash artifact.
+				continue
+			}
+			return nil, nil, fmt.Errorf("%w: sealed segment missing: %s", ErrCorrupt, path)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: reading segment: %w", err)
+		}
+		rs, good, err := parseSegment(raw, path, active)
+		if err != nil {
+			return nil, nil, err
+		}
+		if active {
+			if good < len(raw) {
+				if err := os.Truncate(path, int64(good)); err != nil {
+					return nil, nil, fmt.Errorf("store: truncating torn segment tail: %w", err)
+				}
+			}
+			ss.size = int64(good)
+		}
+		recs = append(recs, rs...)
+	}
+	ss.recs = len(recs)
+	terminal := false
+	for _, rec := range recs {
+		if rec.Seq > ss.lastSeq {
+			ss.lastSeq = rec.Seq
+		}
+		switch rec.Type {
+		case recStudy:
+			if rec.Study != nil {
+				terminal = rec.Study.State.Terminal()
+			}
+		case recState:
+			terminal = rec.State.Terminal()
+		}
+	}
+	if terminal {
+		kept := recs[:0]
+		for _, rec := range recs {
+			if rec.Type == recMetric {
+				continue
+			}
+			kept = append(kept, rec)
+		}
+		recs = kept
+	}
+	return recs, ss, nil
+}
+
+// apply folds one record into the in-memory index and the study's event
+// window.
 func (j *Journal) apply(rec record) {
 	switch rec.Type {
-	case "study":
+	case recStudy:
 		if rec.Study == nil {
 			return
 		}
@@ -182,8 +411,8 @@ func (j *Journal) apply(rec record) {
 			j.order = append(j.order, meta.ID)
 		}
 		j.studies[meta.ID] = &meta
-		j.events = append(j.events, Event{Seq: rec.Seq, Type: "study", StudyID: meta.ID, State: meta.State})
-	case "state":
+		j.pushEvent(Event{Seq: rec.Seq, Type: recStudy, StudyID: meta.ID, State: meta.State})
+	case recState:
 		meta, ok := j.studies[rec.StudyID]
 		if !ok {
 			return
@@ -197,8 +426,8 @@ func (j *Journal) apply(rec record) {
 			meta.Memoized = rec.Summary.Memoized
 			meta.BestAcc = rec.Summary.BestAcc
 		}
-		j.events = append(j.events, Event{Seq: rec.Seq, Type: "state", StudyID: rec.StudyID, State: rec.State, Error: rec.Error})
-	case "trial":
+		j.pushEvent(Event{Seq: rec.Seq, Type: recState, StudyID: rec.StudyID, State: rec.State, Error: rec.Error})
+	case recTrial:
 		if rec.Trial == nil {
 			return
 		}
@@ -219,24 +448,116 @@ func (j *Journal) apply(rec record) {
 			}
 		}
 		tc := t
-		j.events = append(j.events, Event{Seq: rec.Seq, Type: "trial", StudyID: rec.StudyID, Trial: &tc})
-	case "metric":
+		j.pushEvent(Event{Seq: rec.Seq, Type: recTrial, StudyID: rec.StudyID, Trial: &tc})
+	case recMetric:
 		if rec.Metric == nil {
 			return
 		}
 		m := *rec.Metric
-		j.events = append(j.events, Event{Seq: rec.Seq, Type: "metric", StudyID: rec.StudyID, Metric: &m})
-	case "prune":
+		j.pushEvent(Event{Seq: rec.Seq, Type: recMetric, StudyID: rec.StudyID, Metric: &m})
+	case recPrune:
 		if rec.Prune == nil {
 			return
 		}
 		p := *rec.Prune
-		j.events = append(j.events, Event{Seq: rec.Seq, Type: "prune", StudyID: rec.StudyID, Prune: &p})
+		j.pushEvent(Event{Seq: rec.Seq, Type: recPrune, StudyID: rec.StudyID, Prune: &p})
 	}
 }
 
 // memoKey namespaces the memo index by objective scope.
 func memoKey(scope, fingerprint string) string { return scope + "\x00" + fingerprint }
+
+// writerFor returns the open append state for a study's active segment,
+// creating the study's directory, manifest entry and first segment when
+// this is the study's first record. The manifest entry is committed before
+// the segment file exists: a manifest-listed-but-missing segment replays
+// as empty, while an unlisted file would be deleted as compaction debris.
+// rotate permits sealing an oversized active segment — only durable
+// appends pass it, because rotation fsyncs and the no-sync telemetry path
+// must never wait on the disk (the segment merely overshoots the
+// threshold until the study's next durable append). Callers must hold
+// j.mu.
+func (j *Journal) writerFor(id string, rotate bool) (*studySegments, error) {
+	ss := j.seg[id]
+	if ss == nil {
+		if !validStudyID(id) {
+			return nil, fmt.Errorf("store: invalid study id %q (allowed: letters, digits, '.', '_', '-', max 128 chars)", id)
+		}
+		if err := os.MkdirAll(studyDir(j.dir, id), 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating study dir: %w", err)
+		}
+		ss = &studySegments{nums: []int{1}}
+		j.seg[id] = ss
+		j.segOrder = append(j.segOrder, id)
+		if err := j.writeManifestLocked(); err != nil {
+			delete(j.seg, id)
+			j.segOrder = j.segOrder[:len(j.segOrder)-1]
+			return nil, err
+		}
+	}
+	if ss.f == nil {
+		if err := j.openActive(id, ss); err != nil {
+			return nil, err
+		}
+	}
+	if rotate && j.maxSeg > 0 && ss.size >= j.maxSeg {
+		if err := j.rotateLocked(id, ss); err != nil {
+			return nil, err
+		}
+	}
+	return ss, nil
+}
+
+// openActive opens (or creates) the study's highest-numbered segment for
+// appending. Callers must hold j.mu.
+func (j *Journal) openActive(id string, ss *studySegments) error {
+	path := filepath.Join(studyDir(j.dir, id), segmentFileName(ss.nums[len(ss.nums)-1]))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat segment: %w", err)
+	}
+	ss.f = f
+	ss.w = bufio.NewWriter(f)
+	ss.size = st.Size()
+	return nil
+}
+
+// rotateLocked seals the study's active segment (flush + fsync) and starts
+// the next one, committing the new segment number to the manifest before
+// the file is created. Callers must hold j.mu.
+func (j *Journal) rotateLocked(id string, ss *studySegments) error {
+	if err := ss.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing segment for rotation: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := ss.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync segment for rotation: %w", err)
+		}
+	}
+	j.retired = append(j.retired, ss.f)
+	ss.f, ss.w = nil, nil
+	delete(j.dirtySet, id)
+	ss.nums = append(ss.nums, ss.nums[len(ss.nums)-1]+1)
+	if err := j.writeManifestLocked(); err != nil {
+		ss.nums = ss.nums[:len(ss.nums)-1]
+		if reopenErr := j.openActive(id, ss); reopenErr != nil {
+			return reopenErr
+		}
+		return err
+	}
+	return j.openActive(id, ss)
+}
+
+// writeManifestLocked commits the current segment table. Callers must hold
+// j.mu.
+func (j *Journal) writeManifestLocked() error {
+	return writeManifest(j.dir, buildManifest(j.segOrder, j.seg), j.opts.NoSync)
+}
 
 // append writes one record, updates the index, wakes watchers and group
 // commits. Returns the record's sequence number.
@@ -244,9 +565,9 @@ func (j *Journal) append(rec record) (uint64, error) {
 	return j.appendBatch([]record{rec})
 }
 
-// appendBatch writes several records under one lock hold and one fsync —
-// the round-commit fast path (a study recording a 32-trial round performs
-// one durable write, not 32).
+// appendBatch writes several records under one lock hold and one fsync
+// pass — the round-commit fast path (a study recording a 32-trial round
+// performs one durable write, not 32).
 func (j *Journal) appendBatch(recs []record) (uint64, error) {
 	return j.appendBatchOpts(recs, true)
 }
@@ -268,6 +589,11 @@ func (j *Journal) appendBatchOpts(recs []record, sync bool) (uint64, error) {
 	now := time.Now().UTC()
 	var seq uint64
 	for i := range recs {
+		ss, err := j.writerFor(recs[i].StudyID, sync)
+		if err != nil {
+			j.mu.Unlock()
+			return 0, err
+		}
 		j.seq++
 		recs[i].Seq = j.seq
 		recs[i].At = now
@@ -276,12 +602,16 @@ func (j *Journal) appendBatchOpts(recs []record, sync bool) (uint64, error) {
 			j.mu.Unlock()
 			return 0, fmt.Errorf("store: encoding record: %w", err)
 		}
-		if _, err := j.w.Write(append(line, '\n')); err != nil {
+		if _, err := ss.w.Write(append(line, '\n')); err != nil {
 			j.mu.Unlock()
 			return 0, fmt.Errorf("store: appending record: %w", err)
 		}
+		ss.size += int64(len(line)) + 1
+		ss.recs++
+		ss.lastSeq = j.seq
+		j.dirtySet[recs[i].StudyID] = struct{}{}
 		j.apply(recs[i])
-		seq = recs[i].Seq
+		seq = j.seq
 	}
 	close(j.watch)
 	j.watch = make(chan struct{})
@@ -293,8 +623,9 @@ func (j *Journal) appendBatchOpts(recs []record, sync bool) (uint64, error) {
 }
 
 // commit makes everything up to seq durable. Concurrent callers coalesce:
-// whoever holds commitMu flushes and fsyncs the journal's current tail, so
-// later callers usually find their seq already synced.
+// whoever holds commitMu flushes every dirty study's writer and fsyncs the
+// touched segments, so later callers usually find their seq already
+// synced.
 func (j *Journal) commit(seq uint64) error {
 	j.commitMu.Lock()
 	defer j.commitMu.Unlock()
@@ -306,23 +637,45 @@ func (j *Journal) commit(seq uint64) error {
 		j.mu.Unlock()
 		return ErrClosed
 	}
-	err := j.w.Flush()
-	tail := j.seq
-	j.mu.Unlock()
-	if err != nil {
-		return fmt.Errorf("store: flushing journal: %w", err)
-	}
-	if !j.opts.NoSync {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("store: fsync journal: %w", err)
+	files := make([]*os.File, 0, len(j.dirtySet))
+	for id := range j.dirtySet {
+		ss := j.seg[id]
+		if ss == nil || ss.w == nil {
+			delete(j.dirtySet, id)
+			continue
 		}
+		if err := ss.w.Flush(); err != nil {
+			// Leave the study marked dirty: a later commit must retry the
+			// flush rather than advance synced past buffered records.
+			j.mu.Unlock()
+			return fmt.Errorf("store: flushing journal: %w", err)
+		}
+		delete(j.dirtySet, id)
+		files = append(files, ss.f)
+	}
+	tail := j.seq
+	retired := j.retired
+	j.retired = nil
+	j.mu.Unlock()
+	if !j.opts.NoSync {
+		for _, f := range files {
+			if err := f.Sync(); err != nil {
+				return fmt.Errorf("store: fsync journal: %w", err)
+			}
+		}
+	}
+	// Rotated-out handles are already durable; closing them here — still
+	// under commitMu — cannot race another commit's fsync pass.
+	for _, f := range retired {
+		f.Close()
 	}
 	j.synced = tail
 	return nil
 }
 
-// Close flushes, fsyncs and closes the journal. Further operations return
-// ErrClosed.
+// Close flushes, fsyncs and closes every open segment, stops the
+// background compactor, and releases the journal lock. Further operations
+// return ErrClosed.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	if j.closed {
@@ -330,24 +683,60 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	err := j.w.Flush()
+	stop, done := j.compactStop, j.compactDone
+	j.compactStop, j.compactDone = nil, nil
+	var err error
+	var files []*os.File
+	for _, ss := range j.seg {
+		if ss.w == nil {
+			continue
+		}
+		if ferr := ss.w.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		files = append(files, ss.f)
+		ss.f, ss.w = nil, nil
+	}
+	retired := j.retired
+	j.retired = nil
 	close(j.watch)
 	j.watch = make(chan struct{})
 	j.mu.Unlock()
-	if err == nil && !j.opts.NoSync {
-		err = j.f.Sync()
+	if stop != nil {
+		close(stop)
+		<-done
 	}
-	if cerr := j.f.Close(); err == nil {
+	// Take commitMu before touching file handles: a commit in flight may
+	// still be inside its lock-free fsync pass over these same files.
+	j.commitMu.Lock()
+	defer j.commitMu.Unlock()
+	for _, f := range files {
+		if !j.opts.NoSync && err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, f := range retired {
+		f.Close()
+	}
+	if cerr := j.lock.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
 // CreateStudy persists a new study. The meta's State defaults to
-// StateCreated and CreatedAt/UpdatedAt to now.
+// StateCreated and CreatedAt/UpdatedAt to now. The id becomes a directory
+// name in the sharded layout, so it is restricted to letters, digits and
+// "._-".
 func (j *Journal) CreateStudy(meta StudyMeta) error {
 	if meta.ID == "" {
 		return fmt.Errorf("store: study needs an id")
+	}
+	if !validStudyID(meta.ID) {
+		return fmt.Errorf("store: invalid study id %q (allowed: letters, digits, '.', '_', '-', max 128 chars)", meta.ID)
 	}
 	j.mu.Lock()
 	if j.closed {
@@ -367,7 +756,7 @@ func (j *Journal) CreateStudy(meta StudyMeta) error {
 		meta.CreatedAt = now
 	}
 	meta.UpdatedAt = now
-	_, err := j.append(record{Type: "study", StudyID: meta.ID, Study: &meta})
+	_, err := j.append(record{Type: recStudy, StudyID: meta.ID, Study: &meta})
 	return err
 }
 
@@ -384,7 +773,7 @@ func (j *Journal) SetStudyState(id string, state StudyState, errMsg string, sum 
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	j.mu.Unlock()
-	_, err := j.append(record{Type: "state", StudyID: id, State: state, Error: errMsg, Summary: sum})
+	_, err := j.append(record{Type: recState, StudyID: id, State: state, Error: errMsg, Summary: sum})
 	return err
 }
 
@@ -425,9 +814,9 @@ func (j *Journal) ActiveStudies() []string {
 }
 
 // AppendTrials persists finished trials for a study as one durable batch
-// (single fsync). Trials whose fingerprint already has a successful record
-// in this study are skipped, so resumed rounds do not duplicate journal
-// entries.
+// (single fsync pass). Trials whose fingerprint already has a successful
+// record in this study are skipped, so resumed rounds do not duplicate
+// journal entries.
 func (j *Journal) AppendTrials(id string, trials []Trial) error {
 	j.mu.Lock()
 	if _, ok := j.studies[id]; !ok && !j.closed {
@@ -446,7 +835,7 @@ func (j *Journal) AppendTrials(id string, trials []Trial) error {
 			batch[t.Fingerprint] = true
 		}
 		tc := t
-		recs = append(recs, record{Type: "trial", StudyID: id, Trial: &tc})
+		recs = append(recs, record{Type: recTrial, StudyID: id, Trial: &tc})
 	}
 	j.mu.Unlock()
 	_, err := j.appendBatch(recs)
@@ -458,12 +847,13 @@ func (j *Journal) AppendTrials(id string, trials []Trial) error {
 // synchronous flush (a crash may lose the tail of the stream) so the
 // per-epoch hot path — which on the remote backend runs on the transport
 // read loop — never waits on an fsync. The next trial/state append or
-// Close makes them durable.
+// Close makes them durable. Compaction drops them once the study is
+// terminal.
 func (j *Journal) AppendMetric(id string, trialID, epoch int, value float64) error {
 	if err := j.checkStudy(id); err != nil {
 		return err
 	}
-	_, err := j.appendBatchOpts([]record{{Type: "metric", StudyID: id,
+	_, err := j.appendBatchOpts([]record{{Type: recMetric, StudyID: id,
 		Metric: &MetricPoint{TrialID: trialID, Epoch: epoch, Value: finiteOr0(value)}}}, false)
 	return err
 }
@@ -473,7 +863,7 @@ func (j *Journal) AppendPrune(id string, trialID, epoch int, reason string) erro
 	if err := j.checkStudy(id); err != nil {
 		return err
 	}
-	_, err := j.append(record{Type: "prune", StudyID: id,
+	_, err := j.append(record{Type: recPrune, StudyID: id,
 		Prune: &PruneDecision{TrialID: trialID, Epoch: epoch, Reason: reason}})
 	return err
 }
@@ -521,32 +911,4 @@ func (j *Journal) LookupMemo(scope, fingerprint string) (Trial, bool) {
 	defer j.mu.Unlock()
 	t, ok := j.memo[memoKey(scope, fingerprint)]
 	return t, ok
-}
-
-// EventsSince returns journal events with sequence numbers greater than
-// since, filtered to one study when id is non-empty, plus the current tail
-// sequence. Study-creation records are included so a watcher sees the full
-// lifecycle.
-func (j *Journal) EventsSince(id string, since uint64) ([]Event, uint64) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	var out []Event
-	// events is sorted by Seq (append order), so skip the prefix at or
-	// below since instead of rescanning the whole log per watcher tick.
-	start := sort.Search(len(j.events), func(i int) bool { return j.events[i].Seq > since })
-	for _, ev := range j.events[start:] {
-		if id != "" && ev.StudyID != id {
-			continue
-		}
-		out = append(out, ev)
-	}
-	return out, j.seq
-}
-
-// Watch returns a channel closed on the next journal append (a broadcast
-// tick). Callers re-invoke EventsSince after each tick.
-func (j *Journal) Watch() <-chan struct{} {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.watch
 }

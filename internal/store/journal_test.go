@@ -28,6 +28,27 @@ func openTestJournal(t *testing.T, path string) *Journal {
 	return j
 }
 
+// activeSegment returns the path of a study's highest-numbered (active)
+// segment file — the one crash tests tear bytes off.
+func activeSegment(t *testing.T, journalDir, study string) string {
+	t.Helper()
+	dir := studyDir(journalDir, study)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if isSegmentFileName(e.Name()) && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatalf("no segment files under %s", dir)
+	}
+	return filepath.Join(dir, last)
+}
+
 func TestJournalRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "j.journal")
 	j := openTestJournal(t, path)
@@ -94,13 +115,15 @@ func TestJournalCrashRecoveryTruncatedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Simulate a crash mid-append: chop bytes off the last record.
-	raw, err := os.ReadFile(path)
+	// Simulate a crash mid-append: chop bytes off the last record of the
+	// study's active segment.
+	seg := activeSegment(t, path, "a")
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	torn := raw[:len(raw)-25]
-	if err := os.WriteFile(path, torn, 0o644); err != nil {
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -137,10 +160,11 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	raw, _ := os.ReadFile(path)
+	seg := activeSegment(t, path, "a")
+	raw, _ := os.ReadFile(seg)
 	lines := strings.SplitAfter(string(raw), "\n")
 	lines[0] = "garbage not json\n"
-	os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+	os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644)
 	if _, err := OpenJournal(path, JournalOptions{NoSync: true}); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("mid-file corruption: %v", err)
 	}
@@ -232,11 +256,12 @@ func TestJournalDropsUnterminatedTail(t *testing.T) {
 	// Crash that flushed the last record's JSON but not its newline: the
 	// record parses, yet keeping it would make the next O_APPEND write
 	// concatenate onto the same line. It must be dropped and truncated.
-	raw, err := os.ReadFile(path)
+	seg := activeSegment(t, path, "a")
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, raw[:len(raw)-1], 0o644); err != nil {
+	if err := os.WriteFile(seg, raw[:len(raw)-1], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	j2 := openTestJournal(t, path)

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// migratingSuffix names the staging directory a legacy migration builds
+// next to the journal path before swinging it into place.
+const migratingSuffix = ".migrating"
+
+// migrateLegacyJournal converts a pre-shard single-file JSONL journal into
+// the sharded directory layout, in place: after it returns, path is a
+// journal directory and the original file's bytes live on unchanged as
+// <path>/legacy.jsonl.bak.
+//
+// The migration is crash-safe at every step. The staging directory
+// <path>.migrating is built completely (per-study segments, then the
+// manifest) before anything touches the original file; the commit is two
+// renames — the legacy file into the staging dir, then the staging dir
+// onto the journal path. A crash before the first rename leaves the
+// original file authoritative (stale staging dirs are rebuilt from
+// scratch); a crash between the renames leaves a completed staging dir
+// that the next Open adopts (see adoptOrInitDir).
+func migrateLegacyJournal(path string, noSync bool) error {
+	// Hold the legacy file's flock for the duration so two processes never
+	// migrate concurrently — the loser keeps blocking here until the winner
+	// has swung the directory into place, then fails its own rename paths
+	// and retries Open against the directory.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("store: opening legacy journal for migration: %w", err)
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: reading legacy journal: %w", err)
+	}
+	recs, _, err := parseSegment(raw, path, true) // a torn tail is a crashed append, drop it
+	if err != nil {
+		return err
+	}
+
+	// Partition records by study, preserving append order and noting study
+	// creation order (first appearance).
+	perStudy := make(map[string][]record)
+	var order []string
+	for _, rec := range recs {
+		id := rec.StudyID
+		if id == "" && rec.Study != nil {
+			id = rec.Study.ID
+		}
+		if id == "" {
+			continue
+		}
+		if !validStudyID(id) {
+			return fmt.Errorf("store: cannot migrate study id %q: not a valid directory name", id)
+		}
+		if _, seen := perStudy[id]; !seen {
+			order = append(order, id)
+		}
+		perStudy[id] = append(perStudy[id], rec)
+	}
+
+	staging := path + migratingSuffix
+	if err := os.RemoveAll(staging); err != nil {
+		return fmt.Errorf("store: clearing stale migration staging: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(staging, studiesDirName), 0o755); err != nil {
+		return fmt.Errorf("store: creating migration staging: %w", err)
+	}
+	man := manifest{Version: manifestVersion}
+	for _, id := range order {
+		dir := studyDir(staging, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("store: creating study dir: %w", err)
+		}
+		var buf bytes.Buffer
+		for _, rec := range perStudy[id] {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return fmt.Errorf("store: re-encoding legacy record: %w", err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		if err := writeFileSync(filepath.Join(dir, segmentFileName(1)), buf.Bytes(), noSync); err != nil {
+			return err
+		}
+		man.Studies = append(man.Studies, manifestStudy{ID: id, Segments: []int{1}})
+	}
+	// The manifest write completes the staging dir; from here on a crash is
+	// recovered by adoption rather than a re-run.
+	if err := writeManifest(staging, man, noSync); err != nil {
+		return err
+	}
+	if err := os.Rename(path, filepath.Join(staging, legacyBackup)); err != nil {
+		return fmt.Errorf("store: archiving legacy journal: %w", err)
+	}
+	if err := os.Rename(staging, path); err != nil {
+		return fmt.Errorf("store: committing migration: %w", err)
+	}
+	return syncDir(filepath.Dir(path), noSync)
+}

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// buildBenchJournal populates a journal with terminal studies carrying
+// metricsPer per-epoch metric points each (plus a couple of live studies),
+// optionally compacting before close. It returns the journal dir.
+func buildBenchJournal(b *testing.B, terminal, trialsPer, metricsPer int, compact bool) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "j")
+	j, err := OpenJournal(path, JournalOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < terminal; s++ {
+		id := fmt.Sprintf("done-%03d", s)
+		if err := j.CreateStudy(StudyMeta{ID: id}); err != nil {
+			b.Fatal(err)
+		}
+		for tr := 0; tr < trialsPer; tr++ {
+			for e := 0; e < metricsPer; e++ {
+				if err := j.AppendMetric(id, tr, e, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := j.AppendTrials(id, []Trial{mkTrial(tr, tr+2, 0.5)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := j.SetStudyState(id, StateDone, "", &Summary{Trials: trialsPer}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for s := 0; s < 2; s++ {
+		id := fmt.Sprintf("live-%d", s)
+		if err := j.CreateStudy(StudyMeta{ID: id}); err != nil {
+			b.Fatal(err)
+		}
+		if err := j.SetStudyState(id, StateRunning, "", nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := j.AppendTrials(id, []Trial{mkTrial(0, 2, 0.5)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if compact {
+		if _, err := j.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkBootReplay measures OpenJournal over a 50-terminal-study
+// journal at increasing per-epoch metric volume, compacted and not. The
+// acceptance property: compacted replay time is flat in the metric volume
+// (the dropped history is never read), while uncompacted replay grows
+// with it.
+func BenchmarkBootReplay(b *testing.B) {
+	for _, compact := range []bool{false, true} {
+		for _, metricsPer := range []int{10, 100, 400} {
+			name := fmt.Sprintf("compacted=%v/metricsPerTrial=%d", compact, metricsPer)
+			b.Run(name, func(b *testing.B) {
+				path := buildBenchJournal(b, 50, 4, metricsPer, compact)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					j, err := OpenJournal(path, JournalOptions{NoSync: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if n := len(j.ListStudies()); n != 52 {
+						b.Fatalf("replayed %d studies", n)
+					}
+					if err := j.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,9 +1,15 @@
 // Package store persists HPO studies and trial results. Its centrepiece is
-// the crash-safe append-only Journal (JSONL write-ahead log with fsync
-// batching and an in-memory index) that backs the hpod control plane; the
-// package also subsumes the legacy single-study checkpoint file format
-// (FileRecorder) so hpo.Study checkpointing goes through one narrow
-// Recorder interface regardless of backing storage.
+// the crash-safe Journal: a sharded append-only JSONL write-ahead log —
+// per-study segment files under a journal directory, committed through an
+// atomically rewritten manifest — with group-commit fsync batching and an
+// in-memory index rebuilt on Open. Terminal studies are compactable down
+// to their summary records (Compact), so a long-lived daemon's boot-replay
+// time scales with live studies rather than total history; the on-disk
+// format is specified normatively in docs/JOURNAL.md. The package also
+// subsumes the legacy single-study checkpoint file format (FileRecorder)
+// so hpo.Study checkpointing goes through one narrow Recorder interface
+// regardless of backing storage, and it transparently migrates pre-shard
+// single-file journals to the directory layout on Open.
 //
 // The Journal additionally indexes every successful trial by its config
 // fingerprint, so identical configurations — within a study or across
@@ -33,6 +39,11 @@ var (
 	// ErrLocked reports a journal already opened by another process.
 	ErrLocked = errors.New("store: journal locked by another process")
 )
+
+// recordTypes enumerates every journal record type this package emits.
+// docs/JOURNAL.md must document each of them — a test (and the CI docs
+// check) pins the spec to this list.
+var recordTypes = []string{recStudy, recState, recTrial, recMetric, recPrune}
 
 // StudyState is the lifecycle of a persisted study.
 type StudyState string
