@@ -12,7 +12,8 @@
 //
 //	hpo -space space.json [-algo grid] [-dataset mnist] [-samples 800]
 //	    [-model mlp] [-cores 1] [-parallel 8] [-workers 0] [-budget 20]
-//	    [-target 0] [-seed 1] [-pruner median] [-checkpoint study.json] [-visualise]
+//	    [-target 0] [-seed 1] [-pruner median] [-scheduler hyperband]
+//	    [-checkpoint study.json] [-visualise]
 //	    [-journal hpod.journal -study cli] [-trace out.prv] [-graph out.dot]
 //	    [-policy fifo]
 package main
@@ -54,6 +55,7 @@ type options struct {
 	cvFolds    int
 	reportOut  string
 	pruner     string
+	scheduler  string
 }
 
 func main() {
@@ -80,7 +82,22 @@ func main() {
 	flag.IntVar(&o.cvFolds, "cv", 0, "evaluate with k-fold cross-validation (0 = single split)")
 	flag.StringVar(&o.reportOut, "report", "", "write a Markdown study report here")
 	flag.StringVar(&o.pruner, "pruner", "", "prune losing trials mid-training: none | median | asha")
+	flag.StringVar(&o.scheduler, "scheduler", "",
+		"rung-driven successive halving over the live report stream: none | hyperband | asha (hyperband replaces -algo; promotes winners past their budget instead of re-submitting)")
 	flag.Parse()
+	// -scheduler hyperband replaces the sampler, as its help says: an -algo
+	// left at the default follows it; an explicitly conflicting one errors.
+	if o.scheduler == "hyperband" {
+		algoSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				algoSet = true
+			}
+		})
+		if !algoSet {
+			o.algo = "hyperband"
+		}
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hpo:", err)
 		os.Exit(1)
@@ -157,6 +174,17 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	schedSampler, scheduler, err := hpo.NewTrialScheduler(o.scheduler, o.algo, space, o.budget, 0, 0, o.seed)
+	if err != nil {
+		return err
+	}
+	if scheduler != nil && o.cvFolds > 1 {
+		return fmt.Errorf("-scheduler requires -cv 0 (cross-validated objectives cannot continue past their budget)")
+	}
+	if schedSampler != nil {
+		// Rung-driven Hyperband owns both the sampler and scheduler roles.
+		sampler = schedSampler
+	}
 	studyOpts := hpo.StudyOptions{
 		Space:          space,
 		Sampler:        sampler,
@@ -166,6 +194,7 @@ func run(o options) error {
 		TargetAccuracy: o.target,
 		Seed:           o.seed,
 		Pruner:         pruner,
+		Scheduler:      scheduler,
 		Visualise:      o.visualise && o.workers == 0,
 		CheckpointPath: o.checkpoint,
 	}

@@ -10,7 +10,8 @@
 //
 //	hpod -addr :8080 -journal hpod.journal [-backend local] [-parallel 8]
 //	     [-workers 3] [-max-studies 2] [-drain 30s] [-migrate study.json]
-//	     [-token secret] [-pruner median] [-retain-events 1024]
+//	     [-token secret] [-pruner median] [-scheduler hyperband]
+//	     [-retain-events 1024] [-max-open-segments 128]
 //	     [-compact-interval 10m]
 //
 // The journal is a sharded directory store (docs/JOURNAL.md): terminal
@@ -55,7 +56,9 @@ type options struct {
 	noResume        bool
 	token           string
 	pruner          string
+	scheduler       string
 	retainEvents    int
+	maxOpenSegments int
 	compactInterval time.Duration
 }
 
@@ -72,8 +75,12 @@ func main() {
 	flag.BoolVar(&o.noResume, "no-resume", false, "do not re-queue studies left running by a previous daemon")
 	flag.StringVar(&o.token, "token", "", "bearer token required on every endpoint except /healthz (empty = no auth)")
 	flag.StringVar(&o.pruner, "pruner", "", "default trial pruner for specs that set none: none | median | asha")
+	flag.StringVar(&o.scheduler, "scheduler", "",
+		"default rung-driven scheduler for specs that set none: none | hyperband | asha (supersedes -pruner when active)")
 	flag.IntVar(&o.retainEvents, "retain-events", 0,
 		"per-study in-memory event window for SSE resume (0 = default, negative = unbounded)")
+	flag.IntVar(&o.maxOpenSegments, "max-open-segments", 0,
+		"open segment file-handle ceiling across studies (0 = default 128, negative = unbounded)")
 	flag.DurationVar(&o.compactInterval, "compact-interval", 10*time.Minute,
 		"how often terminal studies' journal segments are compacted in the background (0 = only on POST /v1/admin/compact)")
 	flag.Parse()
@@ -115,12 +122,17 @@ type daemon struct {
 // newDaemon opens the journal (replaying it) and wires the control plane;
 // nothing listens until Start.
 func newDaemon(o options) (*daemon, error) {
-	// A mistyped -pruner must fail the boot, not every future study.
+	// A mistyped -pruner or -scheduler must fail the boot, not every
+	// future study.
 	if _, err := hpo.NewPruner(o.pruner, 0, 0); err != nil {
 		return nil, err
 	}
+	if !hpo.KnownScheduler(o.scheduler) {
+		return nil, fmt.Errorf("unknown -scheduler %q (want none, hyperband or asha)", o.scheduler)
+	}
 	journal, err := store.OpenJournal(o.journal, store.JournalOptions{
 		RetainEvents:    o.retainEvents,
+		MaxOpenSegments: o.maxOpenSegments,
 		CompactInterval: o.compactInterval,
 	})
 	if err != nil {
@@ -137,6 +149,7 @@ func newDaemon(o options) (*daemon, error) {
 	srv := server.New(journal, runtimeFactory(o), o.maxStudies)
 	srv.SetAuthToken(o.token)
 	srv.Runner().DefaultPruner = o.pruner
+	srv.Runner().DefaultScheduler = o.scheduler
 	d := &daemon{
 		opts:    o,
 		journal: journal,

@@ -30,6 +30,12 @@ const (
 	// trials mid-flight. Appended after the original types so wire values
 	// stay stable across mixed versions.
 	MsgEpochReport
+	// MsgExtendTask raises a running task's epoch budget (master to worker):
+	// the continuation half of rung-driven successive halving. A task paused
+	// at its budget gate resumes training the same in-memory model instead
+	// of being re-submitted from scratch. Budget carries the new epoch
+	// ceiling. Appended last so wire values stay stable.
+	MsgExtendTask
 )
 
 // String names the message type for logs.
@@ -55,6 +61,8 @@ func (m MsgType) String() string {
 		return "DataTransfer"
 	case MsgEpochReport:
 		return "EpochReport"
+	case MsgExtendTask:
+		return "ExtendTask"
 	default:
 		return fmt.Sprintf("MsgType(%d)", int(m))
 	}
@@ -86,6 +94,8 @@ type Message struct {
 	// Epoch and Value carry one intermediate metric point for EpochReport.
 	Epoch int
 	Value float64
+	// Budget carries the new epoch ceiling for ExtendTask.
+	Budget int
 }
 
 // RegisterGobTypes registers the concrete argument/result types that cross

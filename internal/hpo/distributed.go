@@ -118,6 +118,19 @@ func runExperimentBody(obj Objective, seed uint64, targetAcc float64,
 			}
 		}
 	}
+	// Rung-driven trials carry their promotion ceiling in the hidden
+	// "_hb_max" key: activate the runtime's budget gate at the configured
+	// num_epochs so the master can halt or extend the trial at rung
+	// boundaries without re-submitting it. Backends without gates (and
+	// configs without a ceiling) train exactly num_epochs, as before.
+	if gate := ctx.Budget; gate != nil {
+		base := cfg.Int("num_epochs", 0)
+		if maxB := cfg.Int("_hb_max", 0); base > 0 && maxB > base {
+			gate.SetLimit(base)
+			octx.EpochCeiling = maxB
+			octx.Proceed = gate.Allow
+		}
+	}
 
 	metrics, err := obj.Run(octx)
 	res := TrialResult{

@@ -28,6 +28,17 @@ type ObjectiveContext struct {
 	// master's cancel stays cooperative — but they waste the epochs a
 	// compliant objective would skip.
 	Halt func() string
+	// Proceed, when non-nil, is the trial's rung gate: consulted after each
+	// epoch once the initial budget (num_epochs) is consumed, it blocks
+	// until the master either promotes the trial to a higher budget
+	// (returns true — keep training the same model) or halts it (returns
+	// false — stop with a partial result). Objectives that ignore Proceed
+	// simply finish at their initial budget and forfeit continuation.
+	Proceed func(epochsDone int) bool
+	// EpochCeiling, when > num_epochs and Proceed is set, is the most
+	// epochs the trial may ever be promoted to — the objective should plan
+	// its training loop for EpochCeiling total epochs, gated by Proceed.
+	EpochCeiling int
 }
 
 // TrialMetrics is what an objective returns.
@@ -132,6 +143,14 @@ func (o *MLObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
 		model.SetParallelism(ctx.Parallelism)
 	}
 
+	// Rung-driven continuation: plan the loop for the promotion ceiling and
+	// let the Proceed gate decide, epoch by epoch past the initial budget,
+	// whether training continues on the same model.
+	total := epochs
+	if ctx.Proceed != nil && ctx.EpochCeiling > total {
+		total = ctx.EpochCeiling
+	}
+
 	var callbacks []nn.Callback
 	if ctx.Report != nil {
 		callbacks = append(callbacks, &nn.EpochReporter{Report: func(epoch int, vl, va float64) {
@@ -141,13 +160,18 @@ func (o *MLObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
 	if ctx.TargetAccuracy > 0 {
 		callbacks = append(callbacks, &nn.TargetAccuracy{Target: ctx.TargetAccuracy})
 	}
+	if ctx.Proceed != nil {
+		// After the report: the rung boundary's epoch is streamed before
+		// the gate decides the trial's fate on it.
+		callbacks = append(callbacks, &budgetGateCallback{total: total, proceed: ctx.Proceed})
+	}
 	if ctx.Halt != nil {
 		// Last: the epoch that triggered a prune is still reported above.
 		callbacks = append(callbacks, &haltCallback{halt: ctx.Halt})
 	}
 
 	h, err := model.Fit(train.X, train.Y, val.X, val.Y, nn.FitConfig{
-		Epochs: epochs, BatchSize: batch, Optimizer: opt,
+		Epochs: total, BatchSize: batch, Optimizer: opt,
 		Shuffle: true, RNG: modelRNG, Callbacks: callbacks,
 	})
 	if err != nil {
@@ -162,6 +186,23 @@ func (o *MLObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
 		Stopped:       h.Stopped,
 		StopReason:    h.StopReason,
 	}, nil
+}
+
+// budgetGateCallback adapts ObjectiveContext.Proceed to the nn callback
+// contract: once the trial's granted budget is consumed it blocks until the
+// master promotes (continue) or halts (clean stop) the trial. The final
+// planned epoch never consults the gate — training ends naturally there.
+type budgetGateCallback struct {
+	total   int
+	proceed func(epochsDone int) bool
+}
+
+// OnEpochEnd implements nn.Callback.
+func (c *budgetGateCallback) OnEpochEnd(epoch int, h *nn.History) error {
+	if done := epoch + 1; done < c.total && !c.proceed(done) {
+		return fmt.Errorf("epoch budget exhausted: %w", nn.ErrStopTraining)
+	}
+	return nil
 }
 
 // haltCallback adapts ObjectiveContext.Halt to the nn callback contract:

@@ -17,6 +17,7 @@ func ToStoreTrial(t TrialResult) store.Trial {
 		Stopped: t.Stopped, StopReason: t.StopReason,
 		DurationNS: int64(t.Duration), Err: t.Err, Canceled: t.Canceled,
 		Pruned: t.Pruned, PruneReason: t.PruneReason,
+		Promoted: t.Promoted,
 	}
 }
 
@@ -35,6 +36,7 @@ func FromStoreTrial(t store.Trial) TrialResult {
 		Canceled:    t.Canceled,
 		Pruned:      t.Pruned,
 		PruneReason: t.PruneReason,
+		Promoted:    t.Promoted,
 	}
 }
 

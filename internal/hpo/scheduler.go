@@ -1,0 +1,530 @@
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// SchedDecision is one rung verdict emitted by a TrialScheduler: Budget > 0
+// promotes the trial to that epoch budget (the study extends its running
+// task so it keeps training the same model); Budget == 0 halts it through
+// the prune path. Epoch is the boundary the decision was made at.
+type SchedDecision struct {
+	TrialID int
+	Budget  int
+	Epoch   int
+	Reason  string
+}
+
+// TrialScheduler drives rung-based successive halving over the live trial
+// report stream: instead of re-submitting configs with larger budgets per
+// bracket, trials are submitted once with a small initial budget, observed
+// epoch by epoch, halted at rung boundaries when they lose, and promoted —
+// continued past their initial budget on the same worker — when they win.
+// Implementations must be safe for concurrent use: reports arrive from task
+// goroutines and transport read loops at once.
+type TrialScheduler interface {
+	// Name identifies the scheduler ("hyperband-rung", "asha-promote").
+	Name() string
+	// MaxBudget is the epoch ceiling any trial may be promoted to; the
+	// study stamps it into submitted configs (hidden "_hb_max" key) so the
+	// executing task plans its loop for it.
+	MaxBudget() int
+	// Admit binds a submitted trial id to its config and initial epoch
+	// budget before the first report can arrive.
+	Admit(trialID, budget int, cfg Config)
+	// Observe records trial's metric at epoch (0-based) and returns any
+	// rung decisions that became ready.
+	Observe(trialID, epoch int, value float64) []SchedDecision
+	// Complete marks a trial terminal with its final result (nil when the
+	// task produced none); exits can complete a rung, so decisions may be
+	// returned here too.
+	Complete(trialID int, res *TrialResult) []SchedDecision
+}
+
+// KnownScheduler reports whether name is a recognised trial-scheduler name
+// (daemon flags validate at boot without building one).
+func KnownScheduler(name string) bool {
+	switch name {
+	case "", "none", "hyperband", "asha":
+		return true
+	}
+	return false
+}
+
+// NewTrialScheduler builds a rung-driven scheduler by name. "" and "none"
+// mean no scheduler (all nils). "hyperband" returns a RungHyperband, which
+// is both the study's sampler and its scheduler — algo must be "hyperband"
+// (the batch sampler is replaced); budget is R and eta the halving factor.
+// "asha" returns a sampler-agnostic ASHA promotion scheduler (the returned
+// sampler is nil: keep the configured one); minResource is the first rung
+// and budget the promotion ceiling.
+func NewTrialScheduler(name, algo string, space *Space, budget, eta, minResource int, seed uint64) (Sampler, TrialScheduler, error) {
+	switch name {
+	case "", "none":
+		return nil, nil, nil
+	case "hyperband":
+		if algo != "" && algo != "hyperband" {
+			return nil, nil, fmt.Errorf("hpo: scheduler %q replaces the sampler and requires algo hyperband, got %q", name, algo)
+		}
+		rh := NewRungHyperband(space, budget, eta, seed)
+		return rh, rh, nil
+	case "asha":
+		return nil, NewASHAScheduler(eta, minResource, budget), nil
+	default:
+		return nil, nil, fmt.Errorf("hpo: unknown scheduler %q (want none, hyperband or asha)", name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rung-driven Hyperband
+// ---------------------------------------------------------------------------
+
+// RungHyperband is Hyperband rebuilt as a rung-driven scheduler: it samples
+// the exact bracket structure of the batch Hyperband (same seed → same
+// configs, same rung budgets, same promotion counts — a conformance test
+// pins this), but each trial is submitted once with the bracket's first
+// rung as its budget and the bracket's last rung as its ceiling. The
+// scheduler watches the live epoch stream; when a rung's members have all
+// reported their boundary epoch (or exited), it halts the losers through
+// the prune path and promotes the top 1/eta to the next rung's budget via
+// task extension — survivors keep training the same model, so every epoch
+// below a rung is executed exactly once instead of once per rung.
+//
+// Because rungs are synchronous, every member of a bracket must be able to
+// run concurrently: Study.Run fails fast when the runtime has fewer task
+// slots than the largest bracket (MinSlots), which would otherwise deadlock
+// paused trials against queued ones.
+type RungHyperband struct {
+	space *Space
+	// MaxR is the largest per-trial epoch budget (R).
+	MaxR int
+	// Eta is the halving factor.
+	Eta int
+
+	mu       sync.Mutex
+	brackets []*rungBracket
+	cur      int
+	finished bool
+	byKey    map[string]*rungMember
+	byTrial  map[int]*rungMember
+}
+
+// rungBracket is one successive-halving bracket driven through rungs.
+type rungBracket struct {
+	members []*rungMember
+	// budgets holds each rung's epoch budget, ascending; built with exactly
+	// the batch implementation's promotion rule, so the last entry is the
+	// bracket's ceiling.
+	budgets   []int
+	handed    bool
+	evaluated []bool // per non-final rung: decisions emitted?
+}
+
+// rungMember is one configuration's life across a bracket's rungs.
+type rungMember struct {
+	key     string
+	cfg     Config
+	bracket *rungBracket
+	trialID int
+	// rung indexes the member's current rung in budgets (advanced on
+	// promotion — including for members that exited with a full result).
+	rung int
+	// best is the running maximum of observed epoch values (the same
+	// quantity the batch sampler ranks: BestAcc); hasValue guards the first
+	// observation. Members that exit without a usable value rank as -1,
+	// exactly like failed trials in the batch implementation.
+	best     float64
+	hasValue bool
+	// observed[k] reports the member reported its boundary epoch of rung k.
+	observed []bool
+	exited   bool
+	halted   bool
+}
+
+// NewRungHyperband builds the rung-driven sampler/scheduler. The bracket
+// structure (and the RNG consumption order) is identical to NewHyperband's,
+// so identical seeds propose identical configurations.
+func NewRungHyperband(space *Space, maxBudget, eta int, seed uint64) *RungHyperband {
+	if maxBudget < 1 {
+		maxBudget = 27
+	}
+	if eta < 2 {
+		eta = 3
+	}
+	h := &RungHyperband{
+		space: space, MaxR: maxBudget, Eta: eta,
+		byKey:   make(map[string]*rungMember),
+		byTrial: make(map[int]*rungMember),
+	}
+	rng := tensor.NewRNG(seed)
+	sMax := int(math.Floor(math.Log(float64(maxBudget)) / math.Log(float64(eta))))
+	nextID := 0
+	for s := sMax; s >= 0; s-- {
+		n := int(math.Ceil(float64(sMax+1) / float64(s+1) * math.Pow(float64(eta), float64(s))))
+		budget := maxBudget / intPow(eta, s)
+		if budget < 1 {
+			budget = 1
+		}
+		b := &rungBracket{budgets: []int{budget}}
+		// Mirror the batch promotion rule to precompute the rung ladder:
+		// keep the top 1/eta with eta× budget while both survive the caps.
+		for alive, bud := n, budget; ; {
+			keep, next := alive/eta, bud*eta
+			if keep < 1 || next > maxBudget {
+				break
+			}
+			b.budgets = append(b.budgets, next)
+			alive, bud = keep, next
+		}
+		b.evaluated = make([]bool, len(b.budgets))
+		for i := 0; i < n; i++ {
+			cfg := space.Sample(rng)
+			key := fmt.Sprintf("b%d-%d", s, nextID)
+			nextID++
+			cfg["_hb"] = key
+			m := &rungMember{key: key, cfg: cfg, bracket: b, trialID: -1, observed: make([]bool, len(b.budgets))}
+			b.members = append(b.members, m)
+			h.byKey[key] = m
+		}
+		h.brackets = append(h.brackets, b)
+	}
+	return h
+}
+
+// Name implements Sampler and TrialScheduler.
+func (h *RungHyperband) Name() string { return "hyperband-rung" }
+
+// MaxBudget implements TrialScheduler. (Ask stamps per-bracket ceilings
+// itself; this is the global R.)
+func (h *RungHyperband) MaxBudget() int { return h.MaxR }
+
+// MinSlots returns the largest bracket's size: the concurrency a runtime
+// must provide so a whole rung can reach its boundary together.
+func (h *RungHyperband) MinSlots() int {
+	slots := 0
+	for _, b := range h.brackets {
+		if len(b.members) > slots {
+			slots = len(b.members)
+		}
+	}
+	return slots
+}
+
+// Done implements Sampler.
+func (h *RungHyperband) Done() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.finished
+}
+
+// Ask implements Sampler: it hands out the current bracket in full — every
+// member carries the first rung's budget as num_epochs and the bracket's
+// ceiling as the hidden "_hb_max" — and returns empty while the bracket is
+// in flight. The batch cap is deliberately ignored: a partially submitted
+// bracket could never complete a rung.
+func (h *RungHyperband) Ask(n int) []Config {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.finished || h.cur >= len(h.brackets) {
+		h.finished = true
+		return nil
+	}
+	b := h.brackets[h.cur]
+	if b.handed {
+		return nil
+	}
+	b.handed = true
+	out := make([]Config, 0, len(b.members))
+	for _, m := range b.members {
+		cfg := m.cfg.Clone()
+		cfg["num_epochs"] = b.budgets[0]
+		if last := b.budgets[len(b.budgets)-1]; last > b.budgets[0] {
+			cfg["_hb_max"] = last
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// Tell implements Sampler: a no-op — the scheduler half already learned
+// every outcome through Complete.
+func (h *RungHyperband) Tell([]TrialResult) {}
+
+// Admit implements TrialScheduler: the hidden "_hb" key binds the trial to
+// its bracket member.
+func (h *RungHyperband) Admit(trialID, budget int, cfg Config) {
+	key, _ := cfg["_hb"].(string)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if m := h.byKey[key]; m != nil {
+		m.trialID = trialID
+		h.byTrial[trialID] = m
+	}
+}
+
+// Observe implements TrialScheduler.
+func (h *RungHyperband) Observe(trialID, epoch int, value float64) []SchedDecision {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.byTrial[trialID]
+	if m == nil || m.exited {
+		return nil
+	}
+	if !m.hasValue || value > m.best {
+		m.best, m.hasValue = value, true
+	}
+	b := m.bracket
+	// A restarted attempt re-reports earlier epochs; only the member's
+	// current rung boundary matters.
+	if m.rung < len(b.budgets) && epoch+1 == b.budgets[m.rung] {
+		m.observed[m.rung] = true
+	}
+	return h.evaluateLocked()
+}
+
+// Complete implements TrialScheduler.
+func (h *RungHyperband) Complete(trialID int, res *TrialResult) []SchedDecision {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.byTrial[trialID]
+	if m == nil || m.exited {
+		return nil
+	}
+	m.exited = true
+	if res != nil && res.Succeeded() {
+		if !m.hasValue || res.BestAcc > m.best {
+			m.best, m.hasValue = res.BestAcc, true
+		}
+	}
+	return h.evaluateLocked()
+}
+
+// evaluateLocked settles every rung that became decidable and advances the
+// bracket cursor past fully exited brackets. Callers hold h.mu.
+func (h *RungHyperband) evaluateLocked() []SchedDecision {
+	var out []SchedDecision
+	for h.cur < len(h.brackets) {
+		b := h.brackets[h.cur]
+		if !b.handed {
+			break
+		}
+		out = append(out, h.evaluateBracketLocked(b)...)
+		done := true
+		for _, m := range b.members {
+			if !m.exited {
+				done = false
+				break
+			}
+		}
+		if !done {
+			break
+		}
+		h.cur++
+	}
+	if h.cur >= len(h.brackets) {
+		h.finished = true
+	}
+	return out
+}
+
+// evaluateBracketLocked emits decisions for each rung whose members have
+// all reached the boundary or exited, cascading so resume-time exits can
+// settle several rungs at once. Callers hold h.mu.
+func (h *RungHyperband) evaluateBracketLocked(b *rungBracket) []SchedDecision {
+	var out []SchedDecision
+	for k := 0; k+1 < len(b.budgets); k++ {
+		if b.evaluated[k] {
+			continue
+		}
+		var alive []*rungMember
+		ready := true
+		for _, m := range b.members {
+			if m.rung != k || m.halted {
+				continue
+			}
+			alive = append(alive, m)
+			if !m.exited && !m.observed[k] {
+				ready = false
+			}
+		}
+		if !ready || len(alive) == 0 {
+			break
+		}
+		b.evaluated[k] = true
+		// Rank exactly like the batch sampler: value desc, key asc; members
+		// without a usable value (failed/canceled before the boundary) lose
+		// with -1.
+		sort.Slice(alive, func(i, j int) bool {
+			vi, vj := alive[i].rankValue(), alive[j].rankValue()
+			if vi != vj {
+				return vi > vj
+			}
+			return alive[i].key < alive[j].key
+		})
+		keep := len(alive) / h.Eta
+		next := b.budgets[k+1]
+		for i, m := range alive {
+			switch {
+			case i < keep:
+				m.rung = k + 1
+				if !m.exited {
+					out = append(out, SchedDecision{
+						TrialID: m.trialID, Budget: next, Epoch: b.budgets[k] - 1,
+						Reason: fmt.Sprintf("hyperband-rung: won rung %d (budget %d), promoted to %d", k, b.budgets[k], next),
+					})
+				}
+			case m.exited:
+				m.halted = true
+			default:
+				m.halted = true
+				out = append(out, SchedDecision{
+					TrialID: m.trialID, Budget: 0, Epoch: b.budgets[k] - 1,
+					Reason: fmt.Sprintf("hyperband-rung: lost rung %d (budget %d, value %.4f)", k, b.budgets[k], m.rankValue()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// rankValue is the member's ranking key: its best observed (or final)
+// value, or -1 when it never produced one — the batch rule for failures.
+func (m *rungMember) rankValue() float64 {
+	if !m.hasValue {
+		return -1
+	}
+	return m.best
+}
+
+// ---------------------------------------------------------------------------
+// ASHA with promotion
+// ---------------------------------------------------------------------------
+
+// ASHAScheduler is the Asynchronous Successive Halving rule upgraded from
+// prune-only (the ASHA Pruner) to promote-capable: trials start at their
+// configured num_epochs budget; when one reaches its budget boundary it is
+// ranked against every value recorded at that rung so far — the top 1/Eta
+// continue to an eta× budget (capped at MaxB) on the same worker, the rest
+// halt. Decisions are per-arrival, never waiting for a rung to fill, which
+// is what lets remote trials stream at their own pace.
+type ASHAScheduler struct {
+	// Eta is the halving factor (default 3).
+	Eta int
+	// MinResource anchors the rung ladder (default 1).
+	MinResource int
+	// MaxB is the promotion ceiling in epochs.
+	MaxB int
+
+	mu      sync.Mutex
+	budgets map[int]int             // trialID → granted epoch budget
+	rungs   map[int]map[int]float64 // rung index → trialID → value at arrival
+	exited  map[int]bool
+}
+
+// NewASHAScheduler builds the promotion rule; zero eta/minResource select
+// the defaults, maxBudget must be the study's epoch ceiling.
+func NewASHAScheduler(eta, minResource, maxBudget int) *ASHAScheduler {
+	if eta < 2 {
+		eta = 3
+	}
+	if minResource < 1 {
+		minResource = 1
+	}
+	if maxBudget < 1 {
+		maxBudget = 27
+	}
+	return &ASHAScheduler{
+		Eta: eta, MinResource: minResource, MaxB: maxBudget,
+		budgets: make(map[int]int),
+		rungs:   make(map[int]map[int]float64),
+		exited:  make(map[int]bool),
+	}
+}
+
+// Name implements TrialScheduler.
+func (a *ASHAScheduler) Name() string { return "asha-promote" }
+
+// MaxBudget implements TrialScheduler.
+func (a *ASHAScheduler) MaxBudget() int { return a.MaxB }
+
+// Admit implements TrialScheduler.
+func (a *ASHAScheduler) Admit(trialID, budget int, cfg Config) {
+	if budget < 1 {
+		budget = a.MinResource
+	}
+	a.mu.Lock()
+	a.budgets[trialID] = budget
+	a.mu.Unlock()
+}
+
+// rungIndex maps a budget onto the ladder: the highest k with
+// MinResource·Eta^k ≤ budget.
+func (a *ASHAScheduler) rungIndex(budget int) int {
+	k, r := 0, a.MinResource
+	for r*a.Eta <= budget {
+		r *= a.Eta
+		k++
+	}
+	return k
+}
+
+// Observe implements TrialScheduler: decisions fire exactly when a trial
+// reaches its current budget boundary below the ceiling.
+func (a *ASHAScheduler) Observe(trialID, epoch int, value float64) []SchedDecision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.exited[trialID] {
+		return nil
+	}
+	budget, ok := a.budgets[trialID]
+	if !ok || epoch+1 != budget || budget >= a.MaxB {
+		return nil
+	}
+	k := a.rungIndex(budget)
+	rung := a.rungs[k]
+	if rung == nil {
+		rung = make(map[int]float64)
+		a.rungs[k] = rung
+	}
+	rung[trialID] = value
+
+	keep := len(rung) / a.Eta
+	if keep < 1 {
+		keep = 1
+	}
+	rank := 1
+	for id, v := range rung {
+		if id != trialID && v > value {
+			rank++
+		}
+	}
+	if rank > keep {
+		return []SchedDecision{{
+			TrialID: trialID, Budget: 0, Epoch: epoch,
+			Reason: fmt.Sprintf("asha-promote: rank %d/%d at rung %d (budget %d, value %.4f)", rank, len(rung), k, budget, value),
+		}}
+	}
+	next := budget * a.Eta
+	if next > a.MaxB {
+		next = a.MaxB
+	}
+	a.budgets[trialID] = next
+	return []SchedDecision{{
+		TrialID: trialID, Budget: next, Epoch: epoch,
+		Reason: fmt.Sprintf("asha-promote: rank %d/%d at rung %d, promoted %d → %d epochs", rank, len(rung), k, budget, next),
+	}}
+}
+
+// Complete implements TrialScheduler: rung entries persist as ranking
+// anchors, like the prune-only ASHA.
+func (a *ASHAScheduler) Complete(trialID int, res *TrialResult) []SchedDecision {
+	a.mu.Lock()
+	a.exited[trialID] = true
+	a.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,489 @@
+package hpo
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/store"
+)
+
+// rungSpace is a continuous space: every sampled config gets a distinct
+// "acc" driving a strict, deterministic quality ordering.
+func rungSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := ParseSpaceJSON([]byte(`{"acc": {"type": "float", "min": 0.1, "max": 0.9}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// rungValue is the deterministic metric both implementations see: monotone
+// in epochs, ordered by the config's acc.
+func rungValue(cfg Config, epoch, maxR int) float64 {
+	return cfg.Float("acc", 0) * float64(epoch+1) / float64(maxR)
+}
+
+// batchRungLog drives the batch Hyperband through ask/tell and records, per
+// (fingerprint, budget), every evaluation it schedules — the re-submit
+// baseline's rung structure.
+func batchRungLog(t *testing.T, maxR, eta int, seed uint64, space *Space) map[string]int {
+	t.Helper()
+	h := NewHyperband(space, maxR, eta, seed)
+	evals := make(map[string]int) // "fingerprint@budget" → count
+	id := 0
+	for rounds := 0; !h.Done() && rounds < 1000; rounds++ {
+		batch := h.Ask(0)
+		if len(batch) == 0 {
+			if h.Done() {
+				break
+			}
+			t.Fatal("batch hyperband stalled")
+		}
+		var results []TrialResult
+		for _, cfg := range batch {
+			budget := cfg.Int("num_epochs", 0)
+			evals[fmt.Sprintf("%v@%d", cfg["acc"], budget)]++
+			best := rungValue(cfg, budget-1, maxR)
+			results = append(results, TrialResult{ID: id, Config: cfg,
+				TrialMetrics: TrialMetrics{BestAcc: best, FinalAcc: best, Epochs: budget}})
+			id++
+		}
+		h.Tell(results)
+	}
+	return evals
+}
+
+// TestRungHyperbandConformance pins the rung-driven scheduler to the batch
+// implementation: same seed → identical bracket sizes (9/5/3 for R=9,η=3),
+// identical rung budgets, identical promotion sets — while the executed
+// epoch count drops strictly below the re-submit baseline.
+func TestRungHyperbandConformance(t *testing.T) {
+	const maxR, eta, seed = 9, 3, 42
+	space := rungSpace(t)
+
+	// --- Structure: 9/5/3 brackets with rung ladders [1,3,9]/[3,9]/[9].
+	rh := NewRungHyperband(space, maxR, eta, seed)
+	var sizes []int
+	var ladders [][]int
+	for _, b := range rh.brackets {
+		sizes = append(sizes, len(b.members))
+		ladders = append(ladders, b.budgets)
+	}
+	if fmt.Sprint(sizes) != "[9 5 3]" {
+		t.Fatalf("bracket sizes = %v, want [9 5 3]", sizes)
+	}
+	if fmt.Sprint(ladders) != "[[1 3 9] [3 9] [9]]" {
+		t.Fatalf("rung ladders = %v, want [[1 3 9] [3 9] [9]]", ladders)
+	}
+	if rh.MinSlots() != 9 {
+		t.Fatalf("MinSlots = %d, want 9", rh.MinSlots())
+	}
+
+	// --- Batch baseline evaluations.
+	batch := batchRungLog(t, maxR, eta, seed, space)
+	batchEpochs := 0
+	for key := range batch {
+		var budget int
+		fmt.Sscanf(key[lastAt(key)+1:], "%d", &budget)
+		batchEpochs += budget * batch[key]
+	}
+
+	// --- Drive the rung scheduler through a simulated live report stream.
+	type live struct {
+		cfg     Config
+		limit   int
+		ceiling int
+		epoch   int // epochs executed so far
+		best    float64
+	}
+	trials := make(map[int]*live)
+	rungEpochs := 0
+	promotions := make(map[string]int) // fingerprint@budget → granted
+	rungEvals := make(map[string]int)  // fingerprint@budget → rung reached
+	nextID := 0
+
+	var apply func(decisions []SchedDecision)
+	apply = func(decisions []SchedDecision) {
+		for _, d := range decisions {
+			tr := trials[d.TrialID]
+			if tr == nil {
+				t.Fatalf("decision for unknown trial %d", d.TrialID)
+			}
+			if d.Budget == 0 {
+				// Halted through the prune path: exits with partial metrics.
+				res := TrialResult{ID: d.TrialID, Config: tr.cfg, Pruned: true,
+					TrialMetrics: TrialMetrics{BestAcc: tr.best, Epochs: tr.epoch}}
+				delete(trials, d.TrialID)
+				apply(rh.Complete(d.TrialID, &res))
+				continue
+			}
+			if d.Budget <= tr.limit {
+				t.Fatalf("trial %d re-granted %d (already %d)", d.TrialID, d.Budget, tr.limit)
+			}
+			promotions[fmt.Sprintf("%v@%d", tr.cfg["acc"], d.Budget)]++
+			rungEvals[fmt.Sprintf("%v@%d", tr.cfg["acc"], d.Budget)]++
+			tr.limit = d.Budget
+		}
+	}
+
+	for rounds := 0; !rh.Done() && rounds < 100; rounds++ {
+		configs := rh.Ask(0)
+		if len(configs) == 0 {
+			if rh.Done() {
+				break
+			}
+			t.Fatal("rung hyperband stalled")
+		}
+		for _, cfg := range configs {
+			id := nextID
+			nextID++
+			base := cfg.Int("num_epochs", 0)
+			ceiling := cfg.Int("_hb_max", base)
+			rh.Admit(id, base, cfg)
+			trials[id] = &live{cfg: cfg, limit: base, ceiling: ceiling}
+			rungEvals[fmt.Sprintf("%v@%d", cfg["acc"], base)]++
+		}
+		// Run the bracket: every live trial trains to its current limit,
+		// streaming per-epoch reports; decisions raise limits or halt.
+		for progress := true; progress; {
+			progress = false
+			for id, tr := range trials {
+				for tr.epoch < tr.limit {
+					progress = true
+					v := rungValue(tr.cfg, tr.epoch, maxR)
+					if v > tr.best {
+						tr.best = v
+					}
+					tr.epoch++
+					rungEpochs++
+					if tr.epoch > tr.limit {
+						t.Fatalf("trial %d trained past its budget", id)
+					}
+					apply(rh.Observe(id, tr.epoch-1, v))
+					if trials[id] == nil {
+						break // halted mid-loop
+					}
+				}
+				if trials[id] == nil {
+					continue
+				}
+				if tr.epoch == tr.ceiling {
+					// Trained to the ceiling: completes naturally.
+					res := TrialResult{ID: id, Config: tr.cfg,
+						TrialMetrics: TrialMetrics{BestAcc: tr.best, Epochs: tr.epoch}}
+					delete(trials, id)
+					progress = true
+					apply(rh.Complete(id, &res))
+				}
+			}
+		}
+		if len(trials) != 0 {
+			t.Fatalf("%d trials left paused with no pending decision (deadlock)", len(trials))
+		}
+	}
+
+	// --- Conformance: every (config, budget) the batch implementation
+	// evaluated is exactly the set the rung scheduler reached.
+	for key, n := range batch {
+		if rungEvals[key] < n {
+			t.Errorf("batch evaluated %s ×%d, rung reached it ×%d", key, n, rungEvals[key])
+		}
+	}
+	for key := range rungEvals {
+		if batch[key] == 0 {
+			t.Errorf("rung reached %s which the batch implementation never scheduled", key)
+		}
+	}
+	// Pinned promotion counts: bracket0 promotes 3 then 1, bracket1
+	// promotes 1, bracket2 none — 5 total.
+	if len(promotions) != 5 {
+		t.Errorf("promotions = %v, want exactly 5 grants", promotions)
+	}
+	// Epoch savings: promoted trials never re-run completed epochs, so the
+	// rung-driven total is strictly below the re-submit baseline.
+	if batchEpochs != 78 {
+		t.Errorf("batch baseline executed %d epochs, want 78 (9+9+9 + 15+9 + 27)", batchEpochs)
+	}
+	if rungEpochs >= batchEpochs {
+		t.Errorf("rung-driven executed %d epochs, want strictly < batch %d", rungEpochs, batchEpochs)
+	}
+	if rungEpochs != 69 {
+		t.Errorf("rung-driven executed %d epochs, want 69", rungEpochs)
+	}
+}
+
+func lastAt(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '@' {
+			return i
+		}
+	}
+	return -1
+}
+
+// gatedObjective honours the full trial-continuation contract: it plans for
+// the promotion ceiling, consults Proceed at each boundary, streams every
+// epoch and counts executed epochs globally.
+func gatedObjective(maxR int, counter *atomic.Int64) *FuncObjective {
+	return &FuncObjective{ObjName: "gated", Fn: func(ctx ObjectiveContext) (TrialMetrics, error) {
+		total := ctx.Config.Int("num_epochs", 1)
+		if ctx.Proceed != nil && ctx.EpochCeiling > total {
+			total = ctx.EpochCeiling
+		}
+		var m TrialMetrics
+		for e := 0; e < total; e++ {
+			if ctx.Halt != nil {
+				if reason := ctx.Halt(); reason != "" {
+					m.Stopped, m.StopReason = true, reason
+					return m, nil
+				}
+			}
+			v := rungValue(ctx.Config, e, maxR)
+			counter.Add(1)
+			m.Epochs = e + 1
+			m.FinalAcc, m.BestAcc = v, v
+			m.ValAccHistory = append(m.ValAccHistory, v)
+			if ctx.Report != nil {
+				ctx.Report(e, v)
+			}
+			if e+1 < total && ctx.Proceed != nil && !ctx.Proceed(e+1) {
+				m.Stopped, m.StopReason = true, "epoch budget exhausted"
+				return m, nil
+			}
+		}
+		return m, nil
+	}}
+}
+
+// TestRungHyperbandRemoteE2E is the tentpole acceptance test: rung-driven
+// Hyperband on the real TCP Remote backend must execute strictly fewer
+// total epochs than the batch re-submit baseline, select the same winning
+// config, and promote trials past their initial budget without re-running
+// completed epochs.
+func TestRungHyperbandRemoteE2E(t *testing.T) {
+	const maxR, eta, seed = 9, 3, 42
+	space := rungSpace(t)
+	var executed atomic.Int64
+
+	rt, err := runtime.New(runtime.Options{Backend: runtime.Remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	makeObjective := func() (Objective, error) { return gatedObjective(maxR, &executed), nil }
+	// 3 workers × 3 cores: exactly the 9 slots the largest bracket needs.
+	if err := ServeWorkers(rt, makeObjective, runtime.Constraint{Cores: 1}, 1, 0, 3, 3, func(err error) {
+		t.Errorf("worker exited: %v", err)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := makeObjective()
+
+	// --- Batch baseline: budgets re-submitted per rung.
+	baseStudy, err := NewStudy(StudyOptions{
+		Sampler: NewHyperband(space, maxR, eta, seed), Objective: obj, Runtime: rt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := baseStudy.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := executed.Load()
+
+	// --- Rung-driven run with journaled promotions.
+	journal, err := store.OpenJournal(filepath.Join(t.TempDir(), "rung.journal"), store.JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
+	if err := journal.CreateStudy(store.StudyMeta{ID: "rung"}); err != nil {
+		t.Fatal(err)
+	}
+	rh := NewRungHyperband(space, maxR, eta, seed)
+	st, err := NewStudy(StudyOptions{
+		Sampler:   rh,
+		Scheduler: rh,
+		Objective: obj,
+		Runtime:   rt,
+		Recorder:  journal.Recorder("rung", "rung-e2e"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rungExecuted := executed.Load() - baseline
+
+	// Strictly fewer epochs, identical winner.
+	if rungExecuted >= baseline {
+		t.Fatalf("rung-driven executed %d epochs, want strictly < batch baseline %d", rungExecuted, baseline)
+	}
+	if baseRes.Best == nil || res.Best == nil {
+		t.Fatalf("missing winners: batch %+v rung %+v", baseRes.Best, res.Best)
+	}
+	if bw, rw := baseRes.Best.Config.Float("acc", -1), res.Best.Config.Float("acc", -2); bw != rw {
+		t.Fatalf("winners differ: batch acc=%v (%.4f) vs rung acc=%v (%.4f)",
+			bw, baseRes.Best.BestAcc, rw, res.Best.BestAcc)
+	}
+
+	// Promoted trials continued past their initial budget on the same
+	// worker: no epoch was executed twice, so the global counter equals
+	// the per-trial sum exactly.
+	var sum int64
+	promoted := 0
+	for _, tr := range res.Trials {
+		sum += int64(tr.Epochs)
+		if tr.Epochs > tr.Config.Int("num_epochs", 0) {
+			promoted++
+			if !tr.Succeeded() && !tr.Pruned {
+				t.Fatalf("promoted trial ended badly: %+v", tr)
+			}
+		}
+	}
+	if sum != rungExecuted {
+		t.Fatalf("executed %d epochs but trials account for %d — some epochs re-ran", rungExecuted, sum)
+	}
+	if promoted == 0 {
+		t.Fatal("no trial continued past its initial budget")
+	}
+	if res.Best.Epochs != maxR || res.Best.Config.Int("num_epochs", 0) >= maxR {
+		t.Fatalf("winner should have been promoted to R=%d epochs: %+v", maxR, res.Best)
+	}
+
+	// Promotions were journaled for resume.
+	if promos := journal.StudyPromotes("rung"); len(promos) != 5 {
+		t.Fatalf("journal recorded %d promotions, want 5 (3+1 bracket0, 1 bracket1)", len(promos))
+	}
+}
+
+// TestRungHyperbandRejectsUndersizedRuntime: fewer slots than the largest
+// bracket must fail fast instead of deadlocking paused trials against
+// queued ones.
+func TestRungHyperbandRejectsUndersizedRuntime(t *testing.T) {
+	rt := newStudyRuntime(t, 4) // 4 slots < 9-member bracket
+	defer rt.Shutdown()
+	var executed atomic.Int64
+	rh := NewRungHyperband(rungSpace(t), 9, 3, 1)
+	st, err := NewStudy(StudyOptions{
+		Sampler: rh, Scheduler: rh,
+		Objective: gatedObjective(9, &executed), Runtime: rt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(); err == nil {
+		t.Fatal("undersized runtime accepted — would deadlock")
+	}
+}
+
+// TestSchedulerValidation: scheduler requires a streaming backend and is
+// mutually exclusive with a pruner.
+func TestSchedulerValidation(t *testing.T) {
+	rh := NewRungHyperband(rungSpace(t), 9, 3, 1)
+	var executed atomic.Int64
+	obj := gatedObjective(9, &executed)
+	rt := newStudyRuntime(t, 9)
+	defer rt.Shutdown()
+	if _, err := NewStudy(StudyOptions{
+		Sampler: rh, Scheduler: rh, Objective: obj, Runtime: rt,
+		Pruner: NewMedianStop(0, 0),
+	}); err == nil {
+		t.Fatal("Scheduler+Pruner combination accepted")
+	}
+	if _, _, err := NewTrialScheduler("hyperband", "random", rungSpace(t), 9, 3, 1, 1); err == nil {
+		t.Fatal("hyperband scheduler accepted a non-hyperband algo")
+	}
+	if _, _, err := NewTrialScheduler("bogus", "", rungSpace(t), 9, 3, 1, 1); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	s, sch, err := NewTrialScheduler("", "", rungSpace(t), 9, 3, 1, 1)
+	if err != nil || s != nil || sch != nil {
+		t.Fatalf("empty scheduler = (%v, %v, %v), want all nil", s, sch, err)
+	}
+}
+
+// TestASHASchedulerPromotesAndHalts: per-arrival decisions — the sole
+// occupant of a rung is promoted, a clearly losing later arrival halts.
+func TestASHASchedulerPromotesAndHalts(t *testing.T) {
+	a := NewASHAScheduler(3, 1, 27)
+	a.Admit(1, 1, Config{})
+	a.Admit(2, 1, Config{})
+	a.Admit(3, 1, Config{})
+
+	// First arrival at rung 0: alone, rank 1, keep 1 → promoted 1 → 3.
+	d := a.Observe(1, 0, 0.9)
+	if len(d) != 1 || d[0].Budget != 3 {
+		t.Fatalf("first arrival decisions = %+v, want promotion to 3", d)
+	}
+	// Second arrival, worse: rank 2, keep 1 → still keep=len/eta=0→1 but
+	// rank 2 > 1 → halted.
+	d = a.Observe(2, 0, 0.1)
+	if len(d) != 1 || d[0].Budget != 0 {
+		t.Fatalf("losing arrival decisions = %+v, want halt", d)
+	}
+	// Third arrival, middling: rank 2 of 3, keep 1 → halted.
+	d = a.Observe(3, 0, 0.5)
+	if len(d) != 1 || d[0].Budget != 0 {
+		t.Fatalf("third arrival decisions = %+v, want halt", d)
+	}
+	// The promoted trial reaches its new boundary: rung 1, alone → 3 → 9.
+	d = a.Observe(1, 2, 0.95)
+	if len(d) != 1 || d[0].Budget != 9 {
+		t.Fatalf("rung-1 arrival decisions = %+v, want promotion to 9", d)
+	}
+	// Ceiling: at budget 27... promote caps at MaxB, and at the ceiling no
+	// decision fires.
+	d = a.Observe(1, 8, 0.99)
+	if len(d) != 1 || d[0].Budget != 27 {
+		t.Fatalf("rung-2 arrival decisions = %+v, want promotion to 27", d)
+	}
+	if d = a.Observe(1, 26, 1.0); d != nil {
+		t.Fatalf("at the ceiling decisions = %+v, want none", d)
+	}
+	// Completed trials stop deciding.
+	a.Complete(2, nil)
+	if d = a.Observe(2, 0, 0.99); d != nil {
+		t.Fatalf("completed trial decided %+v", d)
+	}
+}
+
+// TestBudgetGateStopBeatsExtend pins the promote-vs-cancel race at the gate
+// level: once stopped (cancel delivered), a later extension must not revive
+// the trial.
+func TestBudgetGateStopBeatsExtend(t *testing.T) {
+	g := runtime.NewBudgetGate()
+	g.SetLimit(2)
+	if !g.Allow(1) {
+		t.Fatal("under-limit Allow blocked")
+	}
+	g.Stop()
+	g.Extend(9)
+	if g.Allow(2) {
+		t.Fatal("stopped gate allowed continuation after a late extend")
+	}
+	// And the reverse order: a paused trial extended then stopped unblocks
+	// into a refusal.
+	g2 := runtime.NewBudgetGate()
+	g2.SetLimit(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	allowed := make(chan bool, 1)
+	go func() {
+		defer wg.Done()
+		allowed <- g2.Allow(1)
+	}()
+	g2.Stop()
+	wg.Wait()
+	if <-allowed {
+		t.Fatal("stopped gate released a paused trial as allowed")
+	}
+}

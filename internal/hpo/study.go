@@ -31,6 +31,12 @@ type TrialResult struct {
 	// count as successes.
 	Pruned      bool
 	PruneReason string
+	// Promoted marks trials a rung scheduler continued past their
+	// configured num_epochs budget: their metrics cover more epochs than
+	// the config says, so they resume within their own study but are
+	// excluded from cross-study memoization (a budget-1 lookup must not be
+	// answered with a budget-9 result).
+	Promoted bool
 }
 
 // Succeeded reports whether the trial ran to completion with a usable
@@ -106,6 +112,15 @@ type StudyOptions struct {
 	// and cancels losing trials mid-training (MedianStop, ASHA). Requires
 	// a streaming backend, like OnEpoch.
 	Pruner Pruner
+	// Scheduler, when non-nil, drives rung-based successive halving over
+	// the live report stream: trials are admitted once with their config's
+	// num_epochs as the initial budget, losers are halted at rung
+	// boundaries through the prune path, and survivors are promoted past
+	// their initial budget via runtime task extension — TCP workers keep
+	// training the same config instead of restarting it. Requires a
+	// streaming backend; mutually exclusive with Pruner (the scheduler
+	// already halts losers).
+	Scheduler TrialScheduler
 	// Visualise, when true, rebuilds the paper's Figure-3 application
 	// shape for real: each experiment feeds a visualisation task and a
 	// final plot task aggregates them; the plot output lands in
@@ -142,6 +157,9 @@ type Study struct {
 	mu           sync.Mutex
 	trials       []*Trial
 	byTask       map[int]*Trial // runtime task id → live trial
+	byID         map[int]*Trial // trial id → handle (scheduler decisions)
+	granted      map[int]int    // trial id → highest promoted epoch budget
+	baseBudget   map[int]int    // trial id → initial (submitted) epoch budget
 	results      []TrialResult
 	stopped      bool
 	canceled     bool
@@ -160,14 +178,19 @@ func NewStudy(opts StudyOptions) (*Study, error) {
 	if opts.Runtime == nil {
 		return nil, errors.New("hpo: study needs a Runtime")
 	}
-	if (opts.OnEpoch != nil || opts.Pruner != nil) && !opts.Runtime.CanStreamReports() {
-		return nil, errors.New("hpo: OnEpoch/Pruner need a backend that streams epoch reports (Real or Remote, not Sim)")
+	if (opts.OnEpoch != nil || opts.Pruner != nil || opts.Scheduler != nil) && !opts.Runtime.CanStreamReports() {
+		return nil, errors.New("hpo: OnEpoch/Pruner/Scheduler need a backend that streams epoch reports (Real or Remote, not Sim)")
+	}
+	if opts.Scheduler != nil && opts.Pruner != nil {
+		return nil, errors.New("hpo: Scheduler and Pruner are mutually exclusive (the scheduler already halts rung losers)")
 	}
 	rec := opts.Recorder
 	if rec == nil && opts.CheckpointPath != "" {
 		rec = store.NewFileRecorder(opts.CheckpointPath)
 	}
-	s := &Study{opts: opts, recorder: rec, byTask: make(map[int]*Trial)}
+	s := &Study{opts: opts, recorder: rec,
+		byTask: make(map[int]*Trial), byID: make(map[int]*Trial),
+		granted: make(map[int]int), baseBudget: make(map[int]int)}
 	if mr, ok := rec.(store.MetricRecorder); ok {
 		s.telemetry = mr
 	}
@@ -207,6 +230,19 @@ func (s *Study) Run() (*StudyResult, error) {
 	rt.SetTaskReportHandler(s.onTaskReport)
 	defer rt.SetTaskReportHandler(nil)
 
+	if sched := s.opts.Scheduler; sched != nil {
+		// Synchronous rungs pause every member at the boundary until the
+		// whole rung reports: with fewer slots than the largest bracket the
+		// paused members would deadlock against the queued ones, so fail
+		// fast instead of hanging.
+		if ms, ok := sched.(interface{ MinSlots() int }); ok {
+			if slots := rt.Slots(s.opts.Constraint); slots < ms.MinSlots() {
+				return nil, fmt.Errorf("hpo: %s needs %d concurrent task slots for its largest bracket; the runtime provides %d",
+					sched.Name(), ms.MinSlots(), slots)
+			}
+		}
+	}
+
 	checkpoint, err := s.loadCheckpoint()
 	if err != nil {
 		return nil, err
@@ -233,13 +269,30 @@ func (s *Study) Run() (*StudyResult, error) {
 			return nil, fmt.Errorf("hpo: sampler %q stalled (asked nothing while idle)", s.opts.Sampler.Name())
 		}
 
+		sched := s.opts.Scheduler
 		roundResults := make([]TrialResult, 0, len(configs))
 		futs := make([]*runtime.Future, 0, len(configs))
 		roundTrials := make([]*Trial, 0, len(configs))
 		for _, cfg := range configs {
+			if sched != nil {
+				// Samplers unaware of rung scheduling (everything but
+				// RungHyperband, which stamps per-bracket ceilings itself)
+				// get the scheduler's global promotion ceiling.
+				if base := cfg.Int("num_epochs", 0); cfg.Int("_hb_max", 0) == 0 &&
+					base > 0 && sched.MaxBudget() > base {
+					cfg["_hb_max"] = sched.MaxBudget()
+				}
+			}
 			fp := cfg.Fingerprint()
 			if cached, ok := checkpoint[fp]; ok {
 				s.adoptFinished(cached)
+				if sched != nil {
+					// The scheduler must account for every bracket member;
+					// a resumed result exits immediately with its final
+					// value, settling its rungs without re-execution.
+					sched.Admit(cached.ID, cfg.Int("num_epochs", 0), cfg)
+					s.applyDecisions(sched.Complete(cached.ID, &cached))
+				}
 				roundResults = append(roundResults, cached)
 				resumed++
 				continue
@@ -254,11 +307,25 @@ func (s *Study) Run() (*StudyResult, error) {
 				memo.ID = id
 				memo.Config = cfg
 				s.adoptFinished(memo)
+				if sched != nil {
+					sched.Admit(id, cfg.Int("num_epochs", 0), cfg)
+					s.applyDecisions(sched.Complete(id, &memo))
+				}
 				roundResults = append(roundResults, memo)
 				memoized++
 				continue
 			}
 			trial := newTrial(id, cfg)
+			if sched != nil {
+				// Admit before Submit: the task may stream its first report
+				// the instant it launches, and Observe must already know the
+				// trial.
+				base := cfg.Int("num_epochs", 0)
+				sched.Admit(id, base, cfg)
+				s.mu.Lock()
+				s.baseBudget[id] = base
+				s.mu.Unlock()
+			}
 			// Submit under s.mu: the task may stream its first report the
 			// instant it launches, and onTaskReport must already find the
 			// byTask mapping (it blocks on s.mu until we finish here).
@@ -271,6 +338,7 @@ func (s *Study) Run() (*StudyResult, error) {
 			trial.markRunning(fut.TaskID())
 			s.trials = append(s.trials, trial)
 			s.byTask[fut.TaskID()] = trial
+			s.byID[id] = trial
 			s.mu.Unlock()
 			futs = append(futs, fut)
 			roundTrials = append(roundTrials, trial)
@@ -307,6 +375,13 @@ func (s *Study) Run() (*StudyResult, error) {
 					res.Err = "task failed"
 				}
 			}
+			s.mu.Lock()
+			if s.granted[trial.ID] > 0 {
+				// The scheduler extended this trial past its configured
+				// budget; the result must say so (memo exclusion).
+				res.Promoted = true
+			}
+			s.mu.Unlock()
 			trial.finalize(&res)
 			if s.opts.Pruner != nil {
 				s.opts.Pruner.Complete(trial.ID)
@@ -314,6 +389,11 @@ func (s *Study) Run() (*StudyResult, error) {
 			s.mu.Lock()
 			delete(s.byTask, trial.TaskID())
 			s.mu.Unlock()
+			if sched != nil {
+				// A member's exit can settle its rung (and, on resume,
+				// cascade through several).
+				s.applyDecisions(sched.Complete(trial.ID, &res))
+			}
 			roundResults = append(roundResults, res)
 		}
 
@@ -385,7 +465,45 @@ func (s *Study) adoptFinished(res TrialResult) {
 	trial.finalize(&res)
 	s.mu.Lock()
 	s.trials = append(s.trials, trial)
+	s.byID[res.ID] = trial
 	s.mu.Unlock()
+}
+
+// applyDecisions carries a scheduler's rung verdicts into the runtime:
+// halts ride the existing prune path (cooperative per-task cancellation),
+// promotions extend the running task's budget gate so the worker keeps
+// training the same model. Both are journaled when the recorder supports
+// lifecycle telemetry. A promotion whose extension cannot be delivered
+// (task finished, worker died) is not an error: the runtime re-queues dead
+// workers' tasks from scratch, and the grant is re-issued when the fresh
+// attempt streams its reports (restart fallback, see onTaskReport).
+func (s *Study) applyDecisions(decisions []SchedDecision) {
+	for _, d := range decisions {
+		s.mu.Lock()
+		trial := s.byID[d.TrialID]
+		s.mu.Unlock()
+		if trial == nil {
+			continue
+		}
+		if d.Budget <= 0 {
+			if trial.requestPrune(d.Reason) {
+				if s.telemetry != nil {
+					_ = s.telemetry.RecordPrune(trial.ID, d.Epoch, d.Reason)
+				}
+				s.opts.Runtime.CancelTask(trial.TaskID())
+			}
+			continue
+		}
+		s.mu.Lock()
+		if d.Budget > s.granted[d.TrialID] {
+			s.granted[d.TrialID] = d.Budget
+		}
+		s.mu.Unlock()
+		if s.telemetry != nil {
+			_ = s.telemetry.RecordPromote(trial.ID, d.Epoch, d.Budget, d.Reason)
+		}
+		s.opts.Runtime.ExtendTask(trial.TaskID(), d.Budget)
+	}
 }
 
 // onTaskReport is the study's central intermediate-metric sink: every
@@ -415,6 +533,24 @@ func (s *Study) onTaskReport(taskID, epoch int, value float64) {
 	if s.opts.TargetAccuracy > 0 && value >= s.opts.TargetAccuracy {
 		s.triggerStop()
 		return
+	}
+	if sched := s.opts.Scheduler; sched != nil {
+		// Restart fallback: a worker death re-queues the task, and the
+		// fresh attempt restarts at the config's initial budget, blind to
+		// earlier promotions. A restarted attempt always pauses at its
+		// initial gate, so re-issuing the grant exactly at that boundary —
+		// whenever the grant exceeds it — releases the pause without
+		// per-epoch chatter (idempotent: the gate ceiling is monotonic).
+		// A first attempt never matches: its grant is only issued by the
+		// Observe below, after its boundary report.
+		s.mu.Lock()
+		g := s.granted[trial.ID]
+		resend := g > epoch+1 && epoch+1 == s.baseBudget[trial.ID]
+		s.mu.Unlock()
+		if resend {
+			s.opts.Runtime.ExtendTask(taskID, g)
+		}
+		s.applyDecisions(sched.Observe(trial.ID, epoch, value))
 	}
 	if s.opts.Pruner != nil && s.opts.Pruner.Observe(trial.ID, epoch, value) {
 		reason := fmt.Sprintf("%s pruner: losing at epoch %d (value %.4f)", s.opts.Pruner.Name(), epoch, value)

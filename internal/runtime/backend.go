@@ -12,12 +12,15 @@ import (
 // held (placement in inv.allocs is complete); drive is always called
 // without it and must evaluate pred under rt.mu; cancelRunning is called
 // with rt.mu held on a stateRunning invocation and delivers a cooperative
-// cancel signal, reporting whether one was sent.
+// cancel signal, reporting whether one was sent. extendRunning is called
+// with rt.mu held on a stateRunning invocation and delivers a new epoch
+// budget to its gate, reporting whether the extension was sent.
 type backend interface {
 	now() time.Duration
 	launch(inv *invocation, args []interface{})
 	drive(pred func() bool)
 	cancelRunning(inv *invocation) bool
+	extendRunning(inv *invocation, budget int) bool
 	close()
 }
 
@@ -50,6 +53,7 @@ func (b *realBackend) launch(inv *invocation, args []interface{}) {
 			rt.emitTaskReport(inv.id, epoch, value)
 		},
 		Canceled: inv.cancel,
+		Budget:   inv.gate,
 	}
 	fn := inv.def.Fn
 	if limit := inv.def.Timeout; limit > 0 {
@@ -85,12 +89,20 @@ func (b *realBackend) drive(pred func() bool) {
 	b.rt.mu.Unlock()
 }
 
-// cancelRunning signals the attempt's cancel channel (rt.mu held).
+// cancelRunning signals the attempt's cancel channel and unblocks a task
+// paused at its budget gate (rt.mu held).
 func (b *realBackend) cancelRunning(inv *invocation) bool {
 	if !inv.cancelSignaled {
 		inv.cancelSignaled = true
 		close(inv.cancel)
+		inv.gate.Stop()
 	}
+	return true
+}
+
+// extendRunning raises the attempt's budget gate (rt.mu held).
+func (b *realBackend) extendRunning(inv *invocation, budget int) bool {
+	inv.gate.Extend(budget)
 	return true
 }
 
@@ -181,5 +193,8 @@ func (b *simBackend) drive(pred func() bool) {
 // cancelRunning is unsupported in simulation: modelled tasks have no
 // mid-flight observation points.
 func (b *simBackend) cancelRunning(inv *invocation) bool { return false }
+
+// extendRunning is unsupported in simulation (no mid-flight gates).
+func (b *simBackend) extendRunning(inv *invocation, budget int) bool { return false }
 
 func (b *simBackend) close() {}

@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+)
+
+// gatedBody is a task that activates its budget gate at base epochs and
+// trains up to ceiling while the gate allows, reporting every epoch.
+func gatedBody(base, ceiling int) TaskFunc {
+	return func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+		if ctx.Budget != nil {
+			ctx.Budget.SetLimit(base)
+		}
+		done := 0
+		for e := 0; e < ceiling; e++ {
+			done = e + 1
+			if ctx.Report != nil {
+				ctx.Report(e, float64(done))
+			}
+			if done < ceiling && ctx.Budget != nil && !ctx.Budget.Allow(done) {
+				break
+			}
+		}
+		return []interface{}{done}, nil
+	}
+}
+
+// TestExtendTaskLocalContinuation: on the Real backend a task paused at its
+// budget gate continues in place when the report handler extends it, and
+// runs to the full ceiling.
+func TestExtendTaskLocalContinuation(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Local(2), Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if err := rt.Register(TaskDef{Name: "gated", Returns: 1, Fn: gatedBody(2, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	rt.SetTaskReportHandler(func(taskID, epoch int, value float64) {
+		if epoch+1 == 2 {
+			if !rt.ExtendTask(taskID, 5) {
+				t.Errorf("ExtendTask refused a running task")
+			}
+		}
+	})
+	fut, err := rt.Submit1("gated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rt.WaitOn(fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 5 {
+		t.Fatalf("extended task ran %v epochs, want 5", vals[0])
+	}
+}
+
+// TestExtendTaskCancelStopsPausedTask: cancelling a task paused at its gate
+// unblocks it into an early return instead of hanging.
+func TestExtendTaskCancelStopsPausedTask(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Local(2), Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if err := rt.Register(TaskDef{Name: "gated", Returns: 1, Fn: gatedBody(1, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	rt.SetTaskReportHandler(func(taskID, epoch int, value float64) {
+		// The task pauses after its first epoch; cancel instead of extend.
+		rt.CancelTask(taskID)
+	})
+	fut, err := rt.Submit1("gated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rt.WaitOn(fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 1 {
+		t.Fatalf("canceled task ran %v epochs, want 1", vals[0])
+	}
+}
+
+// TestExtendTaskRemoteContinuation: the same continuation over the TCP
+// worker transport — the ExtendTask protocol message raises the remote
+// gate.
+func TestExtendTaskRemoteContinuation(t *testing.T) {
+	rt, err := New(Options{Backend: Remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	def := TaskDef{Name: "gated", Returns: 1, Fn: gatedBody(2, 6)}
+	if err := rt.Register(def); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := comm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	w := NewWorker(1, 0)
+	if err := w.Register(def); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = w.ConnectAndServe(ln.Addr()) }()
+	if err := rt.ListenAndAttach(ln, 1); err != nil {
+		t.Fatal(err)
+	}
+	rt.SetTaskReportHandler(func(taskID, epoch int, value float64) {
+		if epoch+1 == 2 {
+			rt.ExtendTask(taskID, 6)
+		}
+	})
+	fut, err := rt.Submit1("gated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rt.WaitOn(fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 6 {
+		t.Fatalf("remotely extended task ran %v epochs, want 6", vals[0])
+	}
+}
+
+// TestExtendTaskNotRunning: extensions aimed at finished or bogus
+// invocations report false so callers fall back to restart semantics.
+func TestExtendTaskNotRunning(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Local(1), Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if err := rt.Register(TaskDef{Name: "noop", Returns: 1, Fn: func(ctx *TaskContext, args []interface{}) ([]interface{}, error) {
+		return []interface{}{1}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	fut, err := rt.Submit1("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.WaitOn(fut); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ExtendTask(fut.TaskID(), 9) {
+		t.Fatal("ExtendTask extended a finished task")
+	}
+	if rt.ExtendTask(999, 9) {
+		t.Fatal("ExtendTask extended a bogus id")
+	}
+	if rt.ExtendTask(fut.TaskID(), 0) {
+		t.Fatal("ExtendTask accepted a non-positive budget")
+	}
+}
+
+// TestSlots: concurrent-capacity accounting across nodes, constraints and
+// downed workers.
+func TestSlots(t *testing.T) {
+	rt, err := New(Options{Cluster: cluster.Spec{Nodes: []cluster.NodeSpec{
+		{ID: 0, Name: "a", Cores: 4, GPUs: 1, CoreSpeed: 1, GPUSpeed: 1},
+		{ID: 1, Name: "b", Cores: 2, CoreSpeed: 1},
+	}}, Backend: Real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if got := rt.Slots(Constraint{Cores: 1}); got != 6 {
+		t.Fatalf("Slots(1 core) = %d, want 6", got)
+	}
+	if got := rt.Slots(Constraint{Cores: 2}); got != 3 {
+		t.Fatalf("Slots(2 cores) = %d, want 3", got)
+	}
+	if got := rt.Slots(Constraint{Cores: 1, GPUs: 1}); got != 1 {
+		t.Fatalf("Slots(1 core+gpu) = %d, want 1", got)
+	}
+	rt.mu.Lock()
+	rt.nodes[0].down = true
+	rt.mu.Unlock()
+	if got := rt.Slots(Constraint{Cores: 1}); got != 2 {
+		t.Fatalf("Slots with node a down = %d, want 2", got)
+	}
+}

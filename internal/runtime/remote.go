@@ -262,6 +262,24 @@ func (b *remoteBackend) cancelRunning(inv *invocation) bool {
 	return true
 }
 
+// extendRunning forwards a budget extension to the worker executing the
+// invocation (rt.mu held; the send happens off-lock). The worker raises the
+// task's BudgetGate so a trial paused at a rung boundary keeps training the
+// same model.
+func (b *remoteBackend) extendRunning(inv *invocation, budget int) bool {
+	nodeID := inv.primaryNode()
+	b.mu.Lock()
+	w := b.workers[nodeID]
+	b.mu.Unlock()
+	if w == nil {
+		return false
+	}
+	go func() {
+		_ = w.tr.Send(&comm.Message{Type: comm.MsgExtendTask, TaskID: inv.id, Budget: budget})
+	}()
+	return true
+}
+
 func (b *remoteBackend) drive(pred func() bool) {
 	b.rt.mu.Lock()
 	for !pred() {
@@ -379,12 +397,32 @@ func (w *Worker) Serve(tr comm.Transport) error {
 	// The master sends submits and cancels from independent goroutines, so
 	// a cancel may overtake its submit — preCanceled remembers those and
 	// the late-arriving submit starts with its channel already closed.
+	// gates holds each running task's epoch-budget gate for ExtendTask
+	// continuation; preExtended remembers extensions that overtook their
+	// submit the same way.
 	var runMu sync.Mutex
 	running := make(map[int]chan struct{})
 	preCanceled := make(map[int]bool)
+	gates := make(map[int]*BudgetGate)
+	preExtended := make(map[int]int)
 
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	// Runs before wg.Wait (LIFO): when the serve loop exits — master
+	// shutdown or transport failure — tasks paused at budget gates or
+	// polling their cancel channel must unblock, or the worker would never
+	// drain. The master re-queues their work elsewhere.
+	defer func() {
+		runMu.Lock()
+		for _, g := range gates {
+			g.Stop()
+		}
+		for id, ch := range running {
+			close(ch)
+			delete(running, id)
+		}
+		runMu.Unlock()
+	}()
 	for {
 		msg, err := tr.Recv()
 		if err != nil {
@@ -404,6 +442,18 @@ func (w *Worker) Serve(tr comm.Transport) error {
 			} else {
 				preCanceled[msg.TaskID] = true
 			}
+			if g, ok := gates[msg.TaskID]; ok {
+				// A task paused at its budget gate must observe the cancel.
+				g.Stop()
+			}
+			runMu.Unlock()
+		case comm.MsgExtendTask:
+			runMu.Lock()
+			if g, ok := gates[msg.TaskID]; ok {
+				g.Extend(msg.Budget)
+			} else if msg.Budget > preExtended[msg.TaskID] {
+				preExtended[msg.TaskID] = msg.Budget
+			}
 			runMu.Unlock()
 		case comm.MsgSubmitTask:
 			def, ok := w.defs[msg.TaskName]
@@ -413,13 +463,20 @@ func (w *Worker) Serve(tr comm.Transport) error {
 				continue
 			}
 			cancel := make(chan struct{})
+			gate := NewBudgetGate()
 			runMu.Lock()
 			if preCanceled[msg.TaskID] {
 				delete(preCanceled, msg.TaskID)
 				close(cancel)
+				gate.Stop()
 			} else {
 				running[msg.TaskID] = cancel
 			}
+			if n, ok := preExtended[msg.TaskID]; ok {
+				delete(preExtended, msg.TaskID)
+				gate.Extend(n)
+			}
+			gates[msg.TaskID] = gate
 			runMu.Unlock()
 			wg.Add(1)
 			go func(msg *comm.Message) {
@@ -427,6 +484,11 @@ func (w *Worker) Serve(tr comm.Transport) error {
 				defer func() {
 					runMu.Lock()
 					delete(running, msg.TaskID)
+					delete(gates, msg.TaskID)
+					// An extend that raced this task's completion parked
+					// itself in preExtended; the id is never submitted
+					// again, so drop it rather than leak it.
+					delete(preExtended, msg.TaskID)
 					runMu.Unlock()
 				}()
 				ctx := &TaskContext{
@@ -440,6 +502,7 @@ func (w *Worker) Serve(tr comm.Transport) error {
 							TaskID: msg.TaskID, WorkerID: workerID, Epoch: epoch, Value: value})
 					},
 					Canceled: cancel,
+					Budget:   gate,
 				}
 				results, err := runSafely(def.Fn, ctx, msg.Args)
 				if err != nil {

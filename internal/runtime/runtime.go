@@ -310,10 +310,12 @@ func (rt *Runtime) compactReady() {
 
 // place assigns inv to its node set and launches it. Callers hold rt.mu.
 func (rt *Runtime) place(inv *invocation, nodes []*nodeState) {
-	// Fresh cancellation signal per attempt: a retried invocation must not
-	// observe a cancel aimed at its previous attempt.
+	// Fresh cancellation signal and budget gate per attempt: a retried
+	// invocation must not observe a cancel or an extension aimed at its
+	// previous attempt.
 	inv.cancel = make(chan struct{})
 	inv.cancelSignaled = false
+	inv.gate = NewBudgetGate()
 	inv.allocs = inv.allocs[:0]
 	for _, n := range nodes {
 		coreIDs, gpuIDs := n.allocate(inv.def.Constraint)
@@ -588,6 +590,56 @@ func (rt *Runtime) CancelTask(id int) bool {
 	default:
 		return false
 	}
+}
+
+// ExtendTask raises a running invocation's epoch budget: the continuation
+// half of rung-driven successive halving. The task's BudgetGate ceiling is
+// lifted to budget — locally by touching the attempt's gate, remotely via
+// an ExtendTask protocol message — so a task paused at its gate resumes
+// training the same in-memory state rather than being re-submitted. It
+// reports whether an extension was delivered; tasks that are not currently
+// running (finished, canceled, or re-queued after a worker death) return
+// false, and the caller is expected to fall back to re-issuing the grant
+// when a fresh attempt streams its reports (restart fallback).
+func (rt *Runtime) ExtendTask(id, budget int) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if id < 1 || id > len(rt.invs) || budget <= 0 {
+		return false
+	}
+	inv := rt.invs[id-1]
+	if inv.state != stateRunning {
+		return false
+	}
+	return rt.backend.extendRunning(inv, budget)
+}
+
+// Slots reports how many tasks with the given constraint can execute
+// simultaneously on the currently attached, healthy nodes — the capacity a
+// synchronous rung scheduler checks before submitting a bracket whose
+// members must all reach a rung boundary together.
+func (rt *Runtime) Slots(c Constraint) int {
+	c = c.Normalise()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	slots := 0
+	for _, n := range rt.nodes {
+		if n.down {
+			continue
+		}
+		byCores := n.spec.Cores / c.Cores
+		if c.GPUs > 0 {
+			if byGPUs := n.spec.GPUs / c.GPUs; byGPUs < byCores {
+				byCores = byGPUs
+			}
+		}
+		slots += byCores
+	}
+	if c.Nodes > 1 {
+		// Multi-node tasks occupy a slot on each spanned node.
+		slots /= c.Nodes
+	}
+	return slots
 }
 
 // CancelPending cancels every invocation that has not started executing;

@@ -81,6 +81,14 @@ type TaskContext struct {
 	// cooperative: the task should observe the channel at convenient
 	// boundaries (e.g. epoch ends) and return early with a partial result.
 	Canceled <-chan struct{}
+	// Budget, when non-nil, is the task's epoch-budget gate: a task
+	// submitted with a small initial budget activates it (SetLimit) and
+	// consults Allow at epoch boundaries; the master may later raise the
+	// ceiling via Runtime.ExtendTask so the task continues training the
+	// same in-memory state instead of being re-submitted (rung-driven
+	// successive halving). Backends that cannot deliver extensions leave it
+	// nil; task bodies must tolerate that.
+	Budget *BudgetGate
 }
 
 // TaskFunc is the body of a task. Args are the submitted arguments with any
@@ -214,6 +222,9 @@ type invocation struct {
 	// cooperative mid-flight cancellation to a locally running attempt.
 	cancel         chan struct{}
 	cancelSignaled bool
+	// gate is the attempt's epoch-budget gate (Real backend; remote workers
+	// hold their own per-task gates). Fresh per attempt, like cancel.
+	gate *BudgetGate
 }
 
 // nodeAlloc is the resources an invocation holds on one node.

@@ -38,6 +38,10 @@ type Runner struct {
 	// DefaultPruner names the pruner applied to specs that leave the
 	// field empty ("" = none) — the daemon's -pruner flag.
 	DefaultPruner string
+	// DefaultScheduler names the rung-driven scheduler applied to specs
+	// that leave the field empty ("" = none) — the daemon's -scheduler
+	// flag. An active scheduler supersedes DefaultPruner.
+	DefaultScheduler string
 
 	mu sync.Mutex
 	// active maps a study id to its live handle while execute holds it.
@@ -163,9 +167,22 @@ func (r *Runner) execute(id string) error {
 	if err != nil {
 		return r.fail(id, err)
 	}
+	schedSampler, scheduler, err := spec.BuildScheduler(r.DefaultScheduler)
+	if err != nil {
+		return r.fail(id, err)
+	}
+	if schedSampler != nil {
+		// Rung-driven Hyperband owns both the sampler and scheduler roles.
+		sampler = schedSampler
+	}
 	pruner, err := spec.BuildPruner(r.DefaultPruner)
 	if err != nil {
 		return r.fail(id, err)
+	}
+	if scheduler != nil {
+		// The scheduler already halts rung losers; a daemon-default pruner
+		// must not fight its decisions.
+		pruner = nil
 	}
 	buildObjective := r.Objectives
 	if buildObjective == nil {
@@ -196,6 +213,7 @@ func (r *Runner) execute(id string) error {
 		TargetAccuracy: spec.Target,
 		Seed:           spec.Seed,
 		Pruner:         pruner,
+		Scheduler:      scheduler,
 		Recorder:       recorder,
 	})
 	if err != nil {

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hpo"
+	"repro/internal/runtime"
+	"repro/internal/store"
+)
+
+// TestSpecSchedulerValidation: the rung-driven spec surface rejects the
+// combinations the study layer cannot honour.
+func TestSpecSchedulerValidation(t *testing.T) {
+	base := `"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}}`
+	bad := []string{
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "pruner": "median"}`, base),
+		fmt.Sprintf(`{%s, "algo": "random", "scheduler": "hyperband"}`, base),
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "bogus"}`, base),
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "cv_folds": 3}`, base),
+	}
+	for _, body := range bad {
+		if _, err := ParseSpec([]byte(body)); err == nil {
+			t.Errorf("spec accepted: %s", body)
+		}
+	}
+	good := []string{
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "budget": 9}`, base),
+		fmt.Sprintf(`{%s, "algo": "random", "scheduler": "asha", "budget": 9}`, base),
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "none", "pruner": "median"}`, base),
+	}
+	for _, body := range good {
+		if _, err := ParseSpec([]byte(body)); err != nil {
+			t.Errorf("spec rejected: %s: %v", body, err)
+		}
+	}
+}
+
+// TestServerRungSchedulerE2E drives a rung-driven Hyperband study through
+// the HTTP control plane: the spec's scheduler field selects rung mode, the
+// study runs to completion, promotions land in the journal, and the SSE
+// stream carries promote events alongside the final trial records.
+func TestServerRungSchedulerE2E(t *testing.T) {
+	journal, err := store.OpenJournal(filepath.Join(t.TempDir(), "j"), store.JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal.Close() })
+	factory := func(spec StudySpec) (*runtime.Runtime, func(), error) {
+		// 9 slots: the largest bracket of R=9, η=3 runs as one rung.
+		rt, err := runtime.New(runtime.Options{Cluster: cluster.Local(9), Backend: runtime.Real})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rt, rt.Shutdown, nil
+	}
+	srv := New(journal, factory, 1)
+	srv.Runner().Objectives = func(spec StudySpec) (hpo.Objective, error) {
+		return &hpo.FuncObjective{ObjName: "gated", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+			total := ctx.Config.Int("num_epochs", 1)
+			if ctx.Proceed != nil && ctx.EpochCeiling > total {
+				total = ctx.EpochCeiling
+			}
+			var m hpo.TrialMetrics
+			for e := 0; e < total; e++ {
+				if ctx.Halt != nil && ctx.Halt() != "" {
+					m.Stopped = true
+					return m, nil
+				}
+				v := ctx.Config.Float("acc", 0) * float64(e+1) / 9
+				m.Epochs, m.BestAcc, m.FinalAcc = e+1, v, v
+				if ctx.Report != nil {
+					ctx.Report(e, v)
+				}
+				if e+1 < total && ctx.Proceed != nil && !ctx.Proceed(e+1) {
+					m.Stopped = true
+					return m, nil
+				}
+			}
+			return m, nil
+		}}, nil
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Runner().Close(0) })
+
+	code, created := postJSON(t, ts.URL+"/v1/studies", `{
+		"algo": "hyperband", "scheduler": "hyperband", "budget": 9, "seed": 42,
+		"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}},
+		"start": true}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	// Promotions were journaled (3+1 in bracket 0, 1 in bracket 1).
+	promos := journal.StudyPromotes(id)
+	if len(promos) != 5 {
+		t.Fatalf("journal holds %d promotions, want 5: %+v", len(promos), promos)
+	}
+
+	// The trial records show continuation: winners trained past their
+	// submitted budget, and at least one reached R.
+	trials, err := journal.StudyTrials(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	continued, reachedR := 0, 0
+	for _, tr := range trials {
+		base := int(tr.Config["num_epochs"].(int))
+		if tr.Epochs > base {
+			continued++
+		}
+		if tr.Epochs == 9 && base < 9 {
+			reachedR++
+		}
+	}
+	if continued == 0 || reachedR == 0 {
+		t.Fatalf("no promoted trials in the journal (continued=%d reachedR=%d): %+v", continued, reachedR, trials)
+	}
+
+	// The SSE stream carries the promote events.
+	resp, err := http.Get(ts.URL + "/v1/studies/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	stream := string(buf[:n])
+	if !strings.Contains(stream, "event: promote") {
+		t.Fatalf("no promote events on the SSE stream:\n%.600s", stream)
+	}
+}

@@ -51,6 +51,17 @@ type StudySpec struct {
 	// PrunerWarmup is the epochs a trial is immune (median) or the first
 	// rung's resource (asha); 0 selects the rule's default.
 	PrunerWarmup int `json:"pruner_warmup,omitempty"`
+	// Scheduler selects rung-driven successive halving over the live
+	// report stream: "" (daemon default) | none | hyperband | asha.
+	// "hyperband" replaces the sampler with the rung-driven Hyperband
+	// (Algo must be hyperband); "asha" keeps the configured sampler and
+	// promotes/halts trials at asynchronous rung boundaries. Trials are
+	// submitted once and continued past their initial budget via task
+	// extension instead of being re-submitted per rung. Reuses PrunerEta
+	// (halving factor) and PrunerWarmup (first rung) as its knobs, with
+	// Budget as the epoch ceiling; mutually exclusive with Pruner and
+	// with CVFolds > 1.
+	Scheduler string `json:"scheduler,omitempty"`
 	// Start queues the study for execution immediately on creation.
 	Start bool `json:"start,omitempty"`
 }
@@ -93,6 +104,12 @@ func ParseSpec(raw []byte) (StudySpec, error) {
 	if _, err := spec.BuildPruner(""); err != nil {
 		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
+	if _, _, err := spec.BuildScheduler(""); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if spec.schedulerActive(spec.Scheduler) && spec.Pruner != "" && spec.Pruner != "none" {
+		return spec, fmt.Errorf("%w: scheduler and pruner are mutually exclusive (the scheduler already halts rung losers)", ErrBadSpec)
+	}
 	if _, err := datasets.ByName(spec.Dataset, 8, 1); err != nil {
 		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
@@ -122,6 +139,43 @@ func (s StudySpec) BuildPruner(defaultName string) (hpo.Pruner, error) {
 		name = defaultName
 	}
 	return hpo.NewPruner(name, s.PrunerEta, s.PrunerWarmup)
+}
+
+// schedulerActive reports whether a scheduler name (after defaulting)
+// selects rung-driven mode.
+func (s StudySpec) schedulerActive(name string) bool {
+	return name != "" && name != "none"
+}
+
+// BuildScheduler constructs the spec's rung-driven scheduler; an empty
+// Scheduler field falls back to defaultName (the daemon's -scheduler
+// flag), and "none" explicitly disables scheduling either way. A daemon
+// default that is incompatible with the spec (hyperband default on a grid
+// study, asha on a cross-validated one) falls back to no scheduler rather
+// than failing specs that worked before the flag — only an explicit
+// "scheduler" field errors. The returned sampler, when non-nil, replaces
+// the spec's sampler (rung-driven Hyperband owns both roles).
+func (s StudySpec) BuildScheduler(defaultName string) (hpo.Sampler, hpo.TrialScheduler, error) {
+	name := s.Scheduler
+	defaulted := name == ""
+	if defaulted {
+		name = defaultName
+	}
+	if !s.schedulerActive(name) {
+		return nil, nil, nil
+	}
+	if defaulted && (s.CVFolds > 1 || (name == "hyperband" && s.Algo != "hyperband") ||
+		(s.Pruner != "" && s.Pruner != "none")) {
+		return nil, nil, nil
+	}
+	if s.CVFolds > 1 {
+		return nil, nil, fmt.Errorf("server: scheduler %q requires cv_folds <= 1 (cross-validated objectives cannot continue past their budget)", name)
+	}
+	space, err := s.BuildSpace()
+	if err != nil {
+		return nil, nil, err
+	}
+	return hpo.NewTrialScheduler(name, s.Algo, space, s.Budget, s.PrunerEta, s.PrunerWarmup, s.Seed)
 }
 
 // BuildObjective constructs the training objective the spec describes.

@@ -40,11 +40,18 @@ func (s *CompactionStats) add(d CompactionStats) {
 // endpoints: index sizes, on-disk segment count and cumulative compaction
 // counters.
 type JournalStats struct {
-	Studies        int             `json:"studies"`
-	Segments       int             `json:"segments"`
-	EventsRetained int             `json:"events_retained"`
-	Seq            uint64          `json:"seq"`
-	Compaction     CompactionStats `json:"compaction"`
+	Studies        int `json:"studies"`
+	Segments       int `json:"segments"`
+	EventsRetained int `json:"events_retained"`
+	// EventWindows counts studies with a resident in-memory event window
+	// (terminal studies lose theirs at compaction/boot, so this tracks
+	// live studies rather than total history).
+	EventWindows int `json:"event_windows"`
+	// OpenSegmentHandles counts studies holding an open append fd, bounded
+	// by JournalOptions.MaxOpenSegments.
+	OpenSegmentHandles int             `json:"open_segment_handles"`
+	Seq                uint64          `json:"seq"`
+	Compaction         CompactionStats `json:"compaction"`
 }
 
 // Stats reports the journal's current shape and cumulative compaction
@@ -52,7 +59,10 @@ type JournalStats struct {
 func (j *Journal) Stats() JournalStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JournalStats{Studies: len(j.studies), Seq: j.seq, Compaction: j.stats}
+	st := JournalStats{
+		Studies: len(j.studies), Seq: j.seq, Compaction: j.stats,
+		EventWindows: len(j.windows), OpenSegmentHandles: j.lru.Len(),
+	}
 	for _, ss := range j.seg {
 		st.Segments += len(ss.nums)
 	}
@@ -202,6 +212,7 @@ func (j *Journal) compactStudy(id string) (CompactionStats, error) {
 		ss.f.Close()
 		ss.f, ss.w = nil, nil
 	}
+	j.detachOpenLocked(ss)
 	delete(j.dirtySet, id)
 	ss.nums = []int{next}
 	ss.recs = 1 + len(snapTrials)
@@ -216,11 +227,12 @@ func (j *Journal) compactStudy(id string) (CompactionStats, error) {
 		os.Remove(final)
 		return d, err
 	}
-	// Mirror the on-disk drop in the SSE resume window: a terminal study's
-	// per-epoch metrics no longer replay.
-	if w := j.windows[id]; w != nil {
-		w.drop(func(ev Event) bool { return ev.Type == recMetric })
-	}
+	// Mirror the on-disk drop in memory: a compacted study's event window
+	// and promotion history are evicted wholesale — SSE resume is served
+	// purely from index snapshots from here on, so neither map grows with
+	// terminal-study count.
+	delete(j.windows, id)
+	delete(j.promotes, id)
 	d.StudiesCompacted = 1
 	d.RecordsDropped = int64(oldRecs - ss.recs)
 	j.mu.Unlock()

@@ -37,28 +37,24 @@ func (w *eventWindow) since(s uint64) []Event {
 	return out
 }
 
-// drop removes retained events matching the predicate (compaction drops a
-// terminal study's metric telemetry from the resume window, matching what
-// it drops on disk). The eviction boundary is unchanged: removed events
-// simply no longer replay.
-func (w *eventWindow) drop(match func(Event) bool) {
-	kept := make([]Event, 0, len(w.buf))
-	for i := 0; i < len(w.buf); i++ {
-		ev := w.buf[(w.head+i)%len(w.buf)]
-		if match(ev) {
-			continue
-		}
-		kept = append(kept, ev)
-	}
-	w.buf, w.head = kept, 0
-}
-
-// pushEvent appends to a study's window, creating it on first use. Callers
-// must hold j.mu.
+// pushEvent appends to a study's window, creating it on first use. A
+// terminal study whose window was evicted (boot replay, compaction) never
+// grows one back — its resume view is the index snapshot. Callers must
+// hold j.mu.
 func (j *Journal) pushEvent(ev Event) {
 	w := j.windows[ev.StudyID]
 	if w == nil {
+		if meta := j.studies[ev.StudyID]; meta != nil && meta.State.Terminal() {
+			return
+		}
 		w = &eventWindow{cap: j.retain}
+		if len(j.trials[ev.StudyID]) > 0 && ev.Seq > 0 {
+			// The window is being recreated mid-life — a terminal study
+			// whose window was evicted is being re-started. Everything
+			// before this event counts as evicted, so a resume below it
+			// serves the index snapshot instead of a silent gap.
+			w.dropped = ev.Seq - 1
+		}
 		j.windows[ev.StudyID] = w
 	}
 	w.push(ev)
@@ -96,11 +92,27 @@ func (j *Journal) EventsSince(id string, since uint64) ([]Event, uint64) {
 }
 
 // eventsSinceLocked serves one study's events, synthesizing the snapshot
-// when since predates the retention window. Callers must hold j.mu.
+// when since predates the retention window — or the whole view, for a
+// terminal study whose window was evicted entirely. Callers must hold j.mu.
 func (j *Journal) eventsSinceLocked(id string, since uint64) []Event {
 	w := j.windows[id]
 	if w == nil {
-		return nil
+		// Windowless study (terminal, evicted at boot replay or by
+		// compaction): the resume view is a pure snapshot stamped with the
+		// study's last journaled seq. A client already at (or past) that
+		// seq has converged.
+		meta := j.studies[id]
+		if meta == nil {
+			return nil
+		}
+		var boundary uint64
+		if ss := j.seg[id]; ss != nil {
+			boundary = ss.lastSeq
+		}
+		if boundary == 0 || since >= boundary {
+			return nil
+		}
+		return j.snapshotLocked(id, boundary)
 	}
 	// Serve the snapshot when since is at or below the eviction boundary:
 	// snapshot events are all stamped with the boundary seq, so a client
@@ -110,19 +122,27 @@ func (j *Journal) eventsSinceLocked(id string, since uint64) []Event {
 	if w.dropped == 0 || since > w.dropped {
 		return w.since(since)
 	}
-	meta := j.studies[id]
-	if meta == nil {
+	if j.studies[id] == nil {
 		return w.since(since)
-	}
-	out := []Event{{Seq: w.dropped, Type: recStudy, StudyID: id, State: meta.State, Error: meta.Error, Snapshot: true}}
-	trials := append([]Trial(nil), j.trials[id]...)
-	sort.SliceStable(trials, func(a, b int) bool { return trials[a].ID < trials[b].ID })
-	for i := range trials {
-		out = append(out, Event{Seq: w.dropped, Type: recTrial, StudyID: id, Trial: &trials[i], Snapshot: true})
 	}
 	// Everything retained is newer than the eviction boundary, so sequence
 	// numbers stay non-decreasing after the snapshot.
-	return append(out, w.since(w.dropped)...)
+	return append(j.snapshotLocked(id, w.dropped), w.since(w.dropped)...)
+}
+
+// snapshotLocked synthesizes a study's resume snapshot from the index: one
+// study event carrying the live state, then one trial event per recorded
+// trial, all marked Snapshot and stamped with the boundary seq. Callers
+// must hold j.mu and have checked the study exists.
+func (j *Journal) snapshotLocked(id string, boundary uint64) []Event {
+	meta := j.studies[id]
+	out := []Event{{Seq: boundary, Type: recStudy, StudyID: id, State: meta.State, Error: meta.Error, Snapshot: true}}
+	trials := append([]Trial(nil), j.trials[id]...)
+	sort.SliceStable(trials, func(a, b int) bool { return trials[a].ID < trials[b].ID })
+	for i := range trials {
+		out = append(out, Event{Seq: boundary, Type: recTrial, StudyID: id, Trial: &trials[i], Snapshot: true})
+	}
+	return out
 }
 
 // Watch returns a channel closed on the next journal append (a broadcast

@@ -114,10 +114,11 @@ func TestEventsWindowUnboundedOption(t *testing.T) {
 	}
 }
 
-// TestEventsWindowSurvivesCompaction: after compaction drops a terminal
-// study's metrics from the window, trial and state events still replay for
-// in-window resumes.
-func TestEventsWindowSurvivesCompaction(t *testing.T) {
+// TestCompactionEvictsTerminalWindow: compaction drops a terminal study's
+// event window entirely; its SSE resume is served purely from an index
+// snapshot — one study event carrying the terminal state, one trial event
+// per recorded trial, no metrics — and a caught-up client gets nothing.
+func TestCompactionEvictsTerminalWindow(t *testing.T) {
 	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"), JournalOptions{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
@@ -137,18 +138,31 @@ func TestEventsWindowSurvivesCompaction(t *testing.T) {
 	if err := j.SetStudyState("s", StateDone, "", nil); err != nil {
 		t.Fatal(err)
 	}
+	if j.Stats().EventWindows != 1 {
+		t.Fatalf("windows before compaction = %d, want 1", j.Stats().EventWindows)
+	}
 	if _, err := j.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	events, _ := j.EventsSince("s", 0)
-	var types []string
-	for _, ev := range events {
-		if ev.Type == "metric" {
-			t.Fatalf("metric event survived compaction: %+v", ev)
-		}
-		types = append(types, ev.Type)
+	if got := j.Stats().EventWindows; got != 0 {
+		t.Fatalf("windows after compaction = %d, want 0 (evicted)", got)
 	}
-	if len(types) < 3 { // study, trial, state at minimum
-		t.Fatalf("compaction over-pruned the window: %v", types)
+
+	events, tail := j.EventsSince("s", 0)
+	if len(events) != 2 {
+		t.Fatalf("snapshot resume returned %d events, want study+trial: %+v", len(events), events)
+	}
+	if !events[0].Snapshot || events[0].Type != "study" || events[0].State != StateDone {
+		t.Fatalf("snapshot study event = %+v, want terminal state", events[0])
+	}
+	if !events[1].Snapshot || events[1].Type != "trial" || events[1].Trial == nil {
+		t.Fatalf("snapshot trial event = %+v", events[1])
+	}
+	// A caught-up client has converged; nothing replays past the boundary.
+	if rest, _ := j.EventsSince("s", tail); len(rest) != 0 {
+		t.Fatalf("resume from tail returned %d events", len(rest))
+	}
+	if rest, _ := j.EventsSince("s", events[0].Seq); len(rest) != 0 {
+		t.Fatalf("resume at the boundary returned %d events", len(rest))
 	}
 }

@@ -175,6 +175,12 @@ func (r *journalRecorder) RecordPrune(trialID, epoch int, reason string) error {
 	return r.j.AppendPrune(r.id, trialID, epoch, reason)
 }
 
+// RecordPromote implements MetricRecorder: rung promotions are journaled so
+// a resumed study replays its rung decisions.
+func (r *journalRecorder) RecordPromote(trialID, epoch, budget int, reason string) error {
+	return r.j.AppendPromote(r.id, trialID, epoch, budget, reason)
+}
+
 // MigrateCheckpoint imports a legacy checkpoint file into the journal under
 // studyID, creating the study when absent. It returns the number of trials
 // imported (already-recorded fingerprints are skipped), so re-running a

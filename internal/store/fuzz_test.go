@@ -1,0 +1,164 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedLines are representative journal lines used as seed corpus
+// material for both fuzz targets.
+var fuzzSeedLines = [][]byte{
+	[]byte(`{"seq":1,"type":"study","study_id":"s","study":{"id":"s","state":"created"},"at":"2026-01-01T00:00:00Z"}` + "\n"),
+	[]byte(`{"seq":2,"type":"trial","study_id":"s","trial":{"id":0,"config":{"x":1},"best_acc":0.5},"at":"2026-01-01T00:00:00Z"}` + "\n"),
+	[]byte(`{"seq":3,"type":"metric","study_id":"s","metric":{"trial_id":0,"epoch":1,"value":0.25},"at":"2026-01-01T00:00:00Z"}` + "\n"),
+	[]byte(`{"seq":4,"type":"promote","study_id":"s","promote":{"trial_id":0,"epoch":2,"budget":9,"reason":"r"},"at":"2026-01-01T00:00:00Z"}` + "\n"),
+}
+
+// FuzzParseSegment fuzzes the segment record parser: whatever the bytes,
+// it must never panic, never report an offset outside the input, and the
+// good prefix it reports must re-parse cleanly and deterministically (the
+// torn-tail truncation invariant: after truncating to the offset, the
+// segment is strictly valid).
+func FuzzParseSegment(f *testing.F) {
+	var valid []byte
+	for _, line := range fuzzSeedLines {
+		valid = append(valid, line...)
+		f.Add(append([]byte(nil), line...), true)
+	}
+	f.Add(append([]byte(nil), valid...), true)
+	f.Add(append(append([]byte(nil), valid...), []byte(`{"seq":9,"type":"tri`)...), true) // torn tail
+	f.Add([]byte("{}\n"), false)                                                          // parses, but no type → bad record
+	f.Add([]byte("not json at all\n"), true)
+	f.Add([]byte("\n"), false)
+	f.Add([]byte{}, true)
+
+	f.Fuzz(func(t *testing.T, raw []byte, allowTorn bool) {
+		recs, good, err := parseSegment(raw, "fuzz", allowTorn)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-sentinel parse error: %v", err)
+			}
+			return
+		}
+		if good < 0 || good > len(raw) {
+			t.Fatalf("good offset %d outside input of %d bytes", good, len(raw))
+		}
+		for i, rec := range recs {
+			if rec.Type == "" {
+				t.Fatalf("record %d accepted with empty type", i)
+			}
+		}
+		// Truncation invariant: the good prefix is strictly valid — exactly
+		// the bytes recovery keeps after a torn tail.
+		recs2, good2, err2 := parseSegment(raw[:good], "fuzz-reparse", false)
+		if err2 != nil {
+			t.Fatalf("good prefix does not re-parse: %v", err2)
+		}
+		if good2 != good || len(recs2) != len(recs) {
+			t.Fatalf("re-parse diverged: %d/%d bytes, %d/%d records", good2, good, len(recs2), len(recs))
+		}
+	})
+}
+
+// FuzzJournalTornTailRecovery fuzzes crash recovery end to end: arbitrary
+// bytes appended to a study's active segment (a torn write, garbage from a
+// dying disk, or even well-formed extra records) must never panic OpenJournal
+// and must never lose the records committed before them — the journal either
+// opens with the committed history intact or refuses with ErrCorrupt.
+func FuzzJournalTornTailRecovery(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(`{"seq":99,"type":"tri`))          // classic torn tail
+	f.Add([]byte("garbage\nmore garbage"))          // unterminated junk after junk
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x01})           // binary noise
+	f.Add(append([]byte(nil), fuzzSeedLines[2]...)) // a valid extra record
+
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		dir := filepath.Join(t.TempDir(), "j")
+		j, err := OpenJournal(dir, JournalOptions{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.CreateStudy(StudyMeta{ID: "s"}); err != nil {
+			t.Fatal(err)
+		}
+		committed := []Trial{mkTrial(0, 2, 0.5), mkTrial(1, 3, 0.7)}
+		if err := j.AppendTrials("s", committed); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Simulate the crash: raw bytes land after the committed records in
+		// the study's active (highest-numbered) segment.
+		seg := activeSegmentPath(t, dir, "s")
+		fh, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.Write(tail); err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		j2, err := OpenJournal(dir, JournalOptions{NoSync: true})
+		if err != nil {
+			// Refusal is legal — but only with the corruption sentinel.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open failed without ErrCorrupt: %v", err)
+			}
+			return
+		}
+		defer j2.Close()
+		trials, err := j2.StudyTrials("s")
+		if err != nil {
+			t.Fatalf("committed study lost: %v", err)
+		}
+		if len(trials) < len(committed) {
+			t.Fatalf("recovery lost committed records: %d < %d", len(trials), len(committed))
+		}
+		for i, want := range committed {
+			if trials[i].ID != want.ID || trials[i].BestAcc != want.BestAcc {
+				t.Fatalf("committed trial %d mutated: %+v", i, trials[i])
+			}
+		}
+	})
+}
+
+// activeSegmentPath returns the highest-numbered manifest-listed segment of
+// a study.
+func activeSegmentPath(t *testing.T, dir, id string) string {
+	t.Helper()
+	man, ok, err := readManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest unreadable: %v", err)
+	}
+	for _, ms := range man.Studies {
+		if ms.ID == id {
+			return filepath.Join(studyDir(dir, id), segmentFileName(ms.Segments[len(ms.Segments)-1]))
+		}
+	}
+	t.Fatalf("study %s not in manifest", id)
+	return ""
+}
+
+// TestFuzzSeedsSanity keeps the seed corpus itself honest under plain `go
+// test` (the fuzz engine only validates seeds when -fuzz runs).
+func TestFuzzSeedsSanity(t *testing.T) {
+	var valid []byte
+	for _, line := range fuzzSeedLines {
+		valid = append(valid, line...)
+	}
+	recs, good, err := parseSegment(valid, "seeds", false)
+	if err != nil || good != len(valid) || len(recs) != len(fuzzSeedLines) {
+		t.Fatalf("seed corpus unparseable: %d recs, %d/%d bytes, err %v", len(recs), good, len(valid), err)
+	}
+	if !bytes.HasSuffix(fuzzSeedLines[0], []byte("\n")) {
+		t.Fatal("seed lines must be newline-terminated")
+	}
+}

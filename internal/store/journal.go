@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -16,15 +17,16 @@ import (
 // of these in its "type" field; recordTypes (store.go) enumerates them for
 // the docs spec check.
 const (
-	recStudy  = "study"
-	recState  = "state"
-	recTrial  = "trial"
-	recMetric = "metric"
-	recPrune  = "prune"
+	recStudy   = "study"
+	recState   = "state"
+	recTrial   = "trial"
+	recMetric  = "metric"
+	recPrune   = "prune"
+	recPromote = "promote"
 )
 
 // record is one JSONL journal line. Exactly one of Study / Trial / State /
-// Metric / Prune payloads is set, per Type.
+// Metric / Prune / Promote payloads is set, per Type.
 type record struct {
 	Seq     uint64         `json:"seq"`
 	Type    string         `json:"type"` // one of recordTypes
@@ -36,6 +38,7 @@ type record struct {
 	Trial   *Trial         `json:"trial,omitempty"`
 	Metric  *MetricPoint   `json:"metric,omitempty"`
 	Prune   *PruneDecision `json:"prune,omitempty"`
+	Promote *Promotion     `json:"promote,omitempty"`
 	At      time.Time      `json:"at"`
 }
 
@@ -53,6 +56,7 @@ type Event struct {
 	Trial    *Trial         `json:"trial,omitempty"`
 	Metric   *MetricPoint   `json:"metric,omitempty"`
 	Prune    *PruneDecision `json:"prune,omitempty"`
+	Promote  *Promotion     `json:"promote,omitempty"`
 	Snapshot bool           `json:"snapshot,omitempty"`
 }
 
@@ -64,6 +68,9 @@ const (
 	// DefaultMaxSegmentBytes is the segment rotation threshold used when
 	// JournalOptions.MaxSegmentBytes is zero.
 	DefaultMaxSegmentBytes = 4 << 20
+	// DefaultMaxOpenSegments is the open segment-handle ceiling used when
+	// JournalOptions.MaxOpenSegments is zero.
+	DefaultMaxOpenSegments = 128
 )
 
 // JournalOptions tunes Open.
@@ -85,6 +92,13 @@ type JournalOptions struct {
 	// CompactInterval, when positive, runs Compact in the background on
 	// that period until Close.
 	CompactInterval time.Duration
+	// MaxOpenSegments bounds how many studies keep an open append handle at
+	// once: the least-recently-written study's segment is flushed, fsynced
+	// and closed when the ceiling is hit, and transparently reopened on its
+	// next append — so a daemon serving thousands of live studies holds a
+	// constant number of file descriptors instead of one per study ever
+	// touched. 0 means DefaultMaxOpenSegments; negative means unbounded.
+	MaxOpenSegments int
 }
 
 // studySegments is the per-study file state: which segment numbers are
@@ -97,6 +111,8 @@ type studySegments struct {
 	size    int64  // bytes in the active segment
 	recs    int    // records across all live segments (on-disk, pre-filter)
 	lastSeq uint64 // seq of the study's most recent record
+	// lruEl is the study's slot in the open-handle LRU while f is open.
+	lruEl *list.Element
 }
 
 // Journal is the persistent study store: a sharded append-only JSONL
@@ -114,13 +130,16 @@ type studySegments struct {
 // final trial results — dropping per-epoch metric telemetry, so boot
 // replay time scales with live studies rather than total history.
 type Journal struct {
-	mu     sync.Mutex // guards file writes and the index
-	dir    string
-	opts   JournalOptions
-	retain int   // resolved RetainEvents (0 = unbounded)
-	maxSeg int64 // resolved MaxSegmentBytes (0 = never rotate)
-	closed bool
-	seq    uint64
+	mu      sync.Mutex // guards file writes and the index
+	dir     string
+	opts    JournalOptions
+	retain  int   // resolved RetainEvents (0 = unbounded)
+	maxSeg  int64 // resolved MaxSegmentBytes (0 = never rotate)
+	maxOpen int   // resolved MaxOpenSegments (0 = unbounded)
+	closed  bool
+	seq     uint64
+	// lru orders studies with open append handles, most recent first.
+	lru *list.List
 
 	lock *os.File // flock'd LOCK file — the single-writer guard
 
@@ -132,6 +151,9 @@ type Journal struct {
 	// memo maps scope+fingerprint → first successful trial across all
 	// studies (see Trial.Scope).
 	memo map[string]Trial
+	// promotes holds each study's rung-promotion decisions in append order
+	// (dropped by compaction along with the other telemetry).
+	promotes map[string][]Promotion
 	// seg tracks each study's live segment files; segOrder mirrors the
 	// manifest's study order (creation order, including studies whose
 	// first record never landed).
@@ -145,6 +167,11 @@ type Journal struct {
 	// fsync pass. They are closed under commitMu (commit, Close), which
 	// serialises with every fsync.
 	retired []*os.File
+	// retiredDirty holds handles closed by LRU eviction: flushed but not
+	// yet fsynced — eviction must not pay an fsync on the append path. The
+	// next group commit (or Close) fsyncs them before closing, so the
+	// durability point never advances past unsynced evicted records.
+	retiredDirty []*os.File
 	// windows holds the per-study retained event ring served to watchers.
 	windows map[string]*eventWindow
 	// watchers are closed-and-replaced on every append (broadcast).
@@ -176,10 +203,13 @@ func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
 		opts:     opts,
 		retain:   resolveRetain(opts.RetainEvents),
 		maxSeg:   resolveMaxSeg(opts.MaxSegmentBytes),
+		maxOpen:  resolveMaxOpen(opts.MaxOpenSegments),
+		lru:      list.New(),
 		studies:  make(map[string]*StudyMeta),
 		trials:   make(map[string][]Trial),
 		seenOK:   make(map[string]map[string]bool),
 		memo:     make(map[string]Trial),
+		promotes: make(map[string][]Promotion),
 		seg:      make(map[string]*studySegments),
 		dirtySet: make(map[string]struct{}),
 		windows:  make(map[string]*eventWindow),
@@ -242,6 +272,18 @@ func resolveMaxSeg(n int64) int64 {
 	switch {
 	case n == 0:
 		return DefaultMaxSegmentBytes
+	case n < 0:
+		return 0
+	}
+	return n
+}
+
+// resolveMaxOpen maps the MaxOpenSegments option onto the open-handle
+// ceiling (0 = unbounded).
+func resolveMaxOpen(n int) int {
+	switch {
+	case n == 0:
+		return DefaultMaxOpenSegments
 	case n < 0:
 		return 0
 	}
@@ -319,6 +361,14 @@ func (j *Journal) replay() error {
 			j.seq = rec.Seq
 		}
 	}
+	// Terminal studies' windows are dropped wholesale: their SSE resume is
+	// served purely from index snapshots, so boot memory does not grow with
+	// finished-study history.
+	for id, meta := range j.studies {
+		if meta.State.Terminal() {
+			delete(j.windows, id)
+		}
+	}
 	return nil
 }
 
@@ -385,7 +435,9 @@ func (j *Journal) replayStudy(ms manifestStudy) ([]record, *studySegments, error
 	if terminal {
 		kept := recs[:0]
 		for _, rec := range recs {
-			if rec.Type == recMetric {
+			// Telemetry of a finished study: compaction drops it from disk
+			// and no consumer can use it, so replay does not resurrect it.
+			if rec.Type == recMetric || rec.Type == recPromote {
 				continue
 			}
 			kept = append(kept, rec)
@@ -442,9 +494,14 @@ func (j *Journal) apply(rec record) {
 				j.seenOK[rec.StudyID] = make(map[string]bool)
 			}
 			j.seenOK[rec.StudyID][t.Fingerprint] = true
-			key := memoKey(t.Scope, t.Fingerprint)
-			if _, hit := j.memo[key]; !hit {
-				j.memo[key] = t
+			// Promoted trials trained past the budget their fingerprint
+			// claims: they resume their own study but must not answer
+			// cross-study lookups for the smaller budget.
+			if !t.Promoted {
+				key := memoKey(t.Scope, t.Fingerprint)
+				if _, hit := j.memo[key]; !hit {
+					j.memo[key] = t
+				}
 			}
 		}
 		tc := t
@@ -461,6 +518,13 @@ func (j *Journal) apply(rec record) {
 		}
 		p := *rec.Prune
 		j.pushEvent(Event{Seq: rec.Seq, Type: recPrune, StudyID: rec.StudyID, Prune: &p})
+	case recPromote:
+		if rec.Promote == nil {
+			return
+		}
+		p := *rec.Promote
+		j.promotes[rec.StudyID] = append(j.promotes[rec.StudyID], p)
+		j.pushEvent(Event{Seq: rec.Seq, Type: recPromote, StudyID: rec.StudyID, Promote: &p})
 	}
 }
 
@@ -505,7 +569,62 @@ func (j *Journal) writerFor(id string, rotate bool) (*studySegments, error) {
 			return nil, err
 		}
 	}
+	j.touchOpenLocked(id, ss)
+	if err := j.enforceOpenCapLocked(); err != nil {
+		return nil, err
+	}
 	return ss, nil
+}
+
+// touchOpenLocked marks a study's open handle most-recently-used. Callers
+// must hold j.mu.
+func (j *Journal) touchOpenLocked(id string, ss *studySegments) {
+	if ss.f == nil {
+		return
+	}
+	if ss.lruEl == nil {
+		ss.lruEl = j.lru.PushFront(id)
+		return
+	}
+	j.lru.MoveToFront(ss.lruEl)
+}
+
+// detachOpenLocked removes a study from the open-handle LRU (its handle was
+// closed by eviction, compaction or Close). Callers must hold j.mu.
+func (j *Journal) detachOpenLocked(ss *studySegments) {
+	if ss.lruEl != nil {
+		j.lru.Remove(ss.lruEl)
+		ss.lruEl = nil
+	}
+}
+
+// enforceOpenCapLocked closes least-recently-written segment handles until
+// the open count fits the ceiling. Eviction only flushes — no fsync on the
+// append path, which at high live-study counts runs once per append — and
+// parks the handle on retiredDirty; the next group commit fsyncs it before
+// closing (and before advancing the durability point), so evicted records
+// are exactly as durable as they were behind the buffered writer. The
+// study transparently reopens on its next append. Callers must hold j.mu.
+func (j *Journal) enforceOpenCapLocked() error {
+	if j.maxOpen <= 0 {
+		return nil
+	}
+	for j.lru.Len() > j.maxOpen {
+		victim := j.lru.Back().Value.(string)
+		ss := j.seg[victim]
+		if ss == nil || ss.f == nil {
+			j.lru.Remove(j.lru.Back())
+			continue
+		}
+		if err := ss.w.Flush(); err != nil {
+			return fmt.Errorf("store: flushing evicted segment: %w", err)
+		}
+		j.retiredDirty = append(j.retiredDirty, ss.f)
+		ss.f, ss.w = nil, nil
+		delete(j.dirtySet, victim)
+		j.detachOpenLocked(ss)
+	}
+	return nil
 }
 
 // openActive opens (or creates) the study's highest-numbered segment for
@@ -656,6 +775,8 @@ func (j *Journal) commit(seq uint64) error {
 	tail := j.seq
 	retired := j.retired
 	j.retired = nil
+	retiredDirty := j.retiredDirty
+	j.retiredDirty = nil
 	j.mu.Unlock()
 	if !j.opts.NoSync {
 		for _, f := range files {
@@ -663,10 +784,20 @@ func (j *Journal) commit(seq uint64) error {
 				return fmt.Errorf("store: fsync journal: %w", err)
 			}
 		}
+		// Evicted handles carry flushed-but-unsynced records: they must hit
+		// the disk before synced advances past them.
+		for _, f := range retiredDirty {
+			if err := f.Sync(); err != nil {
+				return fmt.Errorf("store: fsync evicted journal segment: %w", err)
+			}
+		}
 	}
-	// Rotated-out handles are already durable; closing them here — still
-	// under commitMu — cannot race another commit's fsync pass.
+	// Rotated-out and evicted handles are durable now; closing them here —
+	// still under commitMu — cannot race another commit's fsync pass.
 	for _, f := range retired {
+		f.Close()
+	}
+	for _, f := range retiredDirty {
 		f.Close()
 	}
 	j.synced = tail
@@ -699,6 +830,8 @@ func (j *Journal) Close() error {
 	}
 	retired := j.retired
 	j.retired = nil
+	retiredDirty := j.retiredDirty
+	j.retiredDirty = nil
 	close(j.watch)
 	j.watch = make(chan struct{})
 	j.mu.Unlock()
@@ -717,6 +850,12 @@ func (j *Journal) Close() error {
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
+	}
+	for _, f := range retiredDirty {
+		if !j.opts.NoSync && err == nil {
+			err = f.Sync()
+		}
+		f.Close()
 	}
 	for _, f := range retired {
 		f.Close()
@@ -866,6 +1005,28 @@ func (j *Journal) AppendPrune(id string, trialID, epoch int, reason string) erro
 	_, err := j.append(record{Type: recPrune, StudyID: id,
 		Prune: &PruneDecision{TrialID: trialID, Epoch: epoch, Reason: reason}})
 	return err
+}
+
+// AppendPromote journals a rung scheduler's decision to continue a trial
+// past its initial budget. Promotions are durable (synchronous fsync):
+// a resumed study replays them to reconstruct rung decisions without
+// re-executing the finished rungs.
+func (j *Journal) AppendPromote(id string, trialID, epoch, budget int, reason string) error {
+	if err := j.checkStudy(id); err != nil {
+		return err
+	}
+	_, err := j.append(record{Type: recPromote, StudyID: id,
+		Promote: &Promotion{TrialID: trialID, Epoch: epoch, Budget: budget, Reason: reason}})
+	return err
+}
+
+// StudyPromotes returns the rung promotions recorded for a study in append
+// order (empty once compaction dropped them — the final trial records carry
+// the epochs actually executed).
+func (j *Journal) StudyPromotes(id string) []Promotion {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Promotion(nil), j.promotes[id]...)
 }
 
 // checkStudy verifies the study exists (without holding the lock across the

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalFDs counts this process's open file descriptors resolving under
+// the journal directory — the ground truth the LRU ceiling is about.
+func journalFDs(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd on this platform: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		target, err := os.Readlink(filepath.Join("/proc/self/fd", e.Name()))
+		if err != nil {
+			continue
+		}
+		if strings.HasPrefix(target, abs+string(os.PathSeparator)) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestOpenSegmentHandleLRUCeiling is the many-study stress test: hundreds
+// of live studies take turns appending, but the journal never holds more
+// than MaxOpenSegments open append handles — evicted studies transparently
+// reopen, and nothing is lost across eviction or reopen.
+func TestOpenSegmentHandleLRUCeiling(t *testing.T) {
+	const studies, cap, rounds = 200, 8, 3
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(dir, JournalOptions{NoSync: true, MaxOpenSegments: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]string, studies)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%03d", i)
+		if err := j.CreateStudy(StudyMeta{ID: ids[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for i, id := range ids {
+			if err := j.AppendTrials(id, []Trial{mkTrial(r, r+1, 0.1*float64(r+1))}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.AppendMetric(id, r, 0, 0.5); err != nil {
+				t.Fatal(err)
+			}
+			if got := j.Stats().OpenSegmentHandles; got > cap {
+				t.Fatalf("round %d study %d: %d open handles, ceiling %d", r, i, got, cap)
+			}
+		}
+		// Real descriptors: open actives (≤ cap) plus LOCK plus at most a
+		// handful of just-retired handles awaiting the next commit's close.
+		if fds := journalFDs(t, dir); fds > cap+4 {
+			t.Fatalf("round %d: %d journal fds for %d studies, ceiling %d(+4)", r, fds, studies, cap)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything survived the evict/reopen churn.
+	j2, err := OpenJournal(dir, JournalOptions{NoSync: true, MaxOpenSegments: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	for _, id := range ids {
+		trials, err := j2.StudyTrials(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trials) != rounds {
+			t.Fatalf("study %s has %d trials after reopen, want %d", id, len(trials), rounds)
+		}
+	}
+	if got := j2.Stats().OpenSegmentHandles; got != 0 {
+		t.Fatalf("replay opened %d append handles, want 0 (lazy open)", got)
+	}
+}
+
+// TestUnboundedOpenSegmentsOption: negative MaxOpenSegments disables the
+// LRU (pre-existing behaviour: one handle per ever-touched study).
+func TestUnboundedOpenSegmentsOption(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"), JournalOptions{NoSync: true, MaxOpenSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if err := j.CreateStudy(StudyMeta{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Stats().OpenSegmentHandles; got != 20 {
+		t.Fatalf("unbounded journal holds %d handles, want 20", got)
+	}
+}
+
+// TestTerminalWindowMapStopsGrowing: the per-study event-window map must
+// not scale with terminal-study count — compaction evicts finished
+// studies' windows, boot replay never rebuilds them, and their SSE resume
+// still works as a pure snapshot.
+func TestTerminalWindowMapStopsGrowing(t *testing.T) {
+	const terminal = 50
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(dir, JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < terminal; i++ {
+		id := fmt.Sprintf("t%03d", i)
+		if err := j.CreateStudy(StudyMeta{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendMetric(id, 0, 0, 0.4); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendTrials(id, []Trial{mkTrial(0, 3, 0.6)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.SetStudyState(id, StateDone, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One live study that must keep its window through everything.
+	if err := j.CreateStudy(StudyMeta{ID: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendMetric("live", 0, 0, 0.9); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := j.Stats().EventWindows; got != terminal+1 {
+		t.Fatalf("windows before compaction = %d, want %d", got, terminal+1)
+	}
+	if _, err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().EventWindows; got != 1 {
+		t.Fatalf("windows after compaction = %d, want 1 (the live study)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot replay: terminal studies never grow windows back.
+	j2, err := OpenJournal(dir, JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Stats().EventWindows; got != 1 {
+		t.Fatalf("windows after replay = %d, want 1 (the live study)", got)
+	}
+	// Terminal studies still resume — purely from snapshots.
+	for i := 0; i < terminal; i++ {
+		id := fmt.Sprintf("t%03d", i)
+		events, _ := j2.EventsSince(id, 0)
+		if len(events) != 2 || !events[0].Snapshot || events[0].State != StateDone ||
+			events[1].Type != "trial" || !events[1].Snapshot {
+			t.Fatalf("terminal study %s resume = %+v, want study+trial snapshot", id, events)
+		}
+	}
+}
+
+// TestRestartedTerminalStudySnapshotBoundary: a terminal study whose
+// window was evicted and that is then re-started (new state appends) must
+// serve below-boundary resumes as snapshot-then-tail, not as a tail with
+// the pre-eviction history silently missing.
+func TestRestartedTerminalStudySnapshotBoundary(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"), JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendTrials("s", []Trial{mkTrial(0, 2, 0.5), mkTrial(1, 3, 0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetStudyState("s", StateDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Compact(); err != nil { // evicts the window
+		t.Fatal(err)
+	}
+	// Operator re-starts the finished study: the state append recreates
+	// the window mid-life.
+	if err := j.SetStudyState("s", StateQueued, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := j.EventsSince("s", 0)
+	snapTrials, sawQueued := 0, false
+	var lastSeq uint64
+	for _, ev := range events {
+		if ev.Seq < lastSeq {
+			t.Fatalf("sequence regressed: %+v", events)
+		}
+		lastSeq = ev.Seq
+		if ev.Snapshot && ev.Type == "trial" {
+			snapTrials++
+		}
+		if !ev.Snapshot && ev.Type == "state" && ev.State == StateQueued {
+			sawQueued = true
+		}
+	}
+	if snapTrials != 2 || !sawQueued {
+		t.Fatalf("restart resume lost history: %d snapshot trials, queued=%v: %+v", snapTrials, sawQueued, events)
+	}
+}

@@ -173,3 +173,39 @@ func TestWithoutMemoKeepsTelemetry(t *testing.T) {
 		t.Fatalf("events = %v", seen)
 	}
 }
+
+// TestPromotedTrialsExcludedFromMemo: a promoted trial's metrics reflect
+// more epochs than its fingerprint's num_epochs claims, so it must dedup
+// resumes of its own study without ever answering cross-study lookups.
+func TestPromotedTrialsExcludedFromMemo(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"), JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CreateStudy(StudyMeta{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	promoted := mkTrial(0, 9, 0.9)
+	promoted.Config["num_epochs"] = 1 // trained 9 epochs on a budget-1 config
+	promoted.Promoted = true
+	plain := mkTrial(1, 3, 0.6)
+	rec := j.Recorder("a", "scope")
+	if err := rec.Record([]Trial{promoted, plain}); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := j.LookupMemo("scope", Fingerprint(promoted.Config)); hit {
+		t.Fatal("promoted trial answered a cross-study memo lookup")
+	}
+	if _, hit := j.LookupMemo("scope", Fingerprint(plain.Config)); !hit {
+		t.Fatal("unpromoted trial missing from the memo index")
+	}
+	// Resume dedup still sees it.
+	loaded, err := rec.Load()
+	if err != nil || len(loaded) != 2 {
+		t.Fatalf("load = %d trials, %v", len(loaded), err)
+	}
+	if !loaded[0].Promoted {
+		t.Fatal("promoted flag lost on load")
+	}
+}

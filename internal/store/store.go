@@ -43,7 +43,7 @@ var (
 // recordTypes enumerates every journal record type this package emits.
 // docs/JOURNAL.md must document each of them — a test (and the CI docs
 // check) pins the spec to this list.
-var recordTypes = []string{recStudy, recState, recTrial, recMetric, recPrune}
+var recordTypes = []string{recStudy, recState, recTrial, recMetric, recPrune, recPromote}
 
 // StudyState is the lifecycle of a persisted study.
 type StudyState string
@@ -122,6 +122,12 @@ type Trial struct {
 	// metrics are partial (the epochs it ran before losing its rung).
 	Pruned      bool   `json:"pruned,omitempty"`
 	PruneReason string `json:"prune_reason,omitempty"`
+	// Promoted marks a trial a rung scheduler continued past its
+	// configured budget: Epochs exceeds the config's num_epochs. Promoted
+	// trials resume within their own study (fingerprint dedup) but never
+	// answer cross-study memo lookups — the fingerprint's num_epochs
+	// understates the training the metrics reflect.
+	Promoted bool `json:"promoted,omitempty"`
 }
 
 // Succeeded reports whether the trial produced a usable result (memoizable
@@ -192,12 +198,25 @@ type PruneDecision struct {
 	Reason  string `json:"reason"`
 }
 
+// Promotion records a rung scheduler granting a trial a higher epoch
+// budget than it was submitted with (rung-driven successive halving). A
+// resumed study replays these to reconstruct rung decisions without
+// re-executing the finished rungs.
+type Promotion struct {
+	TrialID int    `json:"trial_id"`
+	Epoch   int    `json:"epoch"`
+	Budget  int    `json:"budget"`
+	Reason  string `json:"reason"`
+}
+
 // MetricRecorder is an optional Recorder extension for trial lifecycle
-// telemetry: intermediate epoch metrics and prune decisions, persisted as
-// they happen (not just at round boundaries like Record).
+// telemetry: intermediate epoch metrics, prune decisions and rung
+// promotions, persisted as they happen (not just at round boundaries like
+// Record).
 type MetricRecorder interface {
 	RecordMetric(trialID, epoch int, value float64) error
 	RecordPrune(trialID, epoch int, reason string) error
+	RecordPromote(trialID, epoch, budget int, reason string) error
 }
 
 // WithoutMemo wraps a Recorder so it no longer answers memo lookups while
