@@ -13,6 +13,7 @@
 //	hpo -space space.json [-algo grid] [-dataset mnist] [-samples 800]
 //	    [-model mlp] [-cores 1] [-parallel 8] [-workers 0] [-budget 20]
 //	    [-target 0] [-seed 1] [-pruner median] [-scheduler hyperband]
+//	    [-rung-mode async]
 //	    [-checkpoint study.json] [-visualise]
 //	    [-journal hpod.journal -study cli] [-trace out.prv] [-graph out.dot]
 //	    [-policy fifo]
@@ -56,6 +57,7 @@ type options struct {
 	reportOut  string
 	pruner     string
 	scheduler  string
+	rungMode   string
 }
 
 func main() {
@@ -84,6 +86,8 @@ func main() {
 	flag.StringVar(&o.pruner, "pruner", "", "prune losing trials mid-training: none | median | asha")
 	flag.StringVar(&o.scheduler, "scheduler", "",
 		"rung-driven successive halving over the live report stream: none | hyperband | asha (hyperband replaces -algo; promotes winners past their budget instead of re-submitting)")
+	flag.StringVar(&o.rungMode, "rung-mode", "",
+		"how -scheduler hyperband settles rungs: sync (barrier rungs, needs slots for a whole bracket; default) | async (non-barrier ASHA-style decisions, runs on any capacity, brackets in parallel)")
 	flag.Parse()
 	// -scheduler hyperband replaces the sampler, as its help says: an -algo
 	// left at the default follows it; an explicitly conflicting one errors.
@@ -174,7 +178,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	schedSampler, scheduler, err := hpo.NewTrialScheduler(o.scheduler, o.algo, space, o.budget, 0, 0, o.seed)
+	schedSampler, scheduler, err := hpo.NewTrialScheduler(o.scheduler, o.algo, space, o.budget, 0, 0, o.seed, o.rungMode)
 	if err != nil {
 		return err
 	}

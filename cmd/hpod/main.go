@@ -11,6 +11,7 @@
 //	hpod -addr :8080 -journal hpod.journal [-backend local] [-parallel 8]
 //	     [-workers 3] [-max-studies 2] [-drain 30s] [-migrate study.json]
 //	     [-token secret] [-pruner median] [-scheduler hyperband]
+//	     [-rung-mode async]
 //	     [-retain-events 1024] [-max-open-segments 128]
 //	     [-compact-interval 10m]
 //
@@ -57,6 +58,7 @@ type options struct {
 	token           string
 	pruner          string
 	scheduler       string
+	rungMode        string
 	retainEvents    int
 	maxOpenSegments int
 	compactInterval time.Duration
@@ -77,6 +79,8 @@ func main() {
 	flag.StringVar(&o.pruner, "pruner", "", "default trial pruner for specs that set none: none | median | asha")
 	flag.StringVar(&o.scheduler, "scheduler", "",
 		"default rung-driven scheduler for specs that set none: none | hyperband | asha (supersedes -pruner when active)")
+	flag.StringVar(&o.rungMode, "rung-mode", "",
+		"default rung mode for specs that set none: sync (barrier rungs; default) | async (non-barrier, runs on any capacity) — use async when the backend is smaller than a Hyperband bracket")
 	flag.IntVar(&o.retainEvents, "retain-events", 0,
 		"per-study in-memory event window for SSE resume (0 = default, negative = unbounded)")
 	flag.IntVar(&o.maxOpenSegments, "max-open-segments", 0,
@@ -130,6 +134,9 @@ func newDaemon(o options) (*daemon, error) {
 	if !hpo.KnownScheduler(o.scheduler) {
 		return nil, fmt.Errorf("unknown -scheduler %q (want none, hyperband or asha)", o.scheduler)
 	}
+	if !hpo.KnownRungMode(o.rungMode) {
+		return nil, fmt.Errorf("unknown -rung-mode %q (want sync or async)", o.rungMode)
+	}
 	journal, err := store.OpenJournal(o.journal, store.JournalOptions{
 		RetainEvents:    o.retainEvents,
 		MaxOpenSegments: o.maxOpenSegments,
@@ -150,6 +157,7 @@ func newDaemon(o options) (*daemon, error) {
 	srv.SetAuthToken(o.token)
 	srv.Runner().DefaultPruner = o.pruner
 	srv.Runner().DefaultScheduler = o.scheduler
+	srv.Runner().DefaultRungMode = o.rungMode
 	d := &daemon{
 		opts:    o,
 		journal: journal,

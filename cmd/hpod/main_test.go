@@ -388,3 +388,26 @@ func TestDaemonMigrateFlag(t *testing.T) {
 		t.Fatalf("migrated trials = %d", n)
 	}
 }
+
+// TestDaemonValidatesRungModeAtBoot: a mistyped -rung-mode (like -pruner
+// and -scheduler) must fail the boot, not every future study.
+func TestDaemonValidatesRungModeAtBoot(t *testing.T) {
+	o := testOptions(filepath.Join(t.TempDir(), "hpod.journal"))
+	o.rungMode = "bogus"
+	if _, err := newDaemon(o); err == nil {
+		t.Fatal("daemon booted with an unknown -rung-mode")
+	}
+	o.rungMode = "async"
+	o.scheduler = "hyperband"
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatalf("async rung-mode default rejected: %v", err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if got := d.srv.Runner().DefaultRungMode; got != "async" {
+		t.Fatalf("DefaultRungMode = %q, want async", got)
+	}
+}

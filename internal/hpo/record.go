@@ -6,11 +6,15 @@ import (
 	"repro/internal/store"
 )
 
-// ToStoreTrial converts a finished trial to its storage form.
+// ToStoreTrial converts a finished trial to its storage form. The stored
+// config is stripped of sampler-internal ("_"-prefixed) keys: they are
+// scheduler bookkeeping, not hyperparameters, and must not leak into the
+// journal or API responses. The fingerprint is computed from the full
+// config, which is identical — Fingerprint skips hidden keys by contract.
 func ToStoreTrial(t TrialResult) store.Trial {
 	return store.Trial{
 		ID:          t.ID,
-		Config:      t.Config,
+		Config:      store.PublicConfig(t.Config),
 		Fingerprint: t.Config.Fingerprint(),
 		FinalAcc:    t.FinalAcc, BestAcc: t.BestAcc, FinalLoss: t.FinalLoss,
 		Epochs: t.Epochs, ValAccHistory: t.ValAccHistory,

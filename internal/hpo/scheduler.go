@@ -56,24 +56,68 @@ func KnownScheduler(name string) bool {
 	return false
 }
 
+// Rung modes: how a rung-driven Hyperband settles its rung boundaries.
+//
+//	sync  — barrier rungs: every member of a rung must reach its boundary
+//	        before any promotion/halt is decided. Bit-for-bit conformant
+//	        with the batch Hyperband (same promotion sets), but requires
+//	        the runtime to hold a whole bracket concurrently (MinSlots).
+//	async — non-barrier (ASHA-style) rungs: each member is decided the
+//	        moment it arrives at its boundary, ranked against the values
+//	        recorded at that rung so far. Runs on any capacity — down to a
+//	        single slot — and lets independent brackets execute in
+//	        parallel, at the cost of slightly greedier early promotions.
+const (
+	RungSync  = "sync"
+	RungAsync = "async"
+)
+
+// KnownRungMode reports whether mode is a recognised rung mode ("" means
+// "use the default", currently sync).
+func KnownRungMode(mode string) bool {
+	switch mode {
+	case "", RungSync, RungAsync:
+		return true
+	}
+	return false
+}
+
 // NewTrialScheduler builds a rung-driven scheduler by name. "" and "none"
 // mean no scheduler (all nils). "hyperband" returns a RungHyperband, which
 // is both the study's sampler and its scheduler — algo must be "hyperband"
-// (the batch sampler is replaced); budget is R and eta the halving factor.
-// "asha" returns a sampler-agnostic ASHA promotion scheduler (the returned
-// sampler is nil: keep the configured one); minResource is the first rung
-// and budget the promotion ceiling.
-func NewTrialScheduler(name, algo string, space *Space, budget, eta, minResource int, seed uint64) (Sampler, TrialScheduler, error) {
+// (the batch sampler is replaced); budget is R and eta the halving factor;
+// mode selects barrier ("sync", the default) or non-barrier ("async") rung
+// decisions. "asha" returns a sampler-agnostic ASHA promotion scheduler
+// (the returned sampler is nil: keep the configured one); minResource is
+// the first rung and budget the promotion ceiling. ASHA is inherently
+// asynchronous, so requesting mode "sync" for it is an error.
+func NewTrialScheduler(name, algo string, space *Space, budget, eta, minResource int, seed uint64, mode string) (Sampler, TrialScheduler, error) {
+	if !KnownRungMode(mode) {
+		return nil, nil, fmt.Errorf("hpo: unknown rung mode %q (want sync or async)", mode)
+	}
 	switch name {
 	case "", "none":
+		if mode != "" {
+			// An explicit rung mode with no scheduler to apply it to is a
+			// misconfiguration (most likely a forgotten -scheduler flag),
+			// not something to drop silently.
+			return nil, nil, fmt.Errorf("hpo: rung mode %q needs an active rung scheduler (hyperband or asha), got %q", mode, name)
+		}
 		return nil, nil, nil
 	case "hyperband":
 		if algo != "" && algo != "hyperband" {
 			return nil, nil, fmt.Errorf("hpo: scheduler %q replaces the sampler and requires algo hyperband, got %q", name, algo)
 		}
+		if mode == RungAsync {
+			rh := NewRungHyperbandAsync(space, budget, eta, seed)
+			return rh, rh, nil
+		}
 		rh := NewRungHyperband(space, budget, eta, seed)
 		return rh, rh, nil
 	case "asha":
+		if mode == RungSync {
+			return nil, nil, fmt.Errorf("hpo: scheduler %q has no synchronous mode (its decisions are per-arrival)", name)
+		}
 		return nil, NewASHAScheduler(eta, minResource, budget), nil
 	default:
 		return nil, nil, fmt.Errorf("hpo: unknown scheduler %q (want none, hyperband or asha)", name)
@@ -95,10 +139,15 @@ func NewTrialScheduler(name, algo string, space *Space, budget, eta, minResource
 // task extension — survivors keep training the same model, so every epoch
 // below a rung is executed exactly once instead of once per rung.
 //
-// Because rungs are synchronous, every member of a bracket must be able to
-// run concurrently: Study.Run fails fast when the runtime has fewer task
-// slots than the largest bracket (MinSlots), which would otherwise deadlock
-// paused trials against queued ones.
+// In the default synchronous mode rungs are barriers, so every member of a
+// bracket must be able to run concurrently: Study.Run fails fast when the
+// runtime has fewer task slots than the largest bracket (MinSlots), which
+// would otherwise deadlock paused trials against queued ones. The
+// asynchronous mode (NewRungHyperbandAsync) removes the barrier — members
+// are decided per-arrival at their rung boundary, ASHA-style — so the same
+// bracket structure runs on any capacity, down to a single slot, and
+// independent brackets interleave on the runtime instead of draining
+// sequentially.
 type RungHyperband struct {
 	space *Space
 	// MaxR is the largest per-trial epoch budget (R).
@@ -112,6 +161,17 @@ type RungHyperband struct {
 	finished bool
 	byKey    map[string]*rungMember
 	byTrial  map[int]*rungMember
+
+	// Async-mode state: members wait in a scheduler-side queue (the
+	// waiting room) and are handed out by Ask as capacity frees up.
+	async    bool
+	parallel bool // brackets interleave instead of draining in order
+	capacity int  // admission ceiling (0 = unbounded); see SetCapacity
+	queue    []*rungMember
+	released int // brackets whose members have entered the queue
+	inFlight int // admitted members not yet exited
+	exitedN  int
+	total    int
 }
 
 // rungBracket is one successive-halving bracket driven through rungs.
@@ -122,7 +182,11 @@ type rungBracket struct {
 	// bracket's ceiling.
 	budgets   []int
 	handed    bool
-	evaluated []bool // per non-final rung: decisions emitted?
+	evaluated []bool // per non-final rung: decisions emitted? (sync mode)
+	// arrivals records, per non-final rung, the values of members that
+	// reached the rung boundary so far — the ranking pool for async
+	// per-arrival decisions.
+	arrivals [][]float64
 }
 
 // rungMember is one configuration's life across a bracket's rungs.
@@ -142,8 +206,12 @@ type rungMember struct {
 	hasValue bool
 	// observed[k] reports the member reported its boundary epoch of rung k.
 	observed []bool
-	exited   bool
-	halted   bool
+	// decided[k] reports an async per-arrival decision was already taken at
+	// rung k — the guard that makes a restarted attempt's re-reported
+	// boundary epoch a no-op instead of a double promotion.
+	decided []bool
+	exited  bool
+	halted  bool
 }
 
 // NewRungHyperband builds the rung-driven sampler/scheduler. The bracket
@@ -182,18 +250,64 @@ func NewRungHyperband(space *Space, maxBudget, eta int, seed uint64) *RungHyperb
 			alive, bud = keep, next
 		}
 		b.evaluated = make([]bool, len(b.budgets))
+		b.arrivals = make([][]float64, len(b.budgets))
 		for i := 0; i < n; i++ {
 			cfg := space.Sample(rng)
 			key := fmt.Sprintf("b%d-%d", s, nextID)
 			nextID++
 			cfg["_hb"] = key
-			m := &rungMember{key: key, cfg: cfg, bracket: b, trialID: -1, observed: make([]bool, len(b.budgets))}
+			m := &rungMember{key: key, cfg: cfg, bracket: b, trialID: -1,
+				observed: make([]bool, len(b.budgets)),
+				decided:  make([]bool, len(b.budgets))}
 			b.members = append(b.members, m)
 			h.byKey[key] = m
+			h.total++
 		}
 		h.brackets = append(h.brackets, b)
 	}
 	return h
+}
+
+// NewRungHyperbandAsync builds the same bracket structure (identical seeds
+// propose identical configurations) in asynchronous, non-barrier mode:
+// members are admitted from a waiting-room queue as capacity frees up,
+// promotion decisions are taken per-arrival at rung boundaries (ASHA's
+// rule, Li et al., Massively Parallel Hyperparameter Tuning), and
+// independent brackets execute in parallel. Async mode needs no minimum
+// concurrency — it runs correctly on a single task slot.
+func NewRungHyperbandAsync(space *Space, maxBudget, eta int, seed uint64) *RungHyperband {
+	h := NewRungHyperband(space, maxBudget, eta, seed)
+	h.async = true
+	h.parallel = true
+	return h
+}
+
+// Async reports whether the scheduler runs non-barrier rungs.
+func (h *RungHyperband) Async() bool { return h.async }
+
+// AsyncRungs implements the capacity probe Study.Run uses to decide whether
+// the MinSlots fail-fast applies: async rungs never deadlock on capacity.
+func (h *RungHyperband) AsyncRungs() bool { return h.async }
+
+// SetBracketParallel toggles per-bracket parallel execution in async mode
+// (on by default): when off, a bracket's members only enter the waiting
+// room once every earlier bracket has fully exited — the sequential drain
+// the synchronous mode is restricted to. No-op in sync mode.
+func (h *RungHyperband) SetBracketParallel(on bool) {
+	h.mu.Lock()
+	h.parallel = on
+	h.mu.Unlock()
+}
+
+// SetCapacity tells the async waiting room how many members may be in
+// flight at once — the runtime's Slots for the study's constraint.
+// Ask then admits members only as slots free up instead of flooding the
+// runtime queue. Zero means unbounded (admit everything on request).
+// No-op in sync mode, where Ask must hand out whole brackets.
+func (h *RungHyperband) SetCapacity(slots int) {
+	h.mu.Lock()
+	h.capacity = slots
+	h.mu.Unlock()
 }
 
 // Name implements Sampler and TrialScheduler.
@@ -222,14 +336,21 @@ func (h *RungHyperband) Done() bool {
 	return h.finished
 }
 
-// Ask implements Sampler: it hands out the current bracket in full — every
-// member carries the first rung's budget as num_epochs and the bracket's
-// ceiling as the hidden "_hb_max" — and returns empty while the bracket is
-// in flight. The batch cap is deliberately ignored: a partially submitted
-// bracket could never complete a rung.
+// Ask implements Sampler. In synchronous mode it hands out the current
+// bracket in full — every member carries the first rung's budget as
+// num_epochs and the bracket's ceiling as the hidden "_hb_max" — and
+// returns empty while the bracket is in flight; the batch cap is
+// deliberately ignored, because a partially submitted bracket could never
+// complete a rung. In asynchronous mode it pops members from the waiting
+// room instead, honouring both the batch cap and the admission capacity
+// (SetCapacity), since per-arrival decisions never wait on unadmitted
+// members.
 func (h *RungHyperband) Ask(n int) []Config {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.async {
+		return h.askAsyncLocked(n)
+	}
 	if h.finished || h.cur >= len(h.brackets) {
 		h.finished = true
 		return nil
@@ -241,14 +362,80 @@ func (h *RungHyperband) Ask(n int) []Config {
 	b.handed = true
 	out := make([]Config, 0, len(b.members))
 	for _, m := range b.members {
-		cfg := m.cfg.Clone()
-		cfg["num_epochs"] = b.budgets[0]
-		if last := b.budgets[len(b.budgets)-1]; last > b.budgets[0] {
-			cfg["_hb_max"] = last
-		}
-		out = append(out, cfg)
+		out = append(out, memberConfig(m, b))
 	}
 	return out
+}
+
+// memberConfig renders a member's submission config: the first rung as its
+// budget and the bracket ceiling as the hidden promotion bound.
+func memberConfig(m *rungMember, b *rungBracket) Config {
+	cfg := m.cfg.Clone()
+	cfg["num_epochs"] = b.budgets[0]
+	if last := b.budgets[len(b.budgets)-1]; last > b.budgets[0] {
+		cfg["_hb_max"] = last
+	}
+	return cfg
+}
+
+// askAsyncLocked serves the waiting room: release brackets into the queue
+// (all at once when brackets run in parallel, in drain order otherwise),
+// then admit at most min(batch cap, free capacity) members. Callers hold
+// h.mu.
+func (h *RungHyperband) askAsyncLocked(n int) []Config {
+	h.releaseLocked()
+	take := len(h.queue)
+	if h.capacity > 0 {
+		if free := h.capacity - h.inFlight; free < take {
+			take = free
+		}
+	}
+	if n > 0 && n < take {
+		take = n
+	}
+	if take <= 0 {
+		h.checkFinishedLocked()
+		return nil
+	}
+	out := make([]Config, 0, take)
+	for _, m := range h.queue[:take] {
+		out = append(out, memberConfig(m, m.bracket))
+	}
+	h.queue = append([]*rungMember(nil), h.queue[take:]...)
+	return out
+}
+
+// releaseLocked tops up the waiting room. Parallel mode releases every
+// bracket immediately; sequential mode releases bracket i only once all
+// members of brackets < i have exited. Callers hold h.mu.
+func (h *RungHyperband) releaseLocked() {
+	for h.released < len(h.brackets) {
+		if !h.parallel && h.released > 0 && !h.bracketExitedLocked(h.brackets[h.released-1]) {
+			return
+		}
+		b := h.brackets[h.released]
+		b.handed = true
+		h.queue = append(h.queue, b.members...)
+		h.released++
+	}
+}
+
+// bracketExitedLocked reports every member of b is terminal.
+func (h *RungHyperband) bracketExitedLocked(b *rungBracket) bool {
+	for _, m := range b.members {
+		if !m.exited {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFinishedLocked marks the async run done once every member exited and
+// nothing waits for admission. Callers hold h.mu.
+func (h *RungHyperband) checkFinishedLocked() {
+	if h.exitedN == h.total && len(h.queue) == 0 && h.released == len(h.brackets) {
+		h.finished = true
+	}
 }
 
 // Tell implements Sampler: a no-op — the scheduler half already learned
@@ -264,6 +451,7 @@ func (h *RungHyperband) Admit(trialID, budget int, cfg Config) {
 	if m := h.byKey[key]; m != nil {
 		m.trialID = trialID
 		h.byTrial[trialID] = m
+		h.inFlight++
 	}
 }
 
@@ -278,6 +466,9 @@ func (h *RungHyperband) Observe(trialID, epoch int, value float64) []SchedDecisi
 	if !m.hasValue || value > m.best {
 		m.best, m.hasValue = value, true
 	}
+	if h.async {
+		return h.observeAsyncLocked(m, epoch)
+	}
 	b := m.bracket
 	// A restarted attempt re-reports earlier epochs; only the member's
 	// current rung boundary matters.
@@ -285,6 +476,66 @@ func (h *RungHyperband) Observe(trialID, epoch int, value float64) []SchedDecisi
 		m.observed[m.rung] = true
 	}
 	return h.evaluateLocked()
+}
+
+// observeAsyncLocked is the per-arrival (non-barrier) decision: a member
+// reaching its current rung boundary is ranked against every value
+// recorded at that rung so far and immediately promoted (top 1/eta) or
+// halted — no waiting for the rest of the rung. decided[k] makes the rule
+// idempotent per rung: a worker-death restart re-reports its boundary
+// epoch, and the duplicate arrival must not rank (or promote) twice.
+// Callers hold h.mu.
+func (h *RungHyperband) observeAsyncLocked(m *rungMember, epoch int) []SchedDecision {
+	b := m.bracket
+	k := m.rung
+	if m.halted || k+1 >= len(b.budgets) || epoch+1 != b.budgets[k] || m.decided[k] {
+		return nil
+	}
+	if promoted, rank, n := h.arriveLocked(m, k); promoted {
+		return []SchedDecision{{
+			TrialID: m.trialID, Budget: b.budgets[k+1], Epoch: epoch,
+			Reason: fmt.Sprintf("hyperband-rung/async: rank %d/%d at rung %d (budget %d), promoted to %d",
+				rank, n, k, b.budgets[k], b.budgets[k+1]),
+		}}
+	} else {
+		return []SchedDecision{{
+			TrialID: m.trialID, Budget: 0, Epoch: epoch,
+			Reason: fmt.Sprintf("hyperband-rung/async: rank %d/%d at rung %d (budget %d, value %.4f)",
+				rank, n, k, b.budgets[k], m.rankValue()),
+		}}
+	}
+}
+
+// arriveLocked records m's arrival at rung k and applies the ASHA keep
+// rule: promote when the member ranks within the top max(1, n/eta) of the
+// n values recorded at the rung so far. Ties rank behind earlier arrivals
+// (an equal value does not displace the incumbent): on plateaued
+// objectives where many trials converge to the same metric, counting ties
+// as rank-1 would promote nearly every arrival and blow the epoch budget
+// past the batch baseline. It advances or halts the member and returns
+// the verdict with its rank context. Callers hold h.mu.
+func (h *RungHyperband) arriveLocked(m *rungMember, k int) (promoted bool, rank, n int) {
+	b := m.bracket
+	m.decided[k] = true
+	value := m.rankValue()
+	rank = 1
+	for _, v := range b.arrivals[k] {
+		if v >= value {
+			rank++
+		}
+	}
+	b.arrivals[k] = append(b.arrivals[k], value)
+	n = len(b.arrivals[k])
+	keep := n / h.Eta
+	if keep < 1 {
+		keep = 1
+	}
+	if rank <= keep {
+		m.rung = k + 1
+		return true, rank, n
+	}
+	m.halted = true
+	return false, rank, n
 }
 
 // Complete implements TrialScheduler.
@@ -301,7 +552,35 @@ func (h *RungHyperband) Complete(trialID int, res *TrialResult) []SchedDecision 
 			m.best, m.hasValue = res.BestAcc, true
 		}
 	}
+	if h.async {
+		h.completeAsyncLocked(m, res)
+		return nil
+	}
 	return h.evaluateLocked()
+}
+
+// completeAsyncLocked retires a member from the waiting-room accounting
+// and, for members that exited with a full result without streaming
+// (checkpoint resumes, memo hits), replays their arrivals through the
+// rungs their recorded epochs actually reached — anchoring the ranking
+// pools so later live arrivals rank against resumed values, without
+// emitting decisions for a trial that is already terminal. Callers hold
+// h.mu.
+func (h *RungHyperband) completeAsyncLocked(m *rungMember, res *TrialResult) {
+	h.exitedN++
+	if h.inFlight > 0 {
+		h.inFlight--
+	}
+	if res != nil && res.Succeeded() && !m.halted {
+		b := m.bracket
+		for k := m.rung; k+1 < len(b.budgets) && !m.decided[k] && res.Epochs >= b.budgets[k]; k++ {
+			if promoted, _, _ := h.arriveLocked(m, k); !promoted {
+				break
+			}
+		}
+	}
+	h.releaseLocked()
+	h.checkFinishedLocked()
 }
 
 // evaluateLocked settles every rung that became decidable and advances the
@@ -452,6 +731,10 @@ func (a *ASHAScheduler) Name() string { return "asha-promote" }
 // MaxBudget implements TrialScheduler.
 func (a *ASHAScheduler) MaxBudget() int { return a.MaxB }
 
+// AsyncRungs reports that ASHA's decisions are always per-arrival: the
+// scheduler never barriers a rung, so it has no minimum-capacity need.
+func (a *ASHAScheduler) AsyncRungs() bool { return true }
+
 // Admit implements TrialScheduler.
 func (a *ASHAScheduler) Admit(trialID, budget int, cfg Config) {
 	if budget < 1 {
@@ -497,9 +780,12 @@ func (a *ASHAScheduler) Observe(trialID, epoch int, value float64) []SchedDecisi
 	if keep < 1 {
 		keep = 1
 	}
+	// Ties rank behind earlier arrivals, like RungHyperband's async rule:
+	// equal values must not displace the incumbent, or a plateaued
+	// objective promotes every arrival.
 	rank := 1
 	for id, v := range rung {
-		if id != trialID && v > value {
+		if id != trialID && v >= value {
 			rank++
 		}
 	}

@@ -399,15 +399,32 @@ func TestSchedulerValidation(t *testing.T) {
 	}); err == nil {
 		t.Fatal("Scheduler+Pruner combination accepted")
 	}
-	if _, _, err := NewTrialScheduler("hyperband", "random", rungSpace(t), 9, 3, 1, 1); err == nil {
+	if _, _, err := NewTrialScheduler("hyperband", "random", rungSpace(t), 9, 3, 1, 1, ""); err == nil {
 		t.Fatal("hyperband scheduler accepted a non-hyperband algo")
 	}
-	if _, _, err := NewTrialScheduler("bogus", "", rungSpace(t), 9, 3, 1, 1); err == nil {
+	if _, _, err := NewTrialScheduler("bogus", "", rungSpace(t), 9, 3, 1, 1, ""); err == nil {
 		t.Fatal("unknown scheduler accepted")
 	}
-	s, sch, err := NewTrialScheduler("", "", rungSpace(t), 9, 3, 1, 1)
+	s, sch, err := NewTrialScheduler("", "", rungSpace(t), 9, 3, 1, 1, "")
 	if err != nil || s != nil || sch != nil {
 		t.Fatalf("empty scheduler = (%v, %v, %v), want all nil", s, sch, err)
+	}
+	if _, _, err := NewTrialScheduler("hyperband", "", rungSpace(t), 9, 3, 1, 1, "bogus"); err == nil {
+		t.Fatal("unknown rung mode accepted")
+	}
+	if _, _, err := NewTrialScheduler("", "", rungSpace(t), 9, 3, 1, 1, RungAsync); err == nil {
+		t.Fatal("explicit rung mode without a scheduler accepted — would silently run the batch path")
+	}
+	if _, _, err := NewTrialScheduler("none", "", rungSpace(t), 9, 3, 1, 1, RungSync); err == nil {
+		t.Fatal("explicit rung mode with scheduler none accepted")
+	}
+	if _, _, err := NewTrialScheduler("asha", "random", rungSpace(t), 9, 3, 1, 1, RungSync); err == nil {
+		t.Fatal("asha accepted a synchronous rung mode (its decisions are per-arrival)")
+	}
+	if hb, sched, err := NewTrialScheduler("hyperband", "", rungSpace(t), 9, 3, 1, 1, RungAsync); err != nil {
+		t.Fatalf("async hyperband scheduler: %v", err)
+	} else if rh, ok := hb.(*RungHyperband); !ok || !rh.Async() || sched != hb.(TrialScheduler) {
+		t.Fatalf("async hyperband = (%T async=%v, %T), want one async RungHyperband in both roles", hb, rh.Async(), sched)
 	}
 }
 

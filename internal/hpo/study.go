@@ -230,16 +230,33 @@ func (s *Study) Run() (*StudyResult, error) {
 	rt.SetTaskReportHandler(s.onTaskReport)
 	defer rt.SetTaskReportHandler(nil)
 
+	asyncRungs := false
 	if sched := s.opts.Scheduler; sched != nil {
-		// Synchronous rungs pause every member at the boundary until the
-		// whole rung reports: with fewer slots than the largest bracket the
-		// paused members would deadlock against the queued ones, so fail
-		// fast instead of hanging.
-		if ms, ok := sched.(interface{ MinSlots() int }); ok {
-			if slots := rt.Slots(s.opts.Constraint); slots < ms.MinSlots() {
-				return nil, fmt.Errorf("hpo: %s needs %d concurrent task slots for its largest bracket; the runtime provides %d",
+		slots := rt.Slots(s.opts.Constraint)
+		if slots < 1 {
+			// No healthy node can host even one trial (zero workers
+			// attached, every node down, or a constraint larger than any
+			// node): error out instead of queueing work that can never run.
+			return nil, fmt.Errorf("hpo: %s needs at least one task slot, but the runtime has no healthy capacity for %d-core tasks",
+				sched.Name(), s.opts.Constraint.Normalise().Cores)
+		}
+		if ar, ok := sched.(interface{ AsyncRungs() bool }); ok {
+			asyncRungs = ar.AsyncRungs()
+		}
+		if !asyncRungs {
+			// Synchronous rungs pause every member at the boundary until the
+			// whole rung reports: with fewer slots than the largest bracket
+			// the paused members would deadlock against the queued ones, so
+			// fail fast instead of hanging. Async rungs decide per-arrival
+			// and run on any capacity.
+			if ms, ok := sched.(interface{ MinSlots() int }); ok && slots < ms.MinSlots() {
+				return nil, fmt.Errorf("hpo: %s needs %d concurrent task slots for its largest bracket; the runtime provides %d (use async rung mode for smaller clusters)",
 					sched.Name(), ms.MinSlots(), slots)
 			}
+		} else if cs, ok := sched.(interface{ SetCapacity(int) }); ok {
+			// Capacity feedback: the async waiting room admits members only
+			// as slots free up instead of flooding the runtime queue.
+			cs.SetCapacity(slots)
 		}
 	}
 
@@ -252,169 +269,12 @@ func (s *Study) Run() (*StudyResult, error) {
 
 	var visFuts []*runtime.Future
 	batch := s.opts.BatchSize
-	for {
-		s.mu.Lock()
-		halted := s.stopped || s.canceled
-		s.mu.Unlock()
-		if halted {
-			break
-		}
-		configs := s.opts.Sampler.Ask(batch)
-		if len(configs) == 0 {
-			if s.opts.Sampler.Done() {
-				break
-			}
-			// Sampler is waiting on results it has not seen; nothing in
-			// flight means a stuck sampler, which is a bug worth surfacing.
-			return nil, fmt.Errorf("hpo: sampler %q stalled (asked nothing while idle)", s.opts.Sampler.Name())
-		}
-
-		sched := s.opts.Scheduler
-		roundResults := make([]TrialResult, 0, len(configs))
-		futs := make([]*runtime.Future, 0, len(configs))
-		roundTrials := make([]*Trial, 0, len(configs))
-		for _, cfg := range configs {
-			if sched != nil {
-				// Samplers unaware of rung scheduling (everything but
-				// RungHyperband, which stamps per-bracket ceilings itself)
-				// get the scheduler's global promotion ceiling.
-				if base := cfg.Int("num_epochs", 0); cfg.Int("_hb_max", 0) == 0 &&
-					base > 0 && sched.MaxBudget() > base {
-					cfg["_hb_max"] = sched.MaxBudget()
-				}
-			}
-			fp := cfg.Fingerprint()
-			if cached, ok := checkpoint[fp]; ok {
-				s.adoptFinished(cached)
-				if sched != nil {
-					// The scheduler must account for every bracket member;
-					// a resumed result exits immediately with its final
-					// value, settling its rungs without re-execution.
-					sched.Admit(cached.ID, cfg.Int("num_epochs", 0), cfg)
-					s.applyDecisions(sched.Complete(cached.ID, &cached))
-				}
-				roundResults = append(roundResults, cached)
-				resumed++
-				continue
-			}
-			s.mu.Lock()
-			id := s.nextID
-			s.nextID++
-			s.mu.Unlock()
-			if memo, ok := s.memoLookup(fp); ok {
-				// Another persisted study already evaluated this exact
-				// config: reuse its result under a fresh trial id.
-				memo.ID = id
-				memo.Config = cfg
-				s.adoptFinished(memo)
-				if sched != nil {
-					sched.Admit(id, cfg.Int("num_epochs", 0), cfg)
-					s.applyDecisions(sched.Complete(id, &memo))
-				}
-				roundResults = append(roundResults, memo)
-				memoized++
-				continue
-			}
-			trial := newTrial(id, cfg)
-			if sched != nil {
-				// Admit before Submit: the task may stream its first report
-				// the instant it launches, and Observe must already know the
-				// trial.
-				base := cfg.Int("num_epochs", 0)
-				sched.Admit(id, base, cfg)
-				s.mu.Lock()
-				s.baseBudget[id] = base
-				s.mu.Unlock()
-			}
-			// Submit under s.mu: the task may stream its first report the
-			// instant it launches, and onTaskReport must already find the
-			// byTask mapping (it blocks on s.mu until we finish here).
-			s.mu.Lock()
-			fut, err := rt.Submit1(taskName, id, cfg)
-			if err != nil {
-				s.mu.Unlock()
-				return nil, err
-			}
-			trial.markRunning(fut.TaskID())
-			s.trials = append(s.trials, trial)
-			s.byTask[fut.TaskID()] = trial
-			s.byID[id] = trial
-			s.mu.Unlock()
-			futs = append(futs, fut)
-			roundTrials = append(roundTrials, trial)
-			if s.opts.Visualise {
-				vf, err := rt.Submit1(visTaskName, fut)
-				if err != nil {
-					return nil, err
-				}
-				visFuts = append(visFuts, vf)
-			}
-		}
-
-		vals, _ := rt.WaitOn(futs...) // per-trial errors live in the results
-		for i, v := range vals {
-			trial := roundTrials[i]
-			var res TrialResult
-			if tr, ok := v.(TrialResult); ok {
-				res = tr
-			} else {
-				// Task failed or was canceled before producing a result:
-				// synthesise one.
-				res = TrialResult{ID: trial.ID, Config: trial.Config}
-				s.mu.Lock()
-				stopped, canceled, reason := s.stopped, s.canceled, s.cancelReason
-				s.mu.Unlock()
-				switch {
-				case canceled:
-					res.Canceled = true
-					res.Err = "canceled: " + reason
-				case stopped:
-					res.Canceled = true
-					res.Err = "canceled: study target reached"
-				default:
-					res.Err = "task failed"
-				}
-			}
-			s.mu.Lock()
-			if s.granted[trial.ID] > 0 {
-				// The scheduler extended this trial past its configured
-				// budget; the result must say so (memo exclusion).
-				res.Promoted = true
-			}
-			s.mu.Unlock()
-			trial.finalize(&res)
-			if s.opts.Pruner != nil {
-				s.opts.Pruner.Complete(trial.ID)
-			}
-			s.mu.Lock()
-			delete(s.byTask, trial.TaskID())
-			s.mu.Unlock()
-			if sched != nil {
-				// A member's exit can settle its rung (and, on resume,
-				// cascade through several).
-				s.applyDecisions(sched.Complete(trial.ID, &res))
-			}
-			roundResults = append(roundResults, res)
-		}
-
-		s.mu.Lock()
-		s.results = append(s.results, roundResults...)
-		s.mu.Unlock()
-		if err := s.recordRound(roundResults); err != nil {
+	if asyncRungs {
+		if err := s.runAsyncLoop(checkpoint, &resumed, &memoized, &visFuts, batch); err != nil {
 			return nil, err
 		}
-		s.opts.Sampler.Tell(roundResults)
-
-		// Streaming already stops the study mid-epoch; also honour the
-		// target on completed results so resumed/memoized rounds count.
-		if s.opts.TargetAccuracy > 0 {
-			for _, res := range roundResults {
-				if res.Succeeded() && res.BestAcc >= s.opts.TargetAccuracy {
-					s.triggerStop()
-					break
-				}
-			}
-		}
+	} else if err := s.runRoundLoop(checkpoint, &resumed, &memoized, &visFuts, batch); err != nil {
+		return nil, err
 	}
 
 	var plot string
@@ -456,6 +316,278 @@ func (s *Study) Run() (*StudyResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// runRoundLoop is the barrier execution loop: ask a round, run it to
+// completion, tell the sampler, repeat. Batch samplers and synchronous
+// rung schedulers need the barrier — a sync rung cannot settle until the
+// whole round reports.
+func (s *Study) runRoundLoop(checkpoint map[string]TrialResult, resumed, memoized *int, visFuts *[]*runtime.Future, batch int) error {
+	rt := s.opts.Runtime
+	for {
+		s.mu.Lock()
+		halted := s.stopped || s.canceled
+		s.mu.Unlock()
+		if halted {
+			return nil
+		}
+		configs := s.opts.Sampler.Ask(batch)
+		if len(configs) == 0 {
+			if s.opts.Sampler.Done() {
+				return nil
+			}
+			// Sampler is waiting on results it has not seen; nothing in
+			// flight means a stuck sampler, which is a bug worth surfacing.
+			return fmt.Errorf("hpo: sampler %q stalled (asked nothing while idle)", s.opts.Sampler.Name())
+		}
+		futs, roundTrials, roundResults, err := s.admitConfigs(configs, checkpoint, resumed, memoized, visFuts)
+		if err != nil {
+			return err
+		}
+		vals, _ := rt.WaitOn(futs...) // per-trial errors live in the results
+		for i, v := range vals {
+			roundResults = append(roundResults, s.settleTrial(roundTrials[i], v))
+		}
+		if err := s.commitResults(roundResults); err != nil {
+			return err
+		}
+	}
+}
+
+// runAsyncLoop is the non-barrier execution loop used with asynchronous
+// rung schedulers: each finished trial is settled the moment its future
+// resolves, freeing its slot so the scheduler's waiting room tops the
+// runtime up immediately — no slot idles behind the slowest member of a
+// round. Correctness does not depend on it (async decisions are
+// per-arrival either way); wall-clock does.
+func (s *Study) runAsyncLoop(checkpoint map[string]TrialResult, resumed, memoized *int, visFuts *[]*runtime.Future, batch int) error {
+	rt := s.opts.Runtime
+	type liveSub struct {
+		fut   *runtime.Future
+		trial *Trial
+	}
+	var inflight []liveSub
+	for {
+		s.mu.Lock()
+		halted := s.stopped || s.canceled
+		s.mu.Unlock()
+		var settled []TrialResult
+		if !halted {
+			configs := s.opts.Sampler.Ask(batch)
+			if len(configs) == 0 && len(inflight) == 0 {
+				if s.opts.Sampler.Done() {
+					return nil
+				}
+				return fmt.Errorf("hpo: sampler %q stalled (asked nothing while idle)", s.opts.Sampler.Name())
+			}
+			futs, trials, immediate, err := s.admitConfigs(configs, checkpoint, resumed, memoized, visFuts)
+			if err != nil {
+				return err
+			}
+			settled = immediate
+			for i := range futs {
+				inflight = append(inflight, liveSub{futs[i], trials[i]})
+			}
+		}
+		if halted && len(inflight) == 0 {
+			return nil
+		}
+		if len(inflight) > 0 {
+			futs := make([]*runtime.Future, len(inflight))
+			for i, sub := range inflight {
+				futs[i] = sub.fut
+			}
+			resolved := make(map[int]bool)
+			if halted {
+				// Stop already delivered the cancellations; drain the rest.
+				_, _ = rt.WaitOn(futs...)
+				for i := range inflight {
+					resolved[i] = true
+				}
+			} else {
+				for _, i := range rt.WaitAny(futs...) {
+					resolved[i] = true
+				}
+			}
+			keep := inflight[:0]
+			for i, sub := range inflight {
+				if !resolved[i] {
+					keep = append(keep, sub)
+					continue
+				}
+				vals, _ := rt.WaitOn(sub.fut) // resolved: returns immediately
+				settled = append(settled, s.settleTrial(sub.trial, vals[0]))
+			}
+			inflight = keep
+		}
+		if err := s.commitResults(settled); err != nil {
+			return err
+		}
+	}
+}
+
+// admitConfigs turns one batch of sampler configs into runtime
+// submissions plus the immediate results of configs that never run:
+// checkpoint hits resume instantly, memo hits reuse another study's
+// persisted result — the scheduler is informed either way so its rung
+// accounting stays complete.
+func (s *Study) admitConfigs(configs []Config, checkpoint map[string]TrialResult, resumed, memoized *int, visFuts *[]*runtime.Future) (futs []*runtime.Future, trials []*Trial, immediate []TrialResult, err error) {
+	rt := s.opts.Runtime
+	sched := s.opts.Scheduler
+	for _, cfg := range configs {
+		if sched != nil {
+			// Samplers unaware of rung scheduling (everything but
+			// RungHyperband, which stamps per-bracket ceilings itself)
+			// get the scheduler's global promotion ceiling.
+			if base := cfg.Int("num_epochs", 0); cfg.Int("_hb_max", 0) == 0 &&
+				base > 0 && sched.MaxBudget() > base {
+				cfg["_hb_max"] = sched.MaxBudget()
+			}
+		}
+		fp := cfg.Fingerprint()
+		if cached, ok := checkpoint[fp]; ok {
+			// Persisted configs are stripped of sampler-internal ("_")
+			// keys; hand the sampler back its own config so bookkeeping
+			// like Hyperband's _hb bracket binding survives a resume.
+			cached.Config = cfg
+			s.adoptFinished(cached)
+			if sched != nil {
+				// The scheduler must account for every bracket member;
+				// a resumed result exits immediately with its final
+				// value, settling its rungs without re-execution.
+				sched.Admit(cached.ID, cfg.Int("num_epochs", 0), cfg)
+				s.applyDecisions(sched.Complete(cached.ID, &cached))
+			}
+			immediate = append(immediate, cached)
+			*resumed++
+			continue
+		}
+		s.mu.Lock()
+		id := s.nextID
+		s.nextID++
+		s.mu.Unlock()
+		if memo, ok := s.memoLookup(fp); ok {
+			// Another persisted study already evaluated this exact
+			// config: reuse its result under a fresh trial id.
+			memo.ID = id
+			memo.Config = cfg
+			s.adoptFinished(memo)
+			if sched != nil {
+				sched.Admit(id, cfg.Int("num_epochs", 0), cfg)
+				s.applyDecisions(sched.Complete(id, &memo))
+			}
+			immediate = append(immediate, memo)
+			*memoized++
+			continue
+		}
+		trial := newTrial(id, cfg)
+		if sched != nil {
+			// Admit before Submit: the task may stream its first report
+			// the instant it launches, and Observe must already know the
+			// trial.
+			base := cfg.Int("num_epochs", 0)
+			sched.Admit(id, base, cfg)
+			s.mu.Lock()
+			s.baseBudget[id] = base
+			s.mu.Unlock()
+		}
+		// Submit under s.mu: the task may stream its first report the
+		// instant it launches, and onTaskReport must already find the
+		// byTask mapping (it blocks on s.mu until we finish here).
+		s.mu.Lock()
+		fut, serr := rt.Submit1(taskName, id, cfg)
+		if serr != nil {
+			s.mu.Unlock()
+			return nil, nil, nil, serr
+		}
+		trial.markRunning(fut.TaskID())
+		s.trials = append(s.trials, trial)
+		s.byTask[fut.TaskID()] = trial
+		s.byID[id] = trial
+		s.mu.Unlock()
+		futs = append(futs, fut)
+		trials = append(trials, trial)
+		if s.opts.Visualise {
+			vf, verr := rt.Submit1(visTaskName, fut)
+			if verr != nil {
+				return nil, nil, nil, verr
+			}
+			*visFuts = append(*visFuts, vf)
+		}
+	}
+	return futs, trials, immediate, nil
+}
+
+// settleTrial renders one resolved task value into the trial's terminal
+// result — synthesising one when the task failed or was canceled before
+// producing any — finalizes the handle and informs the pruner and
+// scheduler of the exit.
+func (s *Study) settleTrial(trial *Trial, v interface{}) TrialResult {
+	var res TrialResult
+	if tr, ok := v.(TrialResult); ok {
+		res = tr
+	} else {
+		res = TrialResult{ID: trial.ID, Config: trial.Config}
+		s.mu.Lock()
+		stopped, canceled, reason := s.stopped, s.canceled, s.cancelReason
+		s.mu.Unlock()
+		switch {
+		case canceled:
+			res.Canceled = true
+			res.Err = "canceled: " + reason
+		case stopped:
+			res.Canceled = true
+			res.Err = "canceled: study target reached"
+		default:
+			res.Err = "task failed"
+		}
+	}
+	s.mu.Lock()
+	if s.granted[trial.ID] > 0 {
+		// The scheduler extended this trial past its configured
+		// budget; the result must say so (memo exclusion).
+		res.Promoted = true
+	}
+	s.mu.Unlock()
+	trial.finalize(&res)
+	if s.opts.Pruner != nil {
+		s.opts.Pruner.Complete(trial.ID)
+	}
+	s.mu.Lock()
+	delete(s.byTask, trial.TaskID())
+	s.mu.Unlock()
+	if sched := s.opts.Scheduler; sched != nil {
+		// A member's exit can settle its rung (and, on resume,
+		// cascade through several).
+		s.applyDecisions(sched.Complete(trial.ID, &res))
+	}
+	return res
+}
+
+// commitResults appends settled results to the study, persists them
+// through the recorder, tells the sampler and applies target-accuracy
+// stopping. Streaming already stops the study mid-epoch; honouring the
+// target on completed results makes resumed/memoized rounds count too.
+func (s *Study) commitResults(settled []TrialResult) error {
+	if len(settled) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.results = append(s.results, settled...)
+	s.mu.Unlock()
+	if err := s.recordRound(settled); err != nil {
+		return err
+	}
+	s.opts.Sampler.Tell(settled)
+	if s.opts.TargetAccuracy > 0 {
+		for _, res := range settled {
+			if res.Succeeded() && res.BestAcc >= s.opts.TargetAccuracy {
+				s.triggerStop()
+				break
+			}
+		}
+	}
+	return nil
 }
 
 // adoptFinished registers a handle for a trial that never ran (checkpoint

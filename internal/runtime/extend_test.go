@@ -190,3 +190,55 @@ func TestSlots(t *testing.T) {
 		t.Fatalf("Slots with node a down = %d, want 2", got)
 	}
 }
+
+// TestSlotsMultiNodePerNodeFeasibility: multi-node capacity must come from
+// per-node placement feasibility, not a share of the global core pool. The
+// regression: one 8-core node used to report 8/2 = 4 slots for a 2-node
+// constraint when zero such tasks can actually place.
+func TestSlotsMultiNodePerNodeFeasibility(t *testing.T) {
+	newRT := func(cores ...int) *Runtime {
+		t.Helper()
+		var nodes []cluster.NodeSpec
+		for i, c := range cores {
+			nodes = append(nodes, cluster.NodeSpec{ID: i, Name: string(rune('a' + i)), Cores: c, CoreSpeed: 1})
+		}
+		rt, err := New(Options{Cluster: cluster.Spec{Nodes: nodes}, Backend: Real})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rt.Shutdown)
+		return rt
+	}
+
+	// One 8-core node: a 2-node task can never place.
+	if got := newRT(8).Slots(Constraint{Cores: 1, Nodes: 2}); got != 0 {
+		t.Fatalf("Slots(1 core, 2 nodes) on a single node = %d, want 0", got)
+	}
+	// Two 4-core nodes: four concurrent 2-node tasks (each node hosts one
+	// slot of each task).
+	if got := newRT(4, 4).Slots(Constraint{Cores: 1, Nodes: 2}); got != 4 {
+		t.Fatalf("Slots(1 core, 2 nodes) on 2x4 = %d, want 4", got)
+	}
+	// Asymmetric 8+1: every 2-node task needs the 1-core node, so only one
+	// runs at a time — the old global-pool formula claimed 9/2 = 4.
+	if got := newRT(8, 1).Slots(Constraint{Cores: 1, Nodes: 2}); got != 1 {
+		t.Fatalf("Slots(1 core, 2 nodes) on 8+1 = %d, want 1", got)
+	}
+	// Per-node share matters too: a 2-node task wanting 4 cores per node
+	// fits the two 4-core nodes once, and not at all when one node is too
+	// small.
+	if got := newRT(4, 4).Slots(Constraint{Cores: 4, Nodes: 2}); got != 1 {
+		t.Fatalf("Slots(4 cores, 2 nodes) on 2x4 = %d, want 1", got)
+	}
+	if got := newRT(4, 2).Slots(Constraint{Cores: 4, Nodes: 2}); got != 0 {
+		t.Fatalf("Slots(4 cores, 2 nodes) on 4+2 = %d, want 0", got)
+	}
+	// Three nodes, 3-node tasks: capacity is bounded by the smallest node.
+	if got := newRT(6, 6, 2).Slots(Constraint{Cores: 1, Nodes: 3}); got != 2 {
+		t.Fatalf("Slots(1 core, 3 nodes) on 6+6+2 = %d, want 2", got)
+	}
+	// Single-node constraints keep the plain per-node sum.
+	if got := newRT(8, 1).Slots(Constraint{Cores: 1}); got != 9 {
+		t.Fatalf("Slots(1 core) on 8+1 = %d, want 9", got)
+	}
+}

@@ -526,6 +526,36 @@ func (rt *Runtime) WaitOn(futs ...*Future) ([]interface{}, error) {
 	return vals, firstErr
 }
 
+// WaitAny blocks until at least one of the futures resolves and returns
+// the indexes (in input order) of every future resolved by then — the
+// non-barrier synchronisation an asynchronous rung study drains on: one
+// finished trial frees its slot and the study tops the runtime up without
+// waiting for the rest of the round. An empty input returns nil
+// immediately. Values and errors stay on the futures; pass a resolved
+// future to WaitOn to read them.
+func (rt *Runtime) WaitAny(futs ...*Future) []int {
+	if len(futs) == 0 {
+		return nil
+	}
+	rt.backend.drive(func() bool {
+		for _, f := range futs {
+			if f.resolved {
+				return true
+			}
+		}
+		return false
+	})
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var idx []int
+	for i, f := range futs {
+		if f.resolved {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
 // Barrier blocks until every submitted invocation has finished.
 func (rt *Runtime) Barrier() {
 	rt.backend.drive(func() bool { return rt.pending == 0 })
@@ -616,13 +646,18 @@ func (rt *Runtime) ExtendTask(id, budget int) bool {
 
 // Slots reports how many tasks with the given constraint can execute
 // simultaneously on the currently attached, healthy nodes — the capacity a
-// synchronous rung scheduler checks before submitting a bracket whose
-// members must all reach a rung boundary together.
+// rung scheduler consults: synchronous rungs fail fast below their bracket
+// size, asynchronous rungs use it to pace admission. For multi-node
+// constraints the count is per-node feasible: a k-node task needs k
+// distinct healthy nodes that can each host its per-node share, so a
+// single 8-core node reports zero 2-node slots (no such task can place),
+// not a share of the global core pool.
 func (rt *Runtime) Slots(c Constraint) int {
 	c = c.Normalise()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	slots := 0
+	perNode := make([]int, 0, len(rt.nodes))
+	total := 0
 	for _, n := range rt.nodes {
 		if n.down {
 			continue
@@ -633,13 +668,37 @@ func (rt *Runtime) Slots(c Constraint) int {
 				byCores = byGPUs
 			}
 		}
-		slots += byCores
+		if byCores > 0 {
+			perNode = append(perNode, byCores)
+			total += byCores
+		}
 	}
-	if c.Nodes > 1 {
-		// Multi-node tasks occupy a slot on each spanned node.
-		slots /= c.Nodes
+	if c.Nodes <= 1 {
+		return total
 	}
-	return slots
+	if len(perNode) < c.Nodes {
+		return 0 // fewer feasible nodes than one task spans
+	}
+	// t concurrent k-node tasks need t·k node-slots with each node
+	// contributing at most min(itsSlots, t) — a task occupies a node at
+	// most once. The feasible region is a prefix in t (the margin is
+	// concave), so scan until it breaks.
+	best := 0
+	for t := 1; t*c.Nodes <= total; t++ {
+		sum := 0
+		for _, s := range perNode {
+			if s < t {
+				sum += s
+			} else {
+				sum += t
+			}
+		}
+		if sum < t*c.Nodes {
+			break
+		}
+		best = t
+	}
+	return best
 }
 
 // CancelPending cancels every invocation that has not started executing;

@@ -42,6 +42,12 @@ type Runner struct {
 	// that leave the field empty ("" = none) — the daemon's -scheduler
 	// flag. An active scheduler supersedes DefaultPruner.
 	DefaultScheduler string
+	// DefaultRungMode is the rung mode applied when an active scheduler's
+	// spec leaves rung_mode empty ("" = sync) — the daemon's -rung-mode
+	// flag. Daemons serving runtimes smaller than a full Hyperband bracket
+	// should default this to "async", or sync studies fail fast at the
+	// capacity check.
+	DefaultRungMode string
 
 	mu sync.Mutex
 	// active maps a study id to its live handle while execute holds it.
@@ -167,9 +173,17 @@ func (r *Runner) execute(id string) error {
 	if err != nil {
 		return r.fail(id, err)
 	}
-	schedSampler, scheduler, err := spec.BuildScheduler(r.DefaultScheduler)
+	schedSampler, scheduler, err := spec.BuildScheduler(r.DefaultScheduler, r.DefaultRungMode)
 	if err != nil {
 		return r.fail(id, err)
+	}
+	if scheduler == nil && spec.RungMode != "" {
+		// The spec explicitly asked for a rung mode but no scheduler is
+		// active to apply it (no scheduler field and no — or an
+		// incompatible — daemon default): failing beats silently running
+		// the batch path the user tried to avoid.
+		return r.fail(id, fmt.Errorf("server: spec sets rung_mode %q but no rung scheduler is active (spec scheduler %q, daemon default %q)",
+			spec.RungMode, spec.Scheduler, r.DefaultScheduler))
 	}
 	if schedSampler != nil {
 		// Rung-driven Hyperband owns both the sampler and scheduler roles.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -23,6 +24,9 @@ func TestSpecSchedulerValidation(t *testing.T) {
 		fmt.Sprintf(`{%s, "algo": "random", "scheduler": "hyperband"}`, base),
 		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "bogus"}`, base),
 		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "cv_folds": 3}`, base),
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "rung_mode": "bogus"}`, base),
+		fmt.Sprintf(`{%s, "algo": "random", "scheduler": "asha", "rung_mode": "sync"}`, base),
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "none", "rung_mode": "async"}`, base),
 	}
 	for _, body := range bad {
 		if _, err := ParseSpec([]byte(body)); err == nil {
@@ -33,11 +37,188 @@ func TestSpecSchedulerValidation(t *testing.T) {
 		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "budget": 9}`, base),
 		fmt.Sprintf(`{%s, "algo": "random", "scheduler": "asha", "budget": 9}`, base),
 		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "none", "pruner": "median"}`, base),
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "rung_mode": "async"}`, base),
+		fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "rung_mode": "sync"}`, base),
+		fmt.Sprintf(`{%s, "algo": "random", "scheduler": "asha", "rung_mode": "async"}`, base),
 	}
 	for _, body := range good {
 		if _, err := ParseSpec([]byte(body)); err != nil {
 			t.Errorf("spec rejected: %s: %v", body, err)
 		}
+	}
+}
+
+// TestRungModeDaemonFallback: a spec without rung_mode follows the
+// daemon's -rung-mode default, an explicit field always wins, and the sync
+// daemon default never breaks an asha spec (which has no sync mode).
+func TestRungModeDaemonFallback(t *testing.T) {
+	base := `"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}}, "budget": 9`
+	hb := fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband"}`, base)
+	hbSync := fmt.Sprintf(`{%s, "algo": "hyperband", "scheduler": "hyperband", "rung_mode": "sync"}`, base)
+	asha := fmt.Sprintf(`{%s, "algo": "random", "scheduler": "asha"}`, base)
+
+	buildAsync := func(body, defMode string) bool {
+		t.Helper()
+		spec, err := ParseSpec([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, sched, err := spec.BuildScheduler("", defMode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched == nil {
+			t.Fatalf("no scheduler built for %s", body)
+		}
+		if rh, ok := sampler.(*hpo.RungHyperband); ok {
+			return rh.Async()
+		}
+		return true // asha is always async
+	}
+	if buildAsync(hb, "") {
+		t.Error("empty daemon default built an async scheduler, want sync")
+	}
+	if !buildAsync(hb, "async") {
+		t.Error("daemon default async ignored for a spec without rung_mode")
+	}
+	if buildAsync(hbSync, "async") {
+		t.Error("explicit rung_mode sync lost to the daemon default")
+	}
+	// The sync daemon default must not fail asha specs — it is a
+	// hyperband preference, and asha simply has no synchronous mode.
+	if !buildAsync(asha, "sync") {
+		t.Error("asha under a sync daemon default should stay per-arrival")
+	}
+}
+
+// TestRungModeWithoutActiveSchedulerFailsStudy: a spec that explicitly
+// sets rung_mode but activates no scheduler (no scheduler field, and the
+// daemon has no default) must fail the study with a clear error instead
+// of silently running the batch path the user tried to avoid. The spec is
+// accepted at creation time — a daemon default could still supply the
+// scheduler — so the check lands at execution.
+func TestRungModeWithoutActiveSchedulerFailsStudy(t *testing.T) {
+	journal, err := store.OpenJournal(filepath.Join(t.TempDir(), "j"), store.JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal.Close() })
+	factory := func(spec StudySpec) (*runtime.Runtime, func(), error) {
+		rt, err := runtime.New(runtime.Options{Cluster: cluster.Local(2), Backend: runtime.Real})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rt, rt.Shutdown, nil
+	}
+	srv := New(journal, factory, 1)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Runner().Close(0) })
+
+	code, created := postJSON(t, ts.URL+"/v1/studies", `{
+		"algo": "hyperband", "rung_mode": "async", "budget": 9,
+		"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}},
+		"start": true}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v (spec must be accepted — a daemon default could activate a scheduler)", code, created)
+	}
+	study := waitForState(t, ts.URL, created["id"].(string), "failed")
+	if msg, _ := study["error"].(string); !strings.Contains(msg, "rung_mode") {
+		t.Fatalf("failure does not explain the dropped rung_mode: %q", msg)
+	}
+}
+
+// TestServerAsyncRungSmallClusterE2E drives an async rung-mode Hyperband
+// study through the HTTP control plane on a single-slot runtime — the
+// capacity the sync mode rejects outright. The study must finish, journal
+// promotions, and expose only public config keys through the API.
+func TestServerAsyncRungSmallClusterE2E(t *testing.T) {
+	journal, err := store.OpenJournal(filepath.Join(t.TempDir(), "j"), store.JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal.Close() })
+	factory := func(spec StudySpec) (*runtime.Runtime, func(), error) {
+		// One slot: smaller than every bracket of R=9, η=3.
+		rt, err := runtime.New(runtime.Options{Cluster: cluster.Local(1), Backend: runtime.Real})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rt, rt.Shutdown, nil
+	}
+	srv := New(journal, factory, 1)
+	srv.Runner().Objectives = func(spec StudySpec) (hpo.Objective, error) {
+		return &hpo.FuncObjective{ObjName: "gated", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+			total := ctx.Config.Int("num_epochs", 1)
+			if ctx.Proceed != nil && ctx.EpochCeiling > total {
+				total = ctx.EpochCeiling
+			}
+			var m hpo.TrialMetrics
+			for e := 0; e < total; e++ {
+				if ctx.Halt != nil && ctx.Halt() != "" {
+					m.Stopped = true
+					return m, nil
+				}
+				v := ctx.Config.Float("acc", 0) * float64(e+1) / 9
+				m.Epochs, m.BestAcc, m.FinalAcc = e+1, v, v
+				if ctx.Report != nil {
+					ctx.Report(e, v)
+				}
+				if e+1 < total && ctx.Proceed != nil && !ctx.Proceed(e+1) {
+					m.Stopped = true
+					return m, nil
+				}
+			}
+			return m, nil
+		}}, nil
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Runner().Close(0) })
+
+	code, created := postJSON(t, ts.URL+"/v1/studies", `{
+		"algo": "hyperband", "scheduler": "hyperband", "rung_mode": "async",
+		"budget": 9, "seed": 42,
+		"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}},
+		"start": true}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	if promos := journal.StudyPromotes(id); len(promos) == 0 {
+		t.Fatal("async study journaled no promotions")
+	}
+	trials, err := journal.StudyTrials(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	continued := 0
+	for _, tr := range trials {
+		if tr.Epochs > tr.Config["num_epochs"].(int) {
+			continued++
+		}
+		for k := range tr.Config {
+			if strings.HasPrefix(k, "_") {
+				t.Fatalf("trial config leaks internal key %q through the store: %v", k, tr.Config)
+			}
+		}
+	}
+	if continued == 0 {
+		t.Fatalf("no trial continued past its budget on the 1-slot runtime: %+v", trials)
+	}
+
+	// The API view is clean too.
+	resp, err := http.Get(ts.URL + "/v1/studies/" + id + "/trials")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 1<<20)
+	n, _ := io.ReadFull(resp.Body, body)
+	if api := string(body[:n]); strings.Contains(api, `"_hb`) {
+		t.Fatalf("API response leaks hidden scheduler keys:\n%.600s", api)
 	}
 }
 

@@ -62,6 +62,14 @@ type StudySpec struct {
 	// Budget as the epoch ceiling; mutually exclusive with Pruner and
 	// with CVFolds > 1.
 	Scheduler string `json:"scheduler,omitempty"`
+	// RungMode selects how an active hyperband scheduler settles rungs:
+	// "" (daemon default, then sync) | sync | async. Sync rungs are
+	// barriers — conformant with the batch sampler but requiring the
+	// runtime to hold a whole bracket concurrently; async rungs decide
+	// per-arrival (ASHA-style), run on any capacity down to one slot, and
+	// execute independent brackets in parallel. The asha scheduler is
+	// inherently async: requesting sync for it is rejected.
+	RungMode string `json:"rung_mode,omitempty"`
 	// Start queues the study for execution immediately on creation.
 	Start bool `json:"start,omitempty"`
 }
@@ -104,7 +112,13 @@ func ParseSpec(raw []byte) (StudySpec, error) {
 	if _, err := spec.BuildPruner(""); err != nil {
 		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
-	if _, _, err := spec.BuildScheduler(""); err != nil {
+	if !hpo.KnownRungMode(spec.RungMode) {
+		return spec, fmt.Errorf("%w: unknown rung_mode %q (want sync or async)", ErrBadSpec, spec.RungMode)
+	}
+	if spec.RungMode != "" && spec.Scheduler == "none" {
+		return spec, fmt.Errorf("%w: rung_mode %q needs a scheduler, but the spec disables scheduling", ErrBadSpec, spec.RungMode)
+	}
+	if _, _, err := spec.BuildScheduler("", ""); err != nil {
 		return spec, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
 	if spec.schedulerActive(spec.Scheduler) && spec.Pruner != "" && spec.Pruner != "none" {
@@ -149,13 +163,17 @@ func (s StudySpec) schedulerActive(name string) bool {
 
 // BuildScheduler constructs the spec's rung-driven scheduler; an empty
 // Scheduler field falls back to defaultName (the daemon's -scheduler
-// flag), and "none" explicitly disables scheduling either way. A daemon
-// default that is incompatible with the spec (hyperband default on a grid
-// study, asha on a cross-validated one) falls back to no scheduler rather
-// than failing specs that worked before the flag — only an explicit
-// "scheduler" field errors. The returned sampler, when non-nil, replaces
-// the spec's sampler (rung-driven Hyperband owns both roles).
-func (s StudySpec) BuildScheduler(defaultName string) (hpo.Sampler, hpo.TrialScheduler, error) {
+// flag), and "none" explicitly disables scheduling either way. The rung
+// mode follows the same fallback: an empty rung_mode takes defaultMode
+// (the daemon's -rung-mode flag), and an explicit spec field always wins.
+// A daemon default that is incompatible with the spec (hyperband default
+// on a grid study, asha on a cross-validated one, a daemon-default sync
+// mode on an asha spec) falls back to no scheduler / the scheduler's
+// natural mode rather than failing specs that worked before the flag —
+// only explicit "scheduler"/"rung_mode" fields error. The returned
+// sampler, when non-nil, replaces the spec's sampler (rung-driven
+// Hyperband owns both roles).
+func (s StudySpec) BuildScheduler(defaultName, defaultMode string) (hpo.Sampler, hpo.TrialScheduler, error) {
 	name := s.Scheduler
 	defaulted := name == ""
 	if defaulted {
@@ -171,11 +189,21 @@ func (s StudySpec) BuildScheduler(defaultName string) (hpo.Sampler, hpo.TrialSch
 	if s.CVFolds > 1 {
 		return nil, nil, fmt.Errorf("server: scheduler %q requires cv_folds <= 1 (cross-validated objectives cannot continue past their budget)", name)
 	}
+	mode := s.RungMode
+	if mode == "" {
+		mode = defaultMode
+		if name == "asha" && mode == hpo.RungSync {
+			// The daemon-wide sync default is a hyperband preference; asha
+			// has no synchronous mode, so the default must not fail specs
+			// that never asked for one.
+			mode = ""
+		}
+	}
 	space, err := s.BuildSpace()
 	if err != nil {
 		return nil, nil, err
 	}
-	return hpo.NewTrialScheduler(name, s.Algo, space, s.Budget, s.PrunerEta, s.PrunerWarmup, s.Seed)
+	return hpo.NewTrialScheduler(name, s.Algo, space, s.Budget, s.PrunerEta, s.PrunerWarmup, s.Seed, mode)
 }
 
 // BuildObjective constructs the training objective the spec describes.

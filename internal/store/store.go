@@ -136,12 +136,21 @@ type Trial struct {
 // them under its then-current pruner.
 func (t Trial) Succeeded() bool { return t.Err == "" && !t.Canceled && !t.Pruned }
 
-// sanitize replaces non-finite metric values with zeros so the trial
-// always JSON-encodes: a diverged training (NaN loss) must journal as a
-// bad result, not kill the study with an encoding error. The history is
+// sanitize normalises a trial for persistence: non-finite metric values
+// become zeros so the trial always JSON-encodes (a diverged training with
+// NaN loss must journal as a bad result, not kill the study with an
+// encoding error), and sampler-internal config keys are stripped — every
+// append path runs through here, so hidden scheduler bookkeeping can
+// never reach disk even via legacy-checkpoint migration. The history is
 // copied before rewriting — the caller's slice must not change underneath
 // it.
 func (t Trial) sanitize() Trial {
+	for k := range t.Config {
+		if strings.HasPrefix(k, "_") {
+			t.Config = PublicConfig(t.Config)
+			break
+		}
+	}
 	t.FinalAcc = finiteOr0(t.FinalAcc)
 	t.BestAcc = finiteOr0(t.BestAcc)
 	t.FinalLoss = finiteOr0(t.FinalLoss)
@@ -253,6 +262,26 @@ func Fingerprint(cfg map[string]interface{}) string {
 		fmt.Fprintf(&b, "%s=%v", k, cfg[k])
 	}
 	return b.String()
+}
+
+// PublicConfig returns a copy of cfg without sampler-internal keys
+// (leading underscore, e.g. Hyperband's "_hb" bracket binding and the
+// "_hb_max" promotion ceiling). Persisted trial records and API responses
+// must only ever carry public parameters: the hidden keys are scheduler
+// bookkeeping scoped to one in-memory sampler instance, and Fingerprint
+// already ignores them, so stripping changes no identity.
+func PublicConfig(cfg map[string]interface{}) map[string]interface{} {
+	if cfg == nil {
+		return nil
+	}
+	out := make(map[string]interface{}, len(cfg))
+	for k, v := range cfg {
+		if strings.HasPrefix(k, "_") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
 }
 
 // MemoScope renders the canonical objective-scope string that namespaces
