@@ -1,0 +1,235 @@
+// Command benchjson measures the repo's three load-bearing performance
+// numbers and emits them as one machine-readable JSON object:
+//
+//   - epochs_per_sec: synthetic-MNIST MLP training throughput, the unit of
+//     work every study is made of;
+//   - journal_appends_per_sec: per-epoch metric append throughput on a
+//     NoSync journal (the streaming-report hot path);
+//   - boot_replay_ns_op: OpenJournal over a 50-terminal-study journal,
+//     compacted and not — the daemon restart cost.
+//
+// CI runs it per push and archives BENCH_<stamp>.json so regressions are
+// diffable across commits; checked-in snapshots under BENCH_*.json give
+// the baseline. The measurements use testing.Benchmark, so they self-scale
+// to a stable iteration count like `go test -bench` would.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_2026-08-07.json] [-stamp 2026-08-07]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/hpo"
+	"repro/internal/store"
+)
+
+type snapshot struct {
+	Stamp                string           `json:"stamp"`
+	GoVersion            string           `json:"go_version"`
+	EpochsPerSec         float64          `json:"epochs_per_sec"`
+	JournalAppendsPerSec float64          `json:"journal_appends_per_sec"`
+	BootReplayNsOp       map[string]int64 `json:"boot_replay_ns_op"`
+}
+
+func main() {
+	var out, stamp string
+	flag.StringVar(&out, "o", "", "write the JSON snapshot here (default stdout)")
+	flag.StringVar(&stamp, "stamp", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
+	flag.Parse()
+
+	snap := snapshot{
+		Stamp:          stamp,
+		GoVersion:      goruntime.Version(),
+		BootReplayNsOp: map[string]int64{},
+	}
+	var err error
+	if snap.EpochsPerSec, err = benchEpochs(); err != nil {
+		fatal(err)
+	}
+	if snap.JournalAppendsPerSec, err = benchAppends(); err != nil {
+		fatal(err)
+	}
+	for _, compact := range []bool{false, true} {
+		key := "uncompacted"
+		if compact {
+			key = "compacted"
+		}
+		ns, err := benchBootReplay(compact)
+		if err != nil {
+			fatal(err)
+		}
+		snap.BootReplayNsOp[key] = ns
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %s\n", out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// benchEpochs measures training epochs per second: a small MLP over
+// synthetic MNIST, the same objective the studies run.
+func benchEpochs() (float64, error) {
+	ds, err := datasets.ByName("mnist", 256, 1)
+	if err != nil {
+		return 0, err
+	}
+	obj := &hpo.MLObjective{Dataset: ds}
+	const epochs = 5
+	cfg := hpo.Config{
+		"optimizer": "Adam", "num_epochs": epochs,
+		"batch_size": 32, "learning_rate": 0.001,
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := obj.Run(hpo.ObjectiveContext{Config: cfg, Parallelism: 1, Seed: 1})
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			if m.Epochs != epochs {
+				runErr = fmt.Errorf("trained %d epochs, want %d", m.Epochs, epochs)
+				b.Fatal(runErr)
+			}
+		}
+	})
+	if runErr != nil {
+		return 0, runErr
+	}
+	return float64(res.N*epochs) / res.T.Seconds(), nil
+}
+
+// benchAppends measures AppendMetric throughput on a NoSync journal — the
+// per-epoch streaming-report hot path.
+func benchAppends() (float64, error) {
+	dir, err := os.MkdirTemp("", "benchjson")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		j, err := store.OpenJournal(filepath.Join(dir, fmt.Sprintf("j%d", b.N)), store.JournalOptions{NoSync: true})
+		if err != nil {
+			runErr = err
+			b.Fatal(err)
+		}
+		if err := j.CreateStudy(store.StudyMeta{ID: "bench"}); err != nil {
+			runErr = err
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := j.AppendMetric("bench", 0, i, 0.5); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := j.Close(); err != nil {
+			runErr = err
+			b.Fatal(err)
+		}
+	})
+	if runErr != nil {
+		return 0, runErr
+	}
+	return float64(res.N) / res.T.Seconds(), nil
+}
+
+// benchBootReplay measures OpenJournal over a 50-terminal-study journal
+// with 100 per-epoch metrics per trial — mirroring BenchmarkBootReplay's
+// mid-size case so the JSON snapshot and the Go benchmark stay comparable.
+func benchBootReplay(compact bool) (int64, error) {
+	dir, err := os.MkdirTemp("", "benchjson")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "j")
+	j, err := store.OpenJournal(path, store.JournalOptions{NoSync: true})
+	if err != nil {
+		return 0, err
+	}
+	const studies, trialsPer, metricsPer = 50, 4, 100
+	for s := 0; s < studies; s++ {
+		id := fmt.Sprintf("done-%03d", s)
+		if err := j.CreateStudy(store.StudyMeta{ID: id}); err != nil {
+			return 0, err
+		}
+		for tr := 0; tr < trialsPer; tr++ {
+			for e := 0; e < metricsPer; e++ {
+				if err := j.AppendMetric(id, tr, e, 0.5); err != nil {
+					return 0, err
+				}
+			}
+			trial := store.Trial{
+				ID:     tr,
+				Config: map[string]interface{}{"num_epochs": metricsPer},
+				Epochs: metricsPer, FinalAcc: 0.5, BestAcc: 0.5,
+			}
+			if err := j.AppendTrials(id, []store.Trial{trial}); err != nil {
+				return 0, err
+			}
+		}
+		if err := j.SetStudyState(id, store.StateDone, "", &store.Summary{Trials: trialsPer}); err != nil {
+			return 0, err
+		}
+	}
+	if compact {
+		if _, err := j.Compact(); err != nil {
+			return 0, err
+		}
+	}
+	if err := j.Close(); err != nil {
+		return 0, err
+	}
+
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j, err := store.OpenJournal(path, store.JournalOptions{NoSync: true})
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			if n := len(j.ListStudies()); n != studies {
+				runErr = fmt.Errorf("replayed %d studies, want %d", n, studies)
+				b.Fatal(runErr)
+			}
+			if err := j.Close(); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if runErr != nil {
+		return 0, runErr
+	}
+	return res.NsPerOp(), nil
+}

@@ -16,48 +16,52 @@
 //	    [-rung-mode async]
 //	    [-checkpoint study.json] [-visualise]
 //	    [-journal hpod.journal -study cli] [-trace out.prv] [-graph out.dot]
-//	    [-policy fifo]
+//	    [-policy fifo] [-metrics-addr 127.0.0.1:9090]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	goruntime "runtime"
 
 	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/hpo"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
 
 type options struct {
-	spaceFile  string
-	algo       string
-	dataset    string
-	samples    int
-	model      string
-	cores      int
-	parallel   int
-	workers    int
-	budget     int
-	target     float64
-	seed       uint64
-	checkpoint string
-	journal    string
-	studyID    string
-	visualise  bool
-	traceOut   string
-	graphOut   string
-	policy     string
-	quiet      bool
-	cvFolds    int
-	reportOut  string
-	pruner     string
-	scheduler  string
-	rungMode   string
+	spaceFile   string
+	algo        string
+	dataset     string
+	samples     int
+	model       string
+	cores       int
+	parallel    int
+	workers     int
+	budget      int
+	target      float64
+	seed        uint64
+	checkpoint  string
+	journal     string
+	studyID     string
+	visualise   bool
+	traceOut    string
+	graphOut    string
+	policy      string
+	quiet       bool
+	cvFolds     int
+	reportOut   string
+	pruner      string
+	scheduler   string
+	rungMode    string
+	metricsAddr string
 }
 
 func main() {
@@ -88,6 +92,8 @@ func main() {
 		"rung-driven successive halving over the live report stream: none | hyperband | asha (hyperband replaces -algo; promotes winners past their budget instead of re-submitting)")
 	flag.StringVar(&o.rungMode, "rung-mode", "",
 		"how -scheduler hyperband settles rungs: sync (barrier rungs, needs slots for a whole bracket; default) | async (non-barrier ASHA-style decisions, runs on any capacity, brackets in parallel)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve the Prometheus /metrics exposition on this address for the duration of the run (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 	// -scheduler hyperband replaces the sampler, as its help says: an -algo
 	// left at the default follows it; an explicitly conflicting one errors.
@@ -111,6 +117,25 @@ func main() {
 func run(o options) error {
 	if o.spaceFile == "" {
 		return fmt.Errorf("-space is required (see configs/ for examples)")
+	}
+	// The CLI has no control plane, so -metrics-addr is the escape hatch
+	// for scraping the same instrument registry hpod exposes: a side
+	// listener alive for the duration of the run.
+	if o.metricsAddr != "" {
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = obs.Default().WritePrometheus(w)
+		})
+		go func() { _ = http.Serve(ln, mux) }()
+		if !o.quiet {
+			fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		}
 	}
 	raw, err := os.ReadFile(o.spaceFile)
 	if err != nil {

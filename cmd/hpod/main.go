@@ -22,6 +22,13 @@
 // pre-shard single-file journal passed as -journal is migrated in place on
 // boot.
 //
+// The daemon is observable without auth on two endpoints: GET /healthz
+// (liveness + journal stats) and GET /metrics (Prometheus text exposition
+// of the runtime/store/scheduler/HTTP instrument registry —
+// docs/OBSERVABILITY.md). Per-study execution timelines are served on
+// GET /v1/studies/{id}/timeline (JSON gantt) and .../timeline.prv
+// (Paraver trace).
+//
 // See the README's "hpod HTTP API" section for the endpoint reference and
 // an example curl session.
 package main
@@ -105,7 +112,7 @@ func run(o options) error {
 	if err := d.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("hpod: serving on http://%s (journal %s, %s backend, %d concurrent studies)\n",
+	fmt.Printf("hpod: serving on http://%s (journal %s, %s backend, %d concurrent studies, metrics on /metrics)\n",
 		d.Addr(), o.journal, o.backend, o.maxStudies)
 	<-ctx.Done()
 	fmt.Println("hpod: shutting down")

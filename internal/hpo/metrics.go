@@ -1,0 +1,26 @@
+package hpo
+
+import "repro/internal/obs"
+
+// Scheduler and study instrumentation: rung verdicts by scheduler, the
+// async waiting room, and the epochs-executed vs batch-baseline pair that
+// quantifies what rung-driven promotion saves (every epoch below a rung
+// runs once instead of once per rung).
+var (
+	obsSchedPromotions = obs.Default().CounterVec("hpo_sched_promotions_total",
+		"Rung promotions granted, by scheduler.", "scheduler")
+	obsSchedHalts = obs.Default().CounterVec("hpo_sched_halts_total",
+		"Trials halted at a rung boundary, by scheduler.", "scheduler")
+	obsWaitingRoom = obs.Default().Gauge("hpo_sched_waiting_room_depth",
+		"Members queued in async rung schedulers awaiting admission.")
+	obsBaselineEpochs = obs.Default().Counter("hpo_sched_baseline_epochs_total",
+		"Epochs the equivalent batch Hyperband would execute (re-training each rung from scratch).")
+	obsStudyEpochs = obs.Default().Counter("hpo_study_epochs_total",
+		"Training epochs actually executed (one per streamed trial report).")
+	obsStudyTrials = obs.Default().CounterVec("hpo_study_trials_total",
+		"Trials settled, by outcome.", "outcome")
+	obsTrialsSucceeded = obsStudyTrials.With("succeeded")
+	obsTrialsPruned    = obsStudyTrials.With("pruned")
+	obsTrialsCanceled  = obsStudyTrials.With("canceled")
+	obsTrialsFailed    = obsStudyTrials.With("failed")
+)

@@ -241,14 +241,20 @@ func NewRungHyperband(space *Space, maxBudget, eta int, seed uint64) *RungHyperb
 		b := &rungBracket{budgets: []int{budget}}
 		// Mirror the batch promotion rule to precompute the rung ladder:
 		// keep the top 1/eta with eta× budget while both survive the caps.
+		// baseline accumulates the epochs the batch implementation would
+		// execute for this ladder (every rung re-trained from scratch) —
+		// the comparison point for hpo_study_epochs_total.
+		baseline := n * budget
 		for alive, bud := n, budget; ; {
 			keep, next := alive/eta, bud*eta
 			if keep < 1 || next > maxBudget {
 				break
 			}
 			b.budgets = append(b.budgets, next)
+			baseline += keep * next
 			alive, bud = keep, next
 		}
+		obsBaselineEpochs.Add(uint64(baseline))
 		b.evaluated = make([]bool, len(b.budgets))
 		b.arrivals = make([][]float64, len(b.budgets))
 		for i := 0; i < n; i++ {
@@ -402,6 +408,7 @@ func (h *RungHyperband) askAsyncLocked(n int) []Config {
 		out = append(out, memberConfig(m, m.bracket))
 	}
 	h.queue = append([]*rungMember(nil), h.queue[take:]...)
+	obsWaitingRoom.Set(float64(len(h.queue)))
 	return out
 }
 
@@ -417,6 +424,7 @@ func (h *RungHyperband) releaseLocked() {
 		b.handed = true
 		h.queue = append(h.queue, b.members...)
 		h.released++
+		obsWaitingRoom.Set(float64(len(h.queue)))
 	}
 }
 

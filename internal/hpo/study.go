@@ -575,6 +575,18 @@ func (s *Study) commitResults(settled []TrialResult) error {
 	s.mu.Lock()
 	s.results = append(s.results, settled...)
 	s.mu.Unlock()
+	for _, res := range settled {
+		switch {
+		case res.Pruned:
+			obsTrialsPruned.Inc()
+		case res.Canceled:
+			obsTrialsCanceled.Inc()
+		case res.Err != "":
+			obsTrialsFailed.Inc()
+		default:
+			obsTrialsSucceeded.Inc()
+		}
+	}
 	if err := s.recordRound(settled); err != nil {
 		return err
 	}
@@ -619,6 +631,7 @@ func (s *Study) applyDecisions(decisions []SchedDecision) {
 		}
 		if d.Budget <= 0 {
 			if trial.requestPrune(d.Reason) {
+				obsSchedHalts.With(s.opts.Scheduler.Name()).Inc()
 				if s.telemetry != nil {
 					_ = s.telemetry.RecordPrune(trial.ID, d.Epoch, d.Reason)
 				}
@@ -631,6 +644,7 @@ func (s *Study) applyDecisions(decisions []SchedDecision) {
 			s.granted[d.TrialID] = d.Budget
 		}
 		s.mu.Unlock()
+		obsSchedPromotions.With(s.opts.Scheduler.Name()).Inc()
 		if s.telemetry != nil {
 			_ = s.telemetry.RecordPromote(trial.ID, d.Epoch, d.Budget, d.Reason)
 		}
@@ -656,6 +670,7 @@ func (s *Study) onTaskReport(taskID, epoch int, value float64) {
 	if !trial.observe(epoch, value) {
 		return // trial already terminal (late report after prune/cancel)
 	}
+	obsStudyEpochs.Inc()
 	if s.opts.OnEpoch != nil {
 		s.opts.OnEpoch(trial.ID, epoch, value)
 	}

@@ -1,0 +1,48 @@
+package obs_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+
+	// Blank imports pull in every instrumented package so its metric
+	// families register with the default registry — the same set a live
+	// hpod process exposes (server transitively registers the runtime,
+	// store and trace layers).
+	_ "repro/internal/hpo"
+	_ "repro/internal/server"
+)
+
+// TestObservabilityDocCoversRegistry pins docs/OBSERVABILITY.md to the
+// process's metric registry, both ways: every registered family is
+// documented (backticked by exact name), and every backticked hpo_/hpod_
+// token in the doc is a registered family — so the page can neither lag
+// behind the code nor document metrics that no longer exist.
+func TestObservabilityDocCoversRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("reading docs/OBSERVABILITY.md: %v", err)
+	}
+	doc := string(raw)
+
+	families := obs.Default().FamilyNames()
+	if len(families) == 0 {
+		t.Fatal("no metric families registered")
+	}
+	known := make(map[string]bool, len(families))
+	for _, name := range families {
+		known[name] = true
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("registered metric %s is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+
+	for _, m := range regexp.MustCompile("`(hpod?_[a-z0-9_]+)`").FindAllStringSubmatch(doc, -1) {
+		if !known[m[1]] {
+			t.Errorf("docs/OBSERVABILITY.md documents %s, which is not registered in the process", m[1])
+		}
+	}
+}

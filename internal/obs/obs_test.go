@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n",
+		"# TYPE test_ops_total counter\n",
+		"test_ops_total 3\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 2.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name: test_depth before test_ops_total.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_ops_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_reqs_total", "Requests.", "endpoint", "code")
+	v.With("/v1/studies", "200").Add(7)
+	v.With("/v1/studies", "404").Inc()
+	// Same label values resolve to the same series.
+	v.With("/v1/studies", "200").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `test_reqs_total{endpoint="/v1/studies",code="200"} 8`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+	if !strings.Contains(out, `test_reqs_total{endpoint="/v1/studies",code="404"} 1`) {
+		t.Errorf("missing second series:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "Escapes.", "path").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_batch", "Batch sizes.", []float64{1, 4, 16})
+	for _, v := range []float64{0.5, 1, 3, 20, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_batch_bucket{le="1"} 2`,  // 0.5, 1
+		`test_batch_bucket{le="4"} 3`,  // + 3
+		`test_batch_bucket{le="16"} 3`, // cumulative
+		`test_batch_bucket{le="+Inf"} 5`,
+		`test_batch_sum 124.5`,
+		`test_batch_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_once_total", "Once.")
+	b := r.Counter("test_once_total", "Once.")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("test_once_total", "Conflicting kind.")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad name", "Spaces are not allowed.")
+}
+
+func TestOnScrapeHook(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_sampled", "Refreshed at scrape time.")
+	n := 0
+	r.OnScrape("test", func() { n++; g.Set(float64(n)) })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_sampled 1\n") {
+		t.Errorf("hook did not run before exposition:\n%s", b.String())
+	}
+	// Re-registering under the same key replaces, not accumulates.
+	r.OnScrape("test", func() { g.Set(42) })
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_sampled 42\n") {
+		t.Errorf("replaced hook did not run:\n%s", b.String())
+	}
+	if n != 1 {
+		t.Errorf("old hook ran %d times after replacement, want 1", n)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", DurationBuckets())
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "Concurrency.")
+	g := r.Gauge("test_conc_depth", "Concurrency.")
+	h := r.Histogram("test_conc_hist", "Concurrency.", CountBuckets(64))
+	v := r.CounterVec("test_conc_vec_total", "Concurrency.", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j % 100))
+				v.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %v, want 0", g.Value())
+	}
+}

@@ -209,6 +209,7 @@ func (b *remoteBackend) workerDown(w *remoteWorker) {
 		inv.attempt++
 		inv.state = stateReady
 		rt.retried++
+		obsTasksRetried.Inc()
 		rt.ready = append(rt.ready, inv)
 	}
 	rt.dispatch()

@@ -201,6 +201,7 @@ func (rt *Runtime) Submit(name string, args ...interface{}) ([]*Future, error) {
 	}
 	rt.invs = append(rt.invs, inv)
 	rt.pending++
+	obsTasksSubmitted.Inc()
 
 	// Wire dependencies and graph edges.
 	var inouts []*Future
@@ -324,6 +325,7 @@ func (rt *Runtime) place(inv *invocation, nodes []*nodeState) {
 	inv.state = stateRunning
 	inv.started = rt.backend.now()
 	rt.started++
+	obsTasksStarted.Inc()
 
 	rt.rec.RecordEvent(trace.Event{
 		Node: inv.primaryNode(), Core: inv.allocs[0].coreIDs[0], At: inv.started,
@@ -396,6 +398,7 @@ func (rt *Runtime) onDone(inv *invocation, results []interface{}, err error, end
 			inv.attempt++
 			inv.state = stateReady
 			rt.retried++
+			obsTasksRetried.Inc()
 			rt.rec.RecordEvent(trace.Event{Node: primary, Core: primaryCore, At: end,
 				Type: trace.EventTaskRetry, Value: int64(inv.attempt)})
 			rt.ready = append(rt.ready, inv)
@@ -427,9 +430,15 @@ func (rt *Runtime) finishLocked(inv *invocation, results []interface{}, err erro
 		inv.state = stateFailed
 		inv.err = err
 		rt.failed++
+		if errors.Is(err, ErrCanceled) {
+			obsTasksCanceled.Inc()
+		} else {
+			obsTasksFailed.Inc()
+		}
 	} else {
 		inv.state = stateDone
 		rt.completed++
+		obsTasksCompleted.Inc()
 	}
 	rt.pending--
 
@@ -641,7 +650,12 @@ func (rt *Runtime) ExtendTask(id, budget int) bool {
 	if inv.state != stateRunning {
 		return false
 	}
-	return rt.backend.extendRunning(inv, budget)
+	t0 := time.Now()
+	ok := rt.backend.extendRunning(inv, budget)
+	if ok {
+		obsExtendLatency.ObserveSince(t0)
+	}
+	return ok
 }
 
 // Slots reports how many tasks with the given constraint can execute

@@ -116,6 +116,7 @@ func (n *nodeState) allocate(c Constraint) (coreIDs, gpuIDs []int) {
 	n.freeCores -= c.Cores
 	n.freeGPUs -= c.GPUs
 	n.running++
+	obsBusyCores.Add(float64(c.Cores))
 	return coreIDs, gpuIDs
 }
 
@@ -136,6 +137,7 @@ func (n *nodeState) release(coreIDs, gpuIDs []int) {
 	n.freeCores += len(coreIDs)
 	n.freeGPUs += len(gpuIDs)
 	n.running--
+	obsBusyCores.Add(-float64(len(coreIDs)))
 }
 
 // orderReady returns the indices of rt.ready in dispatch order for the

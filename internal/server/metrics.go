@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTP-plane instrumentation: per-endpoint request counts and latency,
+// SSE fan-out health, and scrape-time gauges snapshotting the journal
+// shape and the studies-by-state population.
+var (
+	obsHTTPRequests = obs.Default().CounterVec("hpod_http_requests_total",
+		"HTTP requests served, by route pattern and status code.", "endpoint", "code")
+	obsHTTPLatency = obs.Default().HistogramVec("hpod_http_request_seconds",
+		"HTTP request handling latency, by route pattern.", obs.DurationBuckets(), "endpoint")
+	obsSSESubscribers = obs.Default().Gauge("hpod_sse_subscribers",
+		"SSE event-stream subscribers currently connected.")
+	obsSSEEventsSent = obs.Default().Counter("hpod_sse_events_sent_total",
+		"SSE events written to subscribers.")
+	obsSSEFanoutLag = obs.Default().Histogram("hpod_sse_fanout_lag_events",
+		"Events pending per SSE subscriber wakeup (fan-out lag).", obs.CountBuckets(1024))
+	obsStudies = obs.Default().GaugeVec("hpod_studies",
+		"Studies known to the journal, by state.", "state")
+	obsStoreSegments = obs.Default().Gauge("hpo_store_segments",
+		"Journal segment files on disk.")
+	obsStoreOpenHandles = obs.Default().Gauge("hpo_store_open_segment_handles",
+		"Studies holding an open append handle (bounded by MaxOpenSegments).")
+	obsStoreEventWindows = obs.Default().Gauge("hpo_store_event_windows",
+		"Studies with a resident in-memory event window.")
+	obsStoreEventsRetained = obs.Default().Gauge("hpo_store_events_retained",
+		"Events held across all in-memory event windows.")
+	obsStoreSeq = obs.Default().Gauge("hpo_store_journal_seq",
+		"Journal high-water sequence number.")
+)
+
+// studyStates enumerates every state hpod_studies reports, so absent
+// states scrape as explicit zeros instead of stale values.
+var studyStates = []string{"created", "queued", "running", "done", "failed", "canceled"}
+
+// instrument wraps a handler with request counting and latency
+// observation. The route pattern (not the raw URL) labels the series, so
+// cardinality stays bounded by the route table.
+func instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	latency := obsHTTPLatency.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		obsHTTPRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		latency.ObserveSince(t0)
+	}
+}
+
+// statusWriter captures the status code while passing streaming
+// capability (http.Flusher) through — SSE handlers need Flush.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// registerScrapeHook refreshes the snapshot gauges each time /metrics is
+// scraped. Keyed registration means the newest server owns the hook (test
+// suites build many).
+func (s *Server) registerScrapeHook() {
+	obs.Default().OnScrape("server", func() {
+		st := s.store.Stats()
+		obsStoreSegments.Set(float64(st.Segments))
+		obsStoreOpenHandles.Set(float64(st.OpenSegmentHandles))
+		obsStoreEventWindows.Set(float64(st.EventWindows))
+		obsStoreEventsRetained.Set(float64(st.EventsRetained))
+		obsStoreSeq.Set(float64(st.Seq))
+
+		byState := make(map[string]int, len(studyStates))
+		for _, m := range s.store.ListStudies() {
+			byState[string(m.State)]++
+		}
+		for _, state := range studyStates {
+			obsStudies.With(state).Set(float64(byState[state]))
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition. Unauthenticated by
+// design (like /healthz): the registry holds only aggregate counters, never
+// study configs, trial payloads or token material.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}

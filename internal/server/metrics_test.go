@@ -1,0 +1,178 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsEndpoint: a live daemon's /metrics is valid Prometheus text
+// carrying the runtime, store, scheduler and HTTP families after a study
+// has run.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newRungTestServer(t)
+
+	code, created := postJSON(t, ts.URL+"/v1/studies", `{
+		"algo": "hyperband", "scheduler": "hyperband", "rung_mode": "async",
+		"budget": 9, "seed": 3,
+		"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}},
+		"start": true}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	waitForState(t, ts.URL, created["id"].(string), "done")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	_, body := getBody(t, ts.URL+"/metrics")
+	text := string(body)
+
+	for _, family := range []string{
+		"hpo_runtime_tasks_submitted_total",
+		"hpo_runtime_tasks_completed_total",
+		"hpo_runtime_busy_cores",
+		"hpo_store_appends_total",
+		"hpo_store_fsync_batches_total",
+		"hpo_store_journal_seq",
+		"hpo_sched_promotions_total",
+		"hpo_sched_baseline_epochs_total",
+		"hpo_study_epochs_total",
+		"hpod_http_requests_total",
+		"hpod_http_request_seconds",
+		"hpod_studies",
+		"hpod_sse_subscribers",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("/metrics lacks family %s", family)
+		}
+	}
+	if !strings.Contains(text, `hpod_studies{state="done"} 1`) {
+		t.Errorf("/metrics does not count the finished study:\n%.400s", text)
+	}
+	if !strings.Contains(text, `endpoint="GET /v1/studies/{id}"`) {
+		t.Errorf("request counters not labelled by route pattern")
+	}
+	// Exposition shape: every non-comment line is "name{labels} value",
+	// where label values may themselves contain spaces — so the value is
+	// whatever follows the final space.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[cut+1:], 64); err != nil {
+			t.Fatalf("non-numeric sample value in %q: %v", line, err)
+		}
+	}
+}
+
+// TestMetricsAuthAndLeaks: /metrics stays open when bearer auth is on —
+// and precisely because it is open, it must never leak token material or
+// the hidden rung-scheduler config keys. The timeline endpoints stay
+// gated.
+func TestMetricsAuthAndLeaks(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	const token = "sekrit-bearer-7f3a"
+	srv.SetAuthToken(token)
+
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics with auth enabled = %d, want 200 (scrapers are unauthenticated)", code)
+	}
+	for _, needle := range []string{token, "sekrit", "_hb"} {
+		if strings.Contains(string(body), needle) {
+			t.Fatalf("/metrics leaks %q", needle)
+		}
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/studies/x/timeline"); code != http.StatusUnauthorized {
+		t.Fatalf("timeline without token = %d, want 401", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/studies/x/timeline.prv"); code != http.StatusUnauthorized {
+		t.Fatalf("timeline.prv without token = %d, want 401", code)
+	}
+}
+
+// TestMetricsUnderConcurrentLoad exercises the registry's concurrency
+// contract (run with -race): studies executing, SSE subscribers draining,
+// compaction rewriting segments and /metrics scraping all at once.
+func TestMetricsUnderConcurrentLoad(t *testing.T) {
+	_, ts := newRungTestServer(t)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, created := postJSON(t, ts.URL+"/v1/studies", fmt.Sprintf(`{
+			"algo": "hyperband", "scheduler": "hyperband", "rung_mode": "async",
+			"budget": 9, "seed": %d,
+			"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}},
+			"start": true}`, i+1))
+		if code != http.StatusCreated {
+			t.Fatalf("create = %d %v", code, created)
+		}
+		ids = append(ids, created["id"].(string))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// SSE subscribers follow each study to completion.
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/studies/" + id + "/events")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			buf := make([]byte, 4096)
+			for {
+				if _, err := resp.Body.Read(buf); err != nil {
+					return
+				}
+			}
+		}(id)
+	}
+	// Scrapers and compaction hammer the registry meanwhile.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if code, _ := getBody(t, ts.URL+"/metrics"); code != http.StatusOK {
+					t.Error("/metrics failed under load")
+					return
+				}
+				postJSON(t, ts.URL+"/v1/admin/compact", "")
+			}
+		}()
+	}
+	for _, id := range ids {
+		waitForState(t, ts.URL, id, "done")
+	}
+	close(stop)
+	wg.Wait()
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), "hpo_store_compaction_runs_total") {
+		t.Fatalf("compaction counters missing after concurrent compactions")
+	}
+}

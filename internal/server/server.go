@@ -11,11 +11,16 @@
 //	POST /v1/studies/{id}/cancel stop a queued/running study (terminal "canceled")
 //	GET  /v1/studies/{id}/trials finished trials
 //	GET  /v1/studies/{id}/events SSE stream of trial/metric/prune/state events (?since=seq)
+//	GET  /v1/studies/{id}/timeline      per-trial gantt rows rebuilt from the journal
+//	GET  /v1/studies/{id}/timeline.prv  the same timeline as a Paraver trace
 //	POST /v1/admin/compact       compact terminal studies' journal segments now
 //	GET  /healthz                liveness + counters + journal/compaction stats
+//	GET  /metrics                Prometheus text exposition (internal/obs registry)
 //
 // When a bearer token is configured (SetAuthToken / hpod -token), every
-// endpoint except /healthz requires "Authorization: Bearer <token>".
+// endpoint except /healthz and /metrics requires "Authorization: Bearer
+// <token>" — the metrics registry carries only aggregate counters, never
+// study payloads (see docs/OBSERVABILITY.md).
 package server
 
 import (
@@ -52,29 +57,40 @@ func New(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Server {
 		started: time.Now(),
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/studies", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/studies", s.handleList)
-	s.mux.HandleFunc("GET /v1/studies/{id}", s.handleGet)
-	s.mux.HandleFunc("POST /v1/studies/{id}/start", s.handleStart)
-	s.mux.HandleFunc("POST /v1/studies/{id}/cancel", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/studies/{id}/trials", s.handleTrials)
-	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/studies", s.handleCreate)
+	s.handle("GET /v1/studies", s.handleList)
+	s.handle("GET /v1/studies/{id}", s.handleGet)
+	s.handle("POST /v1/studies/{id}/start", s.handleStart)
+	s.handle("POST /v1/studies/{id}/cancel", s.handleCancel)
+	s.handle("GET /v1/studies/{id}/trials", s.handleTrials)
+	s.handle("GET /v1/studies/{id}/events", s.handleEvents)
+	s.handle("GET /v1/studies/{id}/timeline", s.handleTimeline)
+	s.handle("GET /v1/studies/{id}/timeline.prv", s.handleTimelinePrv)
+	s.handle("POST /v1/admin/compact", s.handleCompact)
+	s.registerScrapeHook()
 	return s
 }
 
+// handle registers a route with request-count and latency instrumentation,
+// labelled by the route pattern.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, instrument(pattern, h))
+}
+
 // SetAuthToken enables bearer-token auth: when tok is non-empty, every
-// endpoint except GET /healthz (liveness probes stay unauthenticated)
-// rejects requests lacking "Authorization: Bearer <tok>". Reads are gated
-// too — study specs and trial metrics are not public data.
+// endpoint except GET /healthz and GET /metrics (liveness probes and
+// scrapers stay unauthenticated) rejects requests lacking
+// "Authorization: Bearer <tok>". Reads are gated too — study specs and
+// trial metrics are not public data.
 func (s *Server) SetAuthToken(tok string) { s.token = tok }
 
 // Handler returns the HTTP handler tree (wrapped with auth when a token is
 // configured).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.token != "" && r.URL.Path != "/healthz" {
+		if s.token != "" && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
 			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.token)) != 1 {
 				w.Header().Set("WWW-Authenticate", "Bearer")
 				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "server: missing or invalid bearer token"})
@@ -304,15 +320,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	obsSSESubscribers.Add(1)
+	defer obsSSESubscribers.Add(-1)
 	for {
 		watch := s.store.Watch()
 		events, tail := s.store.EventsSince(id, since)
+		obsSSEFanoutLag.Observe(float64(len(events)))
 		for _, ev := range events {
 			data, err := json.Marshal(ev)
 			if err != nil {
 				return
 			}
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			obsSSEEventsSent.Inc()
 		}
 		flusher.Flush()
 		since = tail

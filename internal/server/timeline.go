@@ -1,0 +1,52 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/trace"
+)
+
+// Timeline endpoints: replay a study's durable journal records into gantt
+// rows (JSON) or a Paraver .prv trace. Both are pure functions of the
+// record stream — repeated calls over an unchanged journal are
+// byte-identical — and neither exposes trial configs, so the hidden
+// rung-scheduler keys sanitised out of the public spec never appear here.
+
+// studyTimeline loads the study and rebuilds its timeline from disk.
+func (s *Server) studyTimeline(id string) (*trace.StudyTimeline, *trace.Recorder, error) {
+	meta, err := s.store.GetStudy(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := s.store.StudyRecords(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	tl, rec := trace.BuildStudyTimeline(id, string(meta.State), recs)
+	return tl, rec, nil
+}
+
+// handleTimeline serves GET /v1/studies/{id}/timeline: one row per trial
+// with rung-boundary segments and promote/prune markers, times in
+// nanoseconds since the study's first journal record.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	tl, _, err := s.studyTimeline(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
+// handleTimelinePrv serves GET /v1/studies/{id}/timeline.prv: the same
+// timeline as a Paraver trace (one thread per trial), loadable by Paraver
+// or cmd/traceview.
+func (s *Server) handleTimelinePrv(w http.ResponseWriter, r *http.Request) {
+	_, rec, err := s.studyTimeline(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = trace.WriteParaver(w, rec)
+}

@@ -114,6 +114,10 @@ func (j *Journal) Compact() (CompactionStats, error) {
 	j.mu.Lock()
 	j.stats.add(delta)
 	j.mu.Unlock()
+	obsCompactionRuns.Inc()
+	obsCompactedStudies.Add(uint64(delta.StudiesCompacted))
+	obsCompactionDropped.Add(uint64(delta.RecordsDropped))
+	obsCompactionBytes.Add(uint64(delta.BytesReclaimed))
 	return delta, nil
 }
 
@@ -161,7 +165,10 @@ func (j *Journal) compactStudy(id string) (CompactionStats, error) {
 	recs := make([]record, 0, 1+len(snapTrials))
 	recs = append(recs, record{Seq: snapSeq, Type: recStudy, StudyID: id, Study: &snapMeta, At: snapMeta.UpdatedAt})
 	for i := range snapTrials {
-		recs = append(recs, record{Seq: snapSeq, Type: recTrial, StudyID: id, Trial: &snapTrials[i], At: snapMeta.UpdatedAt})
+		// Long epoch histories dominate compacted segment size; store them
+		// delta-encoded (the index keeps the decoded copy it already holds).
+		tc := encodeTrialHistory(snapTrials[i])
+		recs = append(recs, record{Seq: snapSeq, Type: recTrial, StudyID: id, Trial: &tc, At: snapMeta.UpdatedAt})
 	}
 	for _, rec := range recs {
 		line, err := json.Marshal(rec)

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// histTrial builds a trial with an epochs-long ValAccHistory.
+func histTrial(id, epochs int) Trial {
+	hist := make([]float64, epochs)
+	for i := range hist {
+		hist[i] = 0.3 + 0.5*float64(i)/float64(epochs)
+	}
+	return Trial{
+		ID:            id,
+		Config:        map[string]interface{}{"num_epochs": epochs, "lr": 0.1},
+		FinalAcc:      hist[epochs-1],
+		BestAcc:       hist[epochs-1],
+		Epochs:        epochs,
+		ValAccHistory: hist,
+	}
+}
+
+func TestDeltaEncodeDecodeRoundTrip(t *testing.T) {
+	orig := histTrial(1, 20)
+	enc := encodeTrialHistory(orig)
+	if len(enc.ValAccHistory) != 0 || len(enc.ValAccQ) != 20 {
+		t.Fatalf("encode: history=%d q=%d, want 0/20", len(enc.ValAccHistory), len(enc.ValAccQ))
+	}
+	dec := decodeTrialHistory(enc)
+	if len(dec.ValAccQ) != 0 || len(dec.ValAccHistory) != 20 {
+		t.Fatalf("decode: history=%d q=%d, want 20/0", len(dec.ValAccHistory), len(dec.ValAccQ))
+	}
+	for i := range orig.ValAccHistory {
+		if math.Abs(dec.ValAccHistory[i]-orig.ValAccHistory[i]) > 1.5/histDeltaScale {
+			t.Fatalf("epoch %d: %v != %v", i, dec.ValAccHistory[i], orig.ValAccHistory[i])
+		}
+	}
+	// Short histories pass through untouched.
+	short := encodeTrialHistory(histTrial(2, histDeltaMin-1))
+	if len(short.ValAccQ) != 0 || len(short.ValAccHistory) != histDeltaMin-1 {
+		t.Fatalf("short history was encoded: %+v", short)
+	}
+}
+
+// TestCompactionDeltaEncodesHistories pins the on-disk form: after
+// compaction, a long-history trial record carries val_acc_q and no
+// val_acc_history, while in-memory reads — including across a reopen —
+// always see the decoded history.
+func TestCompactionDeltaEncodesHistories(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := openTestJournal(t, path)
+	const id = "s1"
+	if err := j.CreateStudy(StudyMeta{ID: id}); err != nil {
+		t.Fatal(err)
+	}
+	long, short := histTrial(0, 24), histTrial(1, 3)
+	if err := j.AppendTrials(id, []Trial{long, short}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 10; e++ { // telemetry to make the study compactable
+		if err := j.AppendMetric(id, 0, e, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.SetStudyState(id, StateDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(studyDir(path, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disk string
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(studyDir(path, id), e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk += string(raw)
+	}
+	if !strings.Contains(disk, `"val_acc_q"`) {
+		t.Error("compacted segment carries no delta-encoded history")
+	}
+	for _, line := range strings.Split(disk, "\n") {
+		if strings.Contains(line, `"val_acc_q"`) && strings.Contains(line, `"val_acc_history"`) {
+			t.Errorf("record carries both encodings: %s", line)
+		}
+	}
+	if !strings.Contains(disk, `"val_acc_history"`) {
+		t.Error("short history should stay verbatim on disk")
+	}
+
+	check := func(j *Journal) {
+		t.Helper()
+		trials, err := j.StudyTrials(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trials) != 2 {
+			t.Fatalf("got %d trials, want 2", len(trials))
+		}
+		for _, tr := range trials {
+			want := long
+			if tr.ID == 1 {
+				want = short
+			}
+			if len(tr.ValAccQ) != 0 {
+				t.Errorf("trial %d: reader leaked ValAccQ", tr.ID)
+			}
+			if len(tr.ValAccHistory) != len(want.ValAccHistory) {
+				t.Fatalf("trial %d: history len %d, want %d", tr.ID, len(tr.ValAccHistory), len(want.ValAccHistory))
+			}
+			for i := range want.ValAccHistory {
+				if math.Abs(tr.ValAccHistory[i]-want.ValAccHistory[i]) > 1.5/histDeltaScale {
+					t.Fatalf("trial %d epoch %d: %v != %v", tr.ID, i, tr.ValAccHistory[i], want.ValAccHistory[i])
+				}
+			}
+		}
+	}
+	check(j)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTestJournal(t, path)
+	check(j2)
+
+	// StudyRecords decodes too.
+	recs, err := j2.StudyRecords(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Trial != nil && len(r.Trial.ValAccQ) != 0 {
+			t.Error("StudyRecords leaked ValAccQ")
+		}
+	}
+}

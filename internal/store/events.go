@@ -22,6 +22,7 @@ func (w *eventWindow) push(ev Event) {
 	w.dropped = w.buf[w.head].Seq
 	w.buf[w.head] = ev
 	w.head = (w.head + 1) % w.cap
+	obsWindowEvictions.Inc()
 }
 
 // since returns retained events with sequence numbers greater than s,

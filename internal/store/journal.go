@@ -483,7 +483,7 @@ func (j *Journal) apply(rec record) {
 		if rec.Trial == nil {
 			return
 		}
-		t := *rec.Trial
+		t := decodeTrialHistory(*rec.Trial)
 		t.Config = NormaliseConfig(t.Config)
 		if t.Fingerprint == "" {
 			t.Fingerprint = Fingerprint(t.Config)
@@ -623,6 +623,7 @@ func (j *Journal) enforceOpenCapLocked() error {
 		ss.f, ss.w = nil, nil
 		delete(j.dirtySet, victim)
 		j.detachOpenLocked(ss)
+		obsHandleEvictions.Inc()
 	}
 	return nil
 }
@@ -669,6 +670,7 @@ func (j *Journal) rotateLocked(id string, ss *studySegments) error {
 		}
 		return err
 	}
+	obsSegmentRotations.Inc()
 	return j.openActive(id, ss)
 }
 
@@ -728,6 +730,7 @@ func (j *Journal) appendBatchOpts(recs []record, sync bool) (uint64, error) {
 		ss.size += int64(len(line)) + 1
 		ss.recs++
 		ss.lastSeq = j.seq
+		countAppend(recs[i].Type, len(line)+1)
 		j.dirtySet[recs[i].StudyID] = struct{}{}
 		j.apply(recs[i])
 		seq = j.seq
@@ -800,6 +803,8 @@ func (j *Journal) commit(seq uint64) error {
 	for _, f := range retiredDirty {
 		f.Close()
 	}
+	obsFsyncBatches.Inc()
+	obsFsyncBatchRecords.Observe(float64(tail - j.synced))
 	j.synced = tail
 	return nil
 }
@@ -1060,6 +1065,97 @@ func (j *Journal) StudyTrials(id string) ([]Trial, error) {
 	}
 	out := append([]Trial(nil), j.trials[id]...)
 	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// StudyRecord is one journal record of a study surfaced to read-side
+// consumers — the raw material the timeline endpoints rebuild a study's
+// execution history from. Exactly one payload pointer is set, per Type.
+type StudyRecord struct {
+	Seq     uint64         `json:"seq"`
+	Type    string         `json:"type"`
+	At      time.Time      `json:"at"`
+	State   StudyState     `json:"state,omitempty"`
+	Trial   *Trial         `json:"trial,omitempty"`
+	Metric  *MetricPoint   `json:"metric,omitempty"`
+	Prune   *PruneDecision `json:"prune,omitempty"`
+	Promote *Promotion     `json:"promote,omitempty"`
+}
+
+// StudyRecords reads every live journal record of one study straight from
+// its on-disk segments, in sequence order. Unlike the in-memory index —
+// which drops terminal studies' metric and promotion telemetry at boot —
+// this returns exactly what the journal holds, so a timeline rebuilt from
+// it is a pure function of the durable record stream: identical until
+// compaction rewrites the study (after which only the summary records
+// remain). The study's buffered writer is flushed first, so records just
+// appended are visible.
+func (j *Journal) StudyRecords(id string) ([]StudyRecord, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := j.studies[id]; !ok {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	ss := j.seg[id]
+	if ss == nil {
+		j.mu.Unlock()
+		return nil, nil
+	}
+	if ss.w != nil {
+		if err := ss.w.Flush(); err != nil {
+			j.mu.Unlock()
+			return nil, fmt.Errorf("store: flushing segment for read: %w", err)
+		}
+	}
+	// Read under j.mu: rotation and compaction also mutate the segment
+	// table under this lock, so the listed files cannot change underneath
+	// the reads (a study's live segments are small by construction).
+	dir := studyDir(j.dir, id)
+	var recs []record
+	for i, n := range ss.nums {
+		active := i == len(ss.nums)-1
+		raw, err := os.ReadFile(filepath.Join(dir, segmentFileName(n)))
+		if os.IsNotExist(err) {
+			if active {
+				continue // listed but never written (no records yet)
+			}
+			j.mu.Unlock()
+			return nil, fmt.Errorf("%w: sealed segment missing: %s", ErrCorrupt, segmentFileName(n))
+		}
+		if err != nil {
+			j.mu.Unlock()
+			return nil, fmt.Errorf("store: reading segment: %w", err)
+		}
+		rs, _, err := parseSegment(raw, filepath.Join(dir, segmentFileName(n)), active)
+		if err != nil {
+			j.mu.Unlock()
+			return nil, err
+		}
+		recs = append(recs, rs...)
+	}
+	j.mu.Unlock()
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].Seq < recs[b].Seq })
+	out := make([]StudyRecord, 0, len(recs))
+	for _, rec := range recs {
+		sr := StudyRecord{Seq: rec.Seq, Type: rec.Type, At: rec.At, State: rec.State,
+			Metric: rec.Metric, Prune: rec.Prune, Promote: rec.Promote}
+		if rec.Type == recState && rec.State == "" {
+			continue
+		}
+		if rec.Type == recStudy && rec.Study != nil {
+			sr.State = rec.Study.State
+		}
+		if rec.Trial != nil {
+			t := decodeTrialHistory(*rec.Trial)
+			t.Config = NormaliseConfig(t.Config)
+			sr.Trial = &t
+		}
+		out = append(out, sr)
+	}
 	return out, nil
 }
 

@@ -1,0 +1,49 @@
+package store
+
+import "repro/internal/obs"
+
+// Journal hot-path instrumentation. Handles are pre-resolved at init so
+// the append path pays one atomic add per sample; scrape-time shape
+// gauges (segment counts, open handles) are refreshed by the server's
+// OnScrape hook from Stats() instead of being maintained here.
+var (
+	obsAppendsVec = obs.Default().CounterVec("hpo_store_appends_total",
+		"Journal records appended, by record type.", "type")
+	obsAppends = func() map[string]*obs.Counter {
+		m := make(map[string]*obs.Counter, len(recordTypes))
+		for _, t := range recordTypes {
+			m[t] = obsAppendsVec.With(t)
+		}
+		return m
+	}()
+	obsAppendBytes = obs.Default().Counter("hpo_store_append_bytes_total",
+		"Bytes appended to journal segments (JSONL lines incl. newline).")
+	obsFsyncBatches = obs.Default().Counter("hpo_store_fsync_batches_total",
+		"Group-commit passes (flush + fsync; counted under NoSync too).")
+	obsFsyncBatchRecords = obs.Default().Histogram("hpo_store_fsync_batch_records",
+		"Records made durable per group-commit pass.", obs.CountBuckets(1024))
+	obsSegmentRotations = obs.Default().Counter("hpo_store_segment_rotations_total",
+		"Active segments sealed and rotated to a fresh file.")
+	obsHandleEvictions = obs.Default().Counter("hpo_store_segment_handle_evictions_total",
+		"Open append handles closed by the MaxOpenSegments LRU cap.")
+	obsWindowEvictions = obs.Default().Counter("hpo_store_event_window_evictions_total",
+		"Events evicted from per-study SSE retention windows.")
+	obsCompactionRuns = obs.Default().Counter("hpo_store_compaction_runs_total",
+		"Completed journal compaction runs.")
+	obsCompactedStudies = obs.Default().Counter("hpo_store_compacted_studies_total",
+		"Terminal studies rewritten down to summary records.")
+	obsCompactionDropped = obs.Default().Counter("hpo_store_compaction_records_dropped_total",
+		"Journal records removed from disk by compaction.")
+	obsCompactionBytes = obs.Default().Counter("hpo_store_compaction_bytes_reclaimed_total",
+		"Segment bytes unlinked by compaction.")
+)
+
+// countAppend records one appended journal line in the metrics layer.
+func countAppend(recType string, line int) {
+	if c := obsAppends[recType]; c != nil {
+		c.Inc()
+	} else {
+		obsAppendsVec.With(recType).Inc()
+	}
+	obsAppendBytes.Add(uint64(line))
+}

@@ -113,11 +113,18 @@ type Trial struct {
 	FinalLoss     float64   `json:"final_loss"`
 	Epochs        int       `json:"epochs"`
 	ValAccHistory []float64 `json:"val_acc_history,omitempty"`
-	Stopped       bool      `json:"stopped,omitempty"`
-	StopReason    string    `json:"stop_reason,omitempty"`
-	DurationNS    int64     `json:"duration_ns"`
-	Err           string    `json:"err,omitempty"`
-	Canceled      bool      `json:"canceled,omitempty"`
+	// ValAccQ is the delta-encoded form of ValAccHistory used by compacted
+	// trial records when the history is long enough to dominate segment
+	// size: values quantized to 1e-9 — the first absolute, the rest
+	// first-order differences. Exactly one of ValAccHistory / ValAccQ is
+	// set on disk; readers decode back to ValAccHistory (see
+	// decodeTrialHistory), so in-memory consumers never observe this field.
+	ValAccQ    []int64 `json:"val_acc_q,omitempty"`
+	Stopped    bool    `json:"stopped,omitempty"`
+	StopReason string  `json:"stop_reason,omitempty"`
+	DurationNS int64   `json:"duration_ns"`
+	Err        string  `json:"err,omitempty"`
+	Canceled   bool    `json:"canceled,omitempty"`
 	// Pruned marks a trial stopped mid-training by a pruner decision; its
 	// metrics are partial (the epochs it ran before losing its rung).
 	Pruned      bool   `json:"pruned,omitempty"`
@@ -165,6 +172,54 @@ func (t Trial) sanitize() Trial {
 		t.ValAccHistory = cp
 		break
 	}
+	return t
+}
+
+// History delta-encoding parameters: compaction rewrites a trial's
+// ValAccHistory as quantized first-order differences once it is at least
+// histDeltaMin epochs long — short histories gain nothing, while a deep
+// promoted trial's history dominates its record size. The 1e-9 quantum
+// keeps seven significant digits of any accuracy in [0, 1], far below
+// what a training metric carries.
+const (
+	histDeltaMin   = 8
+	histDeltaScale = 1e9
+)
+
+// encodeTrialHistory returns t with a long ValAccHistory re-encoded as
+// ValAccQ deltas (compacted-record form). Short histories and trials
+// already encoded pass through unchanged.
+func encodeTrialHistory(t Trial) Trial {
+	if len(t.ValAccHistory) < histDeltaMin || len(t.ValAccQ) > 0 {
+		return t
+	}
+	q := make([]int64, len(t.ValAccHistory))
+	prev := int64(0)
+	for i, v := range t.ValAccHistory {
+		cur := int64(math.Round(finiteOr0(v) * histDeltaScale))
+		q[i] = cur - prev
+		prev = cur
+	}
+	t.ValAccQ = q
+	t.ValAccHistory = nil
+	return t
+}
+
+// decodeTrialHistory reverses encodeTrialHistory: every read path runs
+// records through here, so consumers always see ValAccHistory regardless
+// of the on-disk form.
+func decodeTrialHistory(t Trial) Trial {
+	if len(t.ValAccQ) == 0 {
+		return t
+	}
+	hist := make([]float64, len(t.ValAccQ))
+	cum := int64(0)
+	for i, d := range t.ValAccQ {
+		cum += d
+		hist[i] = float64(cum) / histDeltaScale
+	}
+	t.ValAccHistory = hist
+	t.ValAccQ = nil
 	return t
 }
 

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file rebuilds per-study execution timelines from the journal's
+// record stream. The study never records wall-clock traces while running;
+// instead the durable metric/promote/prune/trial records are replayed into
+// gantt rows (one per trial, split at rung boundaries) and into a
+// Recorder, from which the usual Paraver/.prv and ASCII Gantt exports
+// follow. The result is a pure function of the record stream: the same
+// journal always produces byte-identical timelines.
+//
+// Compacted studies degrade gracefully: compaction rewrites a terminal
+// study down to its summary records, all carrying the compaction
+// timestamp, so every row collapses to a zero-width interval while
+// budgets, epoch counts and outcomes stay exact.
+
+// TimelineSegment is one rung of a trial's execution: the span between
+// two promotion decisions (or study start / trial end).
+type TimelineSegment struct {
+	// Rung is the 0-based rung index within the trial's row.
+	Rung int `json:"rung"`
+	// Budget is the epoch budget the trial held during this segment.
+	Budget int `json:"budget"`
+	// StartNS/EndNS are nanoseconds since the study's first record.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Epochs counts the metric reports that landed in this segment.
+	Epochs int `json:"epochs"`
+}
+
+// TimelineMarker is a punctual scheduler decision on a trial's row.
+type TimelineMarker struct {
+	// Kind is "promote" or "prune".
+	Kind string `json:"kind"`
+	// Epoch is the training epoch the decision was taken at.
+	Epoch int `json:"epoch"`
+	// Budget is the granted budget (promotions only).
+	Budget int `json:"budget,omitempty"`
+	// AtNS is nanoseconds since the study's first record.
+	AtNS   int64  `json:"at_ns"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// TimelineRow is one trial's lane in the study gantt.
+type TimelineRow struct {
+	Trial   int   `json:"trial"`
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Outcome is succeeded, pruned, canceled, failed — or running when
+	// the journal holds no final trial record yet.
+	Outcome  string            `json:"outcome"`
+	FinalAcc float64           `json:"final_acc"`
+	Epochs   int               `json:"epochs"`
+	Segments []TimelineSegment `json:"segments"`
+	Markers  []TimelineMarker  `json:"markers,omitempty"`
+}
+
+// StudyTimeline is the JSON gantt served by GET /v1/studies/{id}/timeline.
+type StudyTimeline struct {
+	StudyID    string        `json:"study_id"`
+	State      string        `json:"state"`
+	MakespanNS int64         `json:"makespan_ns"`
+	Rows       []TimelineRow `json:"rows"`
+}
+
+// trialStream is the per-trial slice of the record stream, in Seq order.
+type trialStream struct {
+	id       int
+	final    *store.Trial
+	firstAt  time.Time
+	lastAt   time.Time
+	seen     bool
+	metrics  []store.StudyRecord
+	promotes []store.StudyRecord
+	prunes   []store.StudyRecord
+}
+
+func (ts *trialStream) touch(at time.Time) {
+	if !ts.seen {
+		ts.firstAt, ts.lastAt, ts.seen = at, at, true
+		return
+	}
+	if at.Before(ts.firstAt) {
+		ts.firstAt = at
+	}
+	if at.After(ts.lastAt) {
+		ts.lastAt = at
+	}
+}
+
+// BuildStudyTimeline replays a study's journal records (as returned by
+// store.Journal.StudyRecords, i.e. sorted by sequence number) into a gantt
+// timeline and a trace Recorder. The Recorder places every trial on node 1
+// with one core per row (sorted by trial id), records a Running interval
+// per rung segment, TaskStart/TaskEnd (or TaskFail) flags at the row
+// bounds, and a Checkpoint event carrying the granted budget at each
+// promotion — so WriteParaver/Gantt reproduce the study's shape directly.
+func BuildStudyTimeline(id, state string, recs []store.StudyRecord) (*StudyTimeline, *Recorder) {
+	tl := &StudyTimeline{StudyID: id, State: state, Rows: []TimelineRow{}}
+	rec := NewRecorder()
+
+	streams := map[int]*trialStream{}
+	stream := func(trialID int) *trialStream {
+		ts := streams[trialID]
+		if ts == nil {
+			ts = &trialStream{id: trialID}
+			streams[trialID] = ts
+		}
+		return ts
+	}
+
+	var t0 time.Time
+	haveT0 := false
+	for _, r := range recs {
+		if r.At.IsZero() {
+			continue
+		}
+		if !haveT0 || r.At.Before(t0) {
+			t0, haveT0 = r.At, true
+		}
+	}
+
+	for _, r := range recs {
+		switch {
+		case r.Metric != nil:
+			ts := stream(r.Metric.TrialID)
+			ts.metrics = append(ts.metrics, r)
+			ts.touch(r.At)
+		case r.Promote != nil:
+			ts := stream(r.Promote.TrialID)
+			ts.promotes = append(ts.promotes, r)
+			ts.touch(r.At)
+		case r.Prune != nil:
+			ts := stream(r.Prune.TrialID)
+			ts.prunes = append(ts.prunes, r)
+			ts.touch(r.At)
+		case r.Trial != nil:
+			ts := stream(r.Trial.ID)
+			t := *r.Trial
+			ts.final = &t
+			ts.touch(r.At)
+		}
+	}
+
+	ids := make([]int, 0, len(streams))
+	for tid := range streams {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
+
+	ns := func(at time.Time) int64 {
+		if !haveT0 || at.IsZero() {
+			return 0
+		}
+		d := at.Sub(t0)
+		if d < 0 {
+			return 0
+		}
+		return int64(d)
+	}
+
+	for core, tid := range ids {
+		ts := streams[tid]
+		row := TimelineRow{
+			Trial:    tid,
+			StartNS:  ns(ts.firstAt),
+			EndNS:    ns(ts.lastAt),
+			Outcome:  "running",
+			Segments: []TimelineSegment{},
+		}
+		budget := 0
+		if ts.final != nil {
+			row.FinalAcc = ts.final.FinalAcc
+			row.Epochs = ts.final.Epochs
+			row.Outcome = trialOutcome(*ts.final)
+			budget = configInt(ts.final.Config, "num_epochs")
+		} else {
+			row.Epochs = len(ts.metrics)
+		}
+
+		// Split the row at promotion boundaries using sequence order, so
+		// compacted streams (all records stamped alike) still segment
+		// correctly. Segment k ends where promotion k is granted.
+		mi := 0
+		segStart := row.StartNS
+		for rung := 0; ; rung++ {
+			seg := TimelineSegment{Rung: rung, Budget: budget, StartNS: segStart}
+			if rung < len(ts.promotes) {
+				p := ts.promotes[rung]
+				for mi < len(ts.metrics) && ts.metrics[mi].Seq < p.Seq {
+					mi++
+					seg.Epochs++
+				}
+				seg.EndNS = ns(p.At)
+				row.Segments = append(row.Segments, seg)
+				row.Markers = append(row.Markers, TimelineMarker{
+					Kind:   "promote",
+					Epoch:  p.Promote.Epoch,
+					Budget: p.Promote.Budget,
+					AtNS:   ns(p.At),
+					Reason: p.Promote.Reason,
+				})
+				segStart = seg.EndNS
+				budget = p.Promote.Budget
+				continue
+			}
+			seg.Epochs = len(ts.metrics) - mi
+			seg.EndNS = row.EndNS
+			row.Segments = append(row.Segments, seg)
+			break
+		}
+		for _, p := range ts.prunes {
+			row.Markers = append(row.Markers, TimelineMarker{
+				Kind:   "prune",
+				Epoch:  p.Prune.Epoch,
+				AtNS:   ns(p.At),
+				Reason: p.Prune.Reason,
+			})
+		}
+		tl.Rows = append(tl.Rows, row)
+		if row.EndNS > tl.MakespanNS {
+			tl.MakespanNS = row.EndNS
+		}
+
+		for _, seg := range row.Segments {
+			rec.RecordInterval(Interval{
+				Node:   1,
+				Core:   core,
+				Start:  time.Duration(seg.StartNS),
+				End:    time.Duration(seg.EndNS),
+				State:  StateRunning,
+				TaskID: tid,
+				Label:  fmt.Sprintf("trial %d rung %d", tid, seg.Rung),
+			})
+		}
+		rec.RecordEvent(Event{Node: 1, Core: core, At: time.Duration(row.StartNS),
+			Type: EventTaskStart, Value: int64(tid)})
+		endType := EventTaskEnd
+		endVal := int64(row.Epochs)
+		if row.Outcome == "failed" || row.Outcome == "pruned" {
+			endType = EventTaskFail
+		}
+		rec.RecordEvent(Event{Node: 1, Core: core, At: time.Duration(row.EndNS),
+			Type: endType, Value: endVal})
+		for _, m := range row.Markers {
+			if m.Kind != "promote" {
+				continue
+			}
+			rec.RecordEvent(Event{Node: 1, Core: core, At: time.Duration(m.AtNS),
+				Type: EventCheckpoint, Value: int64(m.Budget)})
+		}
+	}
+	return tl, rec
+}
+
+// trialOutcome maps a final trial record to a timeline outcome label.
+func trialOutcome(t store.Trial) string {
+	switch {
+	case t.Canceled:
+		return "canceled"
+	case t.Err != "":
+		return "failed"
+	case t.Stopped:
+		return "pruned"
+	default:
+		return "succeeded"
+	}
+}
+
+// configInt reads an integral config value, tolerating the int / float64
+// split that survives JSON round-trips.
+func configInt(cfg map[string]interface{}, key string) int {
+	switch v := cfg[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// studyRecords builds the record stream of a two-trial async-rung study:
+// trial 1 reports two epochs, is promoted to budget 4 and finishes with
+// four epochs; trial 2 reports one epoch and is pruned.
+func studyRecords(t0 time.Time) []store.StudyRecord {
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+	seq := uint64(0)
+	rec := func(ms int, mut func(*store.StudyRecord)) store.StudyRecord {
+		seq++
+		r := store.StudyRecord{Seq: seq, At: at(ms)}
+		mut(&r)
+		return r
+	}
+	metric := func(ms, trial, epoch int, v float64) store.StudyRecord {
+		return rec(ms, func(r *store.StudyRecord) {
+			r.Type = "metric"
+			r.Metric = &store.MetricPoint{TrialID: trial, Epoch: epoch, Value: v}
+		})
+	}
+	return []store.StudyRecord{
+		rec(0, func(r *store.StudyRecord) { r.Type = "state"; r.State = store.StateRunning }),
+		metric(10, 1, 1, 0.50),
+		metric(12, 2, 1, 0.30),
+		metric(20, 1, 2, 0.60),
+		rec(21, func(r *store.StudyRecord) {
+			r.Type = "promote"
+			r.Promote = &store.Promotion{TrialID: 1, Epoch: 2, Budget: 4, Reason: "rung 0 top-1/2"}
+		}),
+		rec(22, func(r *store.StudyRecord) {
+			r.Type = "prune"
+			r.Prune = &store.PruneDecision{TrialID: 2, Epoch: 1, Reason: "rung 0 below cut"}
+		}),
+		rec(23, func(r *store.StudyRecord) {
+			r.Type = "trial"
+			r.Trial = &store.Trial{ID: 2, Config: map[string]interface{}{"num_epochs": 2},
+				FinalAcc: 0.30, Epochs: 1, Stopped: true, StopReason: "rung 0 below cut"}
+		}),
+		metric(30, 1, 3, 0.70),
+		metric(40, 1, 4, 0.80),
+		rec(41, func(r *store.StudyRecord) {
+			r.Type = "trial"
+			r.Trial = &store.Trial{ID: 1, Config: map[string]interface{}{"num_epochs": 2},
+				FinalAcc: 0.80, Epochs: 4}
+		}),
+	}
+}
+
+func TestBuildStudyTimeline(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	tl, rec := BuildStudyTimeline("s1", "done", studyRecords(t0))
+
+	if tl.StudyID != "s1" || tl.State != "done" {
+		t.Fatalf("header = %q/%q", tl.StudyID, tl.State)
+	}
+	if len(tl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tl.Rows))
+	}
+	r1, r2 := tl.Rows[0], tl.Rows[1]
+	if r1.Trial != 1 || r2.Trial != 2 {
+		t.Fatalf("row order = %d, %d", r1.Trial, r2.Trial)
+	}
+
+	if r1.Outcome != "succeeded" || r1.Epochs != 4 || r1.FinalAcc != 0.80 {
+		t.Fatalf("trial 1 row = %+v", r1)
+	}
+	if len(r1.Segments) != 2 {
+		t.Fatalf("trial 1 segments = %+v", r1.Segments)
+	}
+	if s := r1.Segments[0]; s.Rung != 0 || s.Budget != 2 || s.Epochs != 2 {
+		t.Fatalf("trial 1 rung 0 = %+v", s)
+	}
+	if s := r1.Segments[1]; s.Rung != 1 || s.Budget != 4 || s.Epochs != 2 {
+		t.Fatalf("trial 1 rung 1 = %+v", s)
+	}
+	if len(r1.Markers) != 1 || r1.Markers[0].Kind != "promote" || r1.Markers[0].Budget != 4 {
+		t.Fatalf("trial 1 markers = %+v", r1.Markers)
+	}
+	if r1.Segments[0].EndNS != r1.Segments[1].StartNS {
+		t.Fatalf("trial 1 segments not contiguous: %+v", r1.Segments)
+	}
+
+	if r2.Outcome != "pruned" || r2.Epochs != 1 {
+		t.Fatalf("trial 2 row = %+v", r2)
+	}
+	if len(r2.Segments) != 1 || r2.Segments[0].Epochs != 1 || r2.Segments[0].Budget != 2 {
+		t.Fatalf("trial 2 segments = %+v", r2.Segments)
+	}
+	if len(r2.Markers) != 1 || r2.Markers[0].Kind != "prune" {
+		t.Fatalf("trial 2 markers = %+v", r2.Markers)
+	}
+
+	if tl.MakespanNS != r1.EndNS {
+		t.Fatalf("makespan = %d, want %d", tl.MakespanNS, r1.EndNS)
+	}
+
+	// The recorder mirrors the rows: 3 Running intervals on node 1.
+	stats := rec.ComputeStats()
+	if stats.TasksRun != 3 || stats.Units != 2 {
+		t.Fatalf("recorder stats = %+v", stats)
+	}
+	var checkpoints int
+	for _, ev := range rec.Events() {
+		if ev.Type == EventCheckpoint {
+			checkpoints++
+			if ev.Value != 4 {
+				t.Fatalf("checkpoint value = %d, want 4", ev.Value)
+			}
+		}
+	}
+	if checkpoints != 1 {
+		t.Fatalf("checkpoints = %d, want 1", checkpoints)
+	}
+}
+
+func TestBuildStudyTimelineDeterministic(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	a, _ := BuildStudyTimeline("s1", "done", studyRecords(t0))
+	b, _ := BuildStudyTimeline("s1", "done", studyRecords(t0))
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("timeline not byte-identical:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestBuildStudyTimelineParaverRoundTrip(t *testing.T) {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	_, rec := BuildStudyTimeline("s1", "done", studyRecords(t0))
+
+	var buf bytes.Buffer
+	if err := WriteParaver(&buf, rec); err != nil {
+		t.Fatalf("WriteParaver: %v", err)
+	}
+	back, err := ReadParaver(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadParaver: %v", err)
+	}
+	want, got := rec.Intervals(), back.Intervals()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip intervals = %d, want %d", len(got), len(want))
+	}
+	// .prv state records carry (cpu, start, end, state) but not task ids
+	// or labels, so compare what the format preserves.
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Start != w.Start || g.End != w.End || g.State != w.State || g.Core != w.Core {
+			t.Fatalf("interval %d: got %+v want %+v", i, g, w)
+		}
+	}
+	if len(back.Events()) != len(rec.Events()) {
+		t.Fatalf("round-trip events = %d, want %d", len(back.Events()), len(rec.Events()))
+	}
+}
+
+// A compacted study keeps only summary trial records, all stamped with the
+// compaction time; rows must collapse to zero width without losing budgets
+// or epoch counts.
+func TestBuildStudyTimelineCompacted(t *testing.T) {
+	at := time.Date(2026, 8, 7, 13, 0, 0, 0, time.UTC)
+	recs := []store.StudyRecord{
+		{Seq: 100, Type: "trial", At: at, Trial: &store.Trial{
+			ID: 1, Config: map[string]interface{}{"num_epochs": 2}, FinalAcc: 0.8, Epochs: 4}},
+		{Seq: 100, Type: "trial", At: at, Trial: &store.Trial{
+			ID: 2, Config: map[string]interface{}{"num_epochs": 2}, FinalAcc: 0.3, Epochs: 1, Stopped: true}},
+	}
+	tl, rec := BuildStudyTimeline("s1", "done", recs)
+	if len(tl.Rows) != 2 || tl.MakespanNS != 0 {
+		t.Fatalf("compacted timeline = %+v", tl)
+	}
+	for _, row := range tl.Rows {
+		if row.StartNS != 0 || row.EndNS != 0 {
+			t.Fatalf("compacted row not zero-width: %+v", row)
+		}
+		if len(row.Segments) != 1 || row.Segments[0].Budget != 2 {
+			t.Fatalf("compacted segments = %+v", row.Segments)
+		}
+	}
+	if tl.Rows[0].Epochs != 4 || tl.Rows[1].Outcome != "pruned" {
+		t.Fatalf("compacted rows = %+v", tl.Rows)
+	}
+	var buf bytes.Buffer
+	if err := WriteParaver(&buf, rec); err != nil {
+		t.Fatalf("WriteParaver on compacted recorder: %v", err)
+	}
+}
