@@ -13,9 +13,17 @@
 // the baseline. The measurements use testing.Benchmark, so they self-scale
 // to a stable iteration count like `go test -bench` would.
 //
+// Throughput measures (epochs_per_sec, journal_appends_per_sec) take the
+// best of -best runs (default 3): on shared CI boxes the max is far more
+// stable than a single sample, because interference only ever slows a run
+// down. With -baseline pointing at a committed BENCH_*.json, the command
+// exits non-zero when either throughput regresses more than -max-regress
+// percent — the CI regression gate.
+//
 // Usage:
 //
 //	benchjson [-o BENCH_2026-08-07.json] [-stamp 2026-08-07]
+//	          [-best 3] [-baseline BENCH_prev.json] [-max-regress 25]
 package main
 
 import (
@@ -30,33 +38,56 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/hpo"
+	"repro/internal/nn"
 	"repro/internal/store"
+	"repro/internal/tensor"
 )
 
 type snapshot struct {
-	Stamp                string           `json:"stamp"`
-	GoVersion            string           `json:"go_version"`
-	EpochsPerSec         float64          `json:"epochs_per_sec"`
-	JournalAppendsPerSec float64          `json:"journal_appends_per_sec"`
-	BootReplayNsOp       map[string]int64 `json:"boot_replay_ns_op"`
+	Stamp                string             `json:"stamp"`
+	GoVersion            string             `json:"go_version"`
+	EpochsPerSec         float64            `json:"epochs_per_sec"`
+	JournalAppendsPerSec float64            `json:"journal_appends_per_sec"`
+	BootReplayNsOp       map[string]int64   `json:"boot_replay_ns_op"`
+	MatMulGFLOPS         map[string]float64 `json:"matmul_gflops"`
+	Conv2D               convStats          `json:"conv2d"`
+}
+
+// convStats records the Conv2D hot-path cost: time and steady-state
+// allocations per forward and per backward call (batch 32, 8×8×3 input,
+// 3×3×8 kernels — the shape BenchmarkConv2D* uses).
+type convStats struct {
+	ForwardNsOp      int64 `json:"forward_ns_op"`
+	ForwardAllocsOp  int64 `json:"forward_allocs_op"`
+	BackwardNsOp     int64 `json:"backward_ns_op"`
+	BackwardAllocsOp int64 `json:"backward_allocs_op"`
 }
 
 func main() {
-	var out, stamp string
+	var out, stamp, baseline string
+	var best int
+	var maxRegress float64
 	flag.StringVar(&out, "o", "", "write the JSON snapshot here (default stdout)")
 	flag.StringVar(&stamp, "stamp", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
+	flag.IntVar(&best, "best", 3, "take the best of this many runs for throughput measures")
+	flag.StringVar(&baseline, "baseline", "", "committed BENCH_*.json to compare against")
+	flag.Float64Var(&maxRegress, "max-regress", 25, "fail if a throughput measure regresses more than this percent vs -baseline")
 	flag.Parse()
+	if best < 1 {
+		best = 1
+	}
 
 	snap := snapshot{
 		Stamp:          stamp,
 		GoVersion:      goruntime.Version(),
 		BootReplayNsOp: map[string]int64{},
+		MatMulGFLOPS:   map[string]float64{},
 	}
 	var err error
-	if snap.EpochsPerSec, err = benchEpochs(); err != nil {
+	if snap.EpochsPerSec, err = bestOf(best, benchEpochs); err != nil {
 		fatal(err)
 	}
-	if snap.JournalAppendsPerSec, err = benchAppends(); err != nil {
+	if snap.JournalAppendsPerSec, err = bestOf(best, benchAppends); err != nil {
 		fatal(err)
 	}
 	for _, compact := range []bool{false, true} {
@@ -70,6 +101,15 @@ func main() {
 		}
 		snap.BootReplayNsOp[key] = ns
 	}
+	snap.MatMulGFLOPS["serial"], err = bestOf(best, func() (float64, error) { return benchMatMul(1), nil })
+	if err != nil {
+		fatal(err)
+	}
+	snap.MatMulGFLOPS["units4"], err = bestOf(best, func() (float64, error) { return benchMatMul(4), nil })
+	if err != nil {
+		fatal(err)
+	}
+	snap.Conv2D = benchConv2D()
 
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -78,12 +118,68 @@ func main() {
 	enc = append(enc, '\n')
 	if out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: wrote %s\n", out)
 	}
-	if err := os.WriteFile(out, enc, 0o644); err != nil {
-		fatal(err)
+
+	if baseline != "" {
+		if err := compareBaseline(baseline, snap, maxRegress); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Printf("benchjson: wrote %s\n", out)
+}
+
+// bestOf runs fn n times and returns the highest value. Throughputs on a
+// shared box are only ever depressed by interference, so the max across a
+// few runs estimates the machine's true capability far more stably than any
+// single sample.
+func bestOf(n int, fn func() (float64, error)) (float64, error) {
+	bestVal := 0.0
+	for i := 0; i < n; i++ {
+		v, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		if v > bestVal {
+			bestVal = v
+		}
+	}
+	return bestVal, nil
+}
+
+// compareBaseline fails (returns an error) when a throughput measure in snap
+// falls more than maxRegress percent below the baseline snapshot. Only
+// throughputs gate: the ns/op measures are informational because testing
+// .Benchmark's auto-scaling makes single-digit-iteration numbers too noisy
+// to gate on a shared box.
+func compareBaseline(path string, snap snapshot, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	check := func(name string, baseV, newV float64) error {
+		if baseV <= 0 {
+			return nil // measure absent from older snapshots
+		}
+		drop := (baseV - newV) / baseV * 100
+		fmt.Printf("benchjson: %s baseline=%.3f new=%.3f (%+.1f%%)\n", name, baseV, newV, -drop)
+		if drop > maxRegress {
+			return fmt.Errorf("%s regressed %.1f%% (limit %.0f%%): %.3f -> %.3f",
+				name, drop, maxRegress, baseV, newV)
+		}
+		return nil
+	}
+	if err := check("epochs_per_sec", base.EpochsPerSec, snap.EpochsPerSec); err != nil {
+		return err
+	}
+	return check("journal_appends_per_sec", base.JournalAppendsPerSec, snap.JournalAppendsPerSec)
 }
 
 func fatal(err error) {
@@ -232,4 +328,52 @@ func benchBootReplay(compact bool) (int64, error) {
 		return 0, runErr
 	}
 	return res.NsPerOp(), nil
+}
+
+// benchMatMul measures the blocked GEMM kernel in GFLOP/s on a 128³ product
+// (2·n³ floating-point operations per multiply).
+func benchMatMul(units int) float64 {
+	r := tensor.NewRNG(1)
+	const size = 128
+	a := tensor.Randn(r, size, size)
+	bm := tensor.Randn(r, size, size)
+	dst := tensor.New(size, size)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(dst, a, bm, units)
+		}
+	})
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	return flops * float64(res.N) / res.T.Seconds() / 1e9
+}
+
+// benchConv2D measures the Conv2D forward and backward hot paths: ns/op and
+// steady-state allocs/op (scratch is warmed before timing, so allocs/op
+// reports what a mid-training step pays).
+func benchConv2D() convStats {
+	r := tensor.NewRNG(1)
+	c := nn.NewConv2D(r, 8, 8, 3, 3, 3, 8)
+	x := tensor.Randn(r, 32, 8*8*3)
+	out := c.Forward(x, true)
+	grad := tensor.Randn(r, out.Dim(0), out.Dim(1))
+	c.Backward(grad)
+
+	fwd := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Forward(x, true)
+		}
+	})
+	bwd := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Backward(grad)
+		}
+	})
+	return convStats{
+		ForwardNsOp:      fwd.NsPerOp(),
+		ForwardAllocsOp:  fwd.AllocsPerOp(),
+		BackwardNsOp:     bwd.NsPerOp(),
+		BackwardAllocsOp: bwd.AllocsPerOp(),
+	}
 }

@@ -173,6 +173,7 @@ func (o *MLObjective) Run(ctx ObjectiveContext) (TrialMetrics, error) {
 	h, err := model.Fit(train.X, train.Y, val.X, val.Y, nn.FitConfig{
 		Epochs: total, BatchSize: batch, Optimizer: opt,
 		Shuffle: true, RNG: modelRNG, Callbacks: callbacks,
+		Pool: tensor.NewPool(),
 	})
 	if err != nil {
 		return TrialMetrics{}, err

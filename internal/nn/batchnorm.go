@@ -10,7 +10,9 @@ import (
 // BatchNorm normalises each feature column over the batch during training
 // (learned scale γ and shift β), tracking running statistics for inference
 // — standard batch normalisation (Ioffe & Szegedy) as used between Dense
-// layers.
+// layers. Both passes process feature columns independently, so they fan
+// out across the layer's computing units; output and normalised-input
+// buffers are owned by the layer and reused across steps.
 type BatchNorm struct {
 	// Gamma (scale) and Beta (shift) are the learned parameters, 1×features.
 	Gamma, Beta *tensor.Tensor
@@ -27,6 +29,12 @@ type BatchNorm struct {
 	lastXHat *tensor.Tensor
 	lastStd  []float64
 	features int
+	units    int
+
+	lastBatch int
+	out, dX   *tensor.Tensor
+	xhat      *tensor.Tensor
+	scratch   map[int][3]*tensor.Tensor
 }
 
 // NewBatchNorm builds a batch-norm layer for the given feature width.
@@ -41,58 +49,104 @@ func NewBatchNorm(features int) *BatchNorm {
 		dGamma:      tensor.New(1, features),
 		dBeta:       tensor.New(1, features),
 		features:    features,
+		units:       1,
 	}
 }
 
-// Forward implements Layer.
+// SetParallelism bounds the goroutines the layer's column loops may use.
+func (b *BatchNorm) SetParallelism(units int) {
+	if units < 1 {
+		units = 1
+	}
+	b.units = units
+}
+
+// colUnits bounds the column fan-out: small batches/widths run serially.
+func (b *BatchNorm) colUnits(n int) int {
+	if n*b.features < 1<<14 {
+		return 1
+	}
+	return b.units
+}
+
+func (b *BatchNorm) ensureScratch(n int) {
+	if n == b.lastBatch && b.out != nil {
+		return
+	}
+	if b.scratch == nil {
+		b.scratch = map[int][3]*tensor.Tensor{}
+		b.lastStd = make([]float64, b.features)
+	}
+	set, ok := b.scratch[n]
+	if !ok {
+		set = [3]*tensor.Tensor{
+			tensor.New(n, b.features),
+			tensor.New(n, b.features),
+			tensor.New(n, b.features),
+		}
+		b.scratch[n] = set
+	}
+	b.out, b.dX, b.xhat = set[0], set[1], set[2]
+	b.lastBatch = n
+}
+
+// Forward implements Layer. The returned tensor is owned by the layer and
+// overwritten by the next Forward call.
 func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, f := x.Dim(0), x.Dim(1)
 	if f != b.features {
 		panic(fmt.Sprintf("nn: BatchNorm width %d, got %d", b.features, f))
 	}
-	out := tensor.New(n, f)
+	b.ensureScratch(n)
+	out := b.out
 	xd, od := x.Data(), out.Data()
 	gd, bd := b.Gamma.Data(), b.Beta.Data()
 
 	if !train || n == 1 {
 		// Inference (or degenerate batch): use running statistics.
 		rm, rv := b.runningMean.Data(), b.runningVar.Data()
-		for j := 0; j < f; j++ {
-			inv := 1 / math.Sqrt(rv[j]+b.Eps)
-			for i := 0; i < n; i++ {
-				od[i*f+j] = gd[j]*(xd[i*f+j]-rm[j])*inv + bd[j]
+		tensor.ParallelRange(f, b.colUnits(n), func(jLo, jHi int) {
+			for j := jLo; j < jHi; j++ {
+				inv := 1 / math.Sqrt(rv[j]+b.Eps)
+				for i := 0; i < n; i++ {
+					od[i*f+j] = gd[j]*(xd[i*f+j]-rm[j])*inv + bd[j]
+				}
 			}
-		}
+		})
 		b.lastXHat = nil
 		return out
 	}
 
-	b.lastXHat = tensor.New(n, f)
-	b.lastStd = make([]float64, f)
+	b.lastXHat = b.xhat
 	xh := b.lastXHat.Data()
 	rm, rv := b.runningMean.Data(), b.runningVar.Data()
-	for j := 0; j < f; j++ {
-		mean := 0.0
-		for i := 0; i < n; i++ {
-			mean += xd[i*f+j]
+	// Feature columns are independent: every per-column quantity (mean,
+	// variance, x̂, running stats) is written only by the worker that owns
+	// the column, so the stripe fan-out is race-free.
+	tensor.ParallelRange(f, b.colUnits(n), func(jLo, jHi int) {
+		for j := jLo; j < jHi; j++ {
+			mean := 0.0
+			for i := 0; i < n; i++ {
+				mean += xd[i*f+j]
+			}
+			mean /= float64(n)
+			variance := 0.0
+			for i := 0; i < n; i++ {
+				d := xd[i*f+j] - mean
+				variance += d * d
+			}
+			variance /= float64(n)
+			std := math.Sqrt(variance + b.Eps)
+			b.lastStd[j] = std
+			for i := 0; i < n; i++ {
+				h := (xd[i*f+j] - mean) / std
+				xh[i*f+j] = h
+				od[i*f+j] = gd[j]*h + bd[j]
+			}
+			rm[j] = b.Momentum*rm[j] + (1-b.Momentum)*mean
+			rv[j] = b.Momentum*rv[j] + (1-b.Momentum)*variance
 		}
-		mean /= float64(n)
-		variance := 0.0
-		for i := 0; i < n; i++ {
-			d := xd[i*f+j] - mean
-			variance += d * d
-		}
-		variance /= float64(n)
-		std := math.Sqrt(variance + b.Eps)
-		b.lastStd[j] = std
-		for i := 0; i < n; i++ {
-			h := (xd[i*f+j] - mean) / std
-			xh[i*f+j] = h
-			od[i*f+j] = gd[j]*h + bd[j]
-		}
-		rm[j] = b.Momentum*rm[j] + (1-b.Momentum)*mean
-		rv[j] = b.Momentum*rv[j] + (1-b.Momentum)*variance
-	}
+	})
 	return out
 }
 
@@ -117,22 +171,24 @@ func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	xh := b.lastXHat.Data()
 	gam := b.Gamma.Data()
 	dg, db := b.dGamma.Data(), b.dBeta.Data()
-	out := tensor.New(n, f)
+	out := b.dX
 	od := out.Data()
 
-	for j := 0; j < f; j++ {
-		sumDy, sumDyXh := 0.0, 0.0
-		for i := 0; i < n; i++ {
-			sumDy += gd[i*f+j]
-			sumDyXh += gd[i*f+j] * xh[i*f+j]
+	tensor.ParallelRange(f, b.colUnits(n), func(jLo, jHi int) {
+		for j := jLo; j < jHi; j++ {
+			sumDy, sumDyXh := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				sumDy += gd[i*f+j]
+				sumDyXh += gd[i*f+j] * xh[i*f+j]
+			}
+			dg[j] = sumDyXh
+			db[j] = sumDy
+			inv := gam[j] / (b.lastStd[j] * float64(n))
+			for i := 0; i < n; i++ {
+				od[i*f+j] = inv * (float64(n)*gd[i*f+j] - sumDy - xh[i*f+j]*sumDyXh)
+			}
 		}
-		dg[j] = sumDyXh
-		db[j] = sumDy
-		inv := gam[j] / (b.lastStd[j] * float64(n))
-		for i := 0; i < n; i++ {
-			od[i*f+j] = inv * (float64(n)*gd[i*f+j] - sumDy - xh[i*f+j]*sumDyXh)
-		}
-	}
+	})
 	return out
 }
 

@@ -10,6 +10,12 @@ import (
 // row-major into the rows of the input tensor (the layout produced by
 // internal/datasets). Stride is 1 with no padding, which is sufficient for
 // the small MNIST/CIFAR-style models the paper trains.
+//
+// The layer owns per-batch-shape scratch buffers (im2col matrix, matmul
+// output, gradient intermediates) that are sized once and reused across
+// training steps, so steady-state epochs run without allocating; the
+// backward pass uses the transpose-free MatMulTransA/TransB kernels and
+// never materialises a Transpose copy.
 type Conv2D struct {
 	// W holds the kernels as (KH·KW·InC)×Filters — column f is filter f.
 	W *tensor.Tensor
@@ -21,9 +27,17 @@ type Conv2D struct {
 	Filters       int
 	OutH, OutW    int
 	dW, dB        *tensor.Tensor
-	lastCols      *tensor.Tensor // im2col of the last input (batch·outPos)×(KH·KW·InC)
-	lastBatch     int
 	units         int
+
+	// Scratch reused across steps, sized for lastBatch rows and cached per
+	// batch size so alternating train/eval batches don't reallocate.
+	lastBatch int
+	cols      *tensor.Tensor // im2col of the last input (batch·outPos)×(KH·KW·InC)
+	out       *tensor.Tensor // forward product (batch·outPos)×Filters
+	outView   *tensor.Tensor // out reshaped to batch×(OutH·OutW·Filters)
+	dCols     *tensor.Tensor // grad w.r.t. cols
+	dX        *tensor.Tensor // grad w.r.t. the input batch
+	scratch   map[int][5]*tensor.Tensor
 }
 
 // NewConv2D constructs a convolution layer for inH×inW×inC inputs with
@@ -48,86 +62,149 @@ func NewConv2D(r *tensor.RNG, inH, inW, inC, kh, kw, filters int) *Conv2D {
 // OutFeatures returns the flattened output width (OutH·OutW·Filters).
 func (c *Conv2D) OutFeatures() int { return c.OutH * c.OutW * c.Filters }
 
-// SetParallelism bounds the goroutines used by the matrix products.
-func (c *Conv2D) SetParallelism(units int) { c.units = units }
+// SetParallelism bounds the goroutines used by the layer's kernels — the
+// matrix products and the im2col/col2im batch loops alike.
+func (c *Conv2D) SetParallelism(units int) {
+	if units < 1 {
+		units = 1
+	}
+	c.units = units
+}
+
+// ensureScratch (re)sizes the per-batch scratch tensors. Training steps hit
+// the fast path (same batch size as last call); the shape only changes at
+// train/evaluate boundaries.
+func (c *Conv2D) ensureScratch(batch int) {
+	if batch == c.lastBatch && c.cols != nil {
+		return
+	}
+	if c.scratch == nil {
+		c.scratch = map[int][5]*tensor.Tensor{}
+	}
+	set, ok := c.scratch[batch]
+	if !ok {
+		fanIn := c.KH * c.KW * c.InC
+		rows := batch * c.OutH * c.OutW
+		out := tensor.New(rows, c.Filters)
+		set = [5]*tensor.Tensor{
+			tensor.New(rows, fanIn),
+			out,
+			tensor.New(rows, fanIn),
+			tensor.New(batch, c.InH*c.InW*c.InC),
+			out.Reshape(batch, c.OutH*c.OutW*c.Filters),
+		}
+		c.scratch[batch] = set
+	}
+	c.cols, c.out, c.dCols, c.dX = set[0], set[1], set[2], set[3]
+	c.outView = set[4]
+	c.lastBatch = batch
+}
 
 // Forward implements Layer via im2col + matmul: each output position's
 // receptive field becomes a row; convolution is then one matrix product.
+// The returned tensor is owned by the layer and overwritten by the next
+// Forward call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch := x.Dim(0)
 	if x.Dim(1) != c.InH*c.InW*c.InC {
 		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Dim(1), c.InH*c.InW*c.InC))
 	}
-	c.lastBatch = batch
-	cols := c.im2col(x)
-	c.lastCols = cols
+	c.ensureScratch(batch)
+	c.im2col(x, c.cols)
 	// (batch·outPos)×fanIn × fanIn×filters → (batch·outPos)×filters.
-	out := tensor.MatMulParallel(cols, c.W, c.units).AddRowVector(c.B)
-	// Reshape to batch×(outH·outW·filters): rows are already grouped by
-	// batch then position, and position-major ordering matches HWC layout.
-	return out.Reshape(batch, c.OutH*c.OutW*c.Filters)
+	tensor.MatMulInto(c.out, c.cols, c.W, c.units)
+	c.out.AddRowVectorInPlace(c.B)
+	// outView is out reshaped to batch×(outH·outW·filters): rows are already
+	// grouped by batch then position, and position-major ordering matches HWC
+	// layout. The view shares out's storage and is cached per batch size.
+	return c.outView
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	batch := c.lastBatch
-	g := grad.Reshape(batch*c.OutH*c.OutW, c.Filters)
-	c.dW = tensor.MatMulParallel(c.lastCols.Transpose(), g, c.units)
-	c.dB = g.SumRows()
+	g := c.backwardParams(grad)
 	// Gradient w.r.t. the im2col matrix, then scatter back to image space.
-	dCols := tensor.MatMulParallel(g, c.W.Transpose(), c.units)
-	return c.col2im(dCols, batch)
+	tensor.MatMulTransBInto(c.dCols, g, c.W, c.units)
+	c.col2im(c.dCols, c.lastBatch, c.dX)
+	return c.dX
 }
 
-// im2col unrolls receptive fields: output row (b·outH·outW + oy·outW + ox)
-// holds the KH×KW×InC patch at (oy, ox) of sample b.
-func (c *Conv2D) im2col(x *tensor.Tensor) *tensor.Tensor {
+// BackwardParamsOnly accumulates dW and dB but skips the input-gradient
+// product and col2im scatter — the model calls this when the convolution is
+// the first layer, where the input gradient would be discarded.
+func (c *Conv2D) BackwardParamsOnly(grad *tensor.Tensor) {
+	c.backwardParams(grad)
+}
+
+func (c *Conv2D) backwardParams(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Reshape(c.lastBatch*c.OutH*c.OutW, c.Filters)
+	tensor.MatMulTransAInto(c.dW, c.cols, g, c.units)
+	g.SumRowsInto(c.dB)
+	return g
+}
+
+// batchUnits bounds the im2col/col2im fan-out: below ~64k moved elements the
+// copy finishes faster than goroutines start.
+func (c *Conv2D) batchUnits(batch int) int {
+	if batch*c.OutH*c.OutW*c.KH*c.KW*c.InC < 1<<16 {
+		return 1
+	}
+	return c.units
+}
+
+// im2col unrolls receptive fields into cols: output row
+// (b·outH·outW + oy·outW + ox) holds the KH×KW×InC patch at (oy, ox) of
+// sample b. Samples are independent, so the batch range fans out across the
+// layer's computing units.
+func (c *Conv2D) im2col(x, cols *tensor.Tensor) {
 	batch := x.Dim(0)
 	fanIn := c.KH * c.KW * c.InC
-	cols := tensor.New(batch*c.OutH*c.OutW, fanIn)
 	xd, cd := x.Data(), cols.Data()
 	inRow := c.InW * c.InC
-	for b := 0; b < batch; b++ {
-		src := xd[b*c.InH*inRow:]
-		for oy := 0; oy < c.OutH; oy++ {
-			for ox := 0; ox < c.OutW; ox++ {
-				dst := cd[((b*c.OutH+oy)*c.OutW+ox)*fanIn:]
-				di := 0
-				for ky := 0; ky < c.KH; ky++ {
-					start := (oy+ky)*inRow + ox*c.InC
-					copy(dst[di:di+c.KW*c.InC], src[start:start+c.KW*c.InC])
-					di += c.KW * c.InC
+	tensor.ParallelRange(batch, c.batchUnits(batch), func(bLo, bHi int) {
+		for b := bLo; b < bHi; b++ {
+			src := xd[b*c.InH*inRow:]
+			for oy := 0; oy < c.OutH; oy++ {
+				for ox := 0; ox < c.OutW; ox++ {
+					dst := cd[((b*c.OutH+oy)*c.OutW+ox)*fanIn:]
+					di := 0
+					for ky := 0; ky < c.KH; ky++ {
+						start := (oy+ky)*inRow + ox*c.InC
+						copy(dst[di:di+c.KW*c.InC], src[start:start+c.KW*c.InC])
+						di += c.KW * c.InC
+					}
 				}
 			}
 		}
-	}
-	return cols
+	})
 }
 
-// col2im accumulates patch gradients back into image layout (the adjoint of
-// im2col).
-func (c *Conv2D) col2im(dCols *tensor.Tensor, batch int) *tensor.Tensor {
-	out := tensor.New(batch, c.InH*c.InW*c.InC)
-	od, dd := out.Data(), dCols.Data()
+// col2im accumulates patch gradients from dCols back into image layout in
+// dst (the adjoint of im2col). Each sample's region of dst is disjoint, so
+// the batch range fans out across the layer's computing units.
+func (c *Conv2D) col2im(dCols *tensor.Tensor, batch int, dst *tensor.Tensor) {
+	dst.Zero()
+	od, dd := dst.Data(), dCols.Data()
 	fanIn := c.KH * c.KW * c.InC
 	inRow := c.InW * c.InC
-	for b := 0; b < batch; b++ {
-		dst := od[b*c.InH*inRow:]
-		for oy := 0; oy < c.OutH; oy++ {
-			for ox := 0; ox < c.OutW; ox++ {
-				src := dd[((b*c.OutH+oy)*c.OutW+ox)*fanIn:]
-				si := 0
-				for ky := 0; ky < c.KH; ky++ {
-					start := (oy+ky)*inRow + ox*c.InC
-					for i := 0; i < c.KW*c.InC; i++ {
-						dst[start+i] += src[si+i]
+	tensor.ParallelRange(batch, c.batchUnits(batch), func(bLo, bHi int) {
+		for b := bLo; b < bHi; b++ {
+			dstRow := od[b*c.InH*inRow:]
+			for oy := 0; oy < c.OutH; oy++ {
+				for ox := 0; ox < c.OutW; ox++ {
+					src := dd[((b*c.OutH+oy)*c.OutW+ox)*fanIn:]
+					si := 0
+					for ky := 0; ky < c.KH; ky++ {
+						start := (oy+ky)*inRow + ox*c.InC
+						for i := 0; i < c.KW*c.InC; i++ {
+							dstRow[start+i] += src[si+i]
+						}
+						si += c.KW * c.InC
 					}
-					si += c.KW * c.InC
 				}
 			}
 		}
-	}
-	return out
+	})
 }
 
 // Params implements Layer.
@@ -148,6 +225,15 @@ type MaxPool2D struct {
 	OutH, OutW  int
 	lastArgmax  []int
 	lastBatch   int
+	out         *tensor.Tensor
+	dX          *tensor.Tensor
+	scratch     map[int]*poolScratch
+}
+
+// poolScratch is MaxPool2D's per-batch-size buffer set.
+type poolScratch struct {
+	out, dX *tensor.Tensor
+	argmax  []int
 }
 
 // NewMaxPool2D constructs a pool×pool max pooling layer; input dimensions
@@ -162,13 +248,27 @@ func NewMaxPool2D(inH, inW, c, pool int) *MaxPool2D {
 // OutFeatures returns the flattened output width.
 func (p *MaxPool2D) OutFeatures() int { return p.OutH * p.OutW * p.C }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer and
+// overwritten by the next Forward call.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch := x.Dim(0)
-	p.lastBatch = batch
-	out := tensor.New(batch, p.OutFeatures())
-	p.lastArgmax = make([]int, batch*p.OutFeatures())
-	xd, od := x.Data(), out.Data()
+	if batch != p.lastBatch || p.out == nil {
+		if p.scratch == nil {
+			p.scratch = map[int]*poolScratch{}
+		}
+		s, ok := p.scratch[batch]
+		if !ok {
+			s = &poolScratch{
+				out:    tensor.New(batch, p.OutFeatures()),
+				dX:     tensor.New(batch, p.InH*p.InW*p.C),
+				argmax: make([]int, batch*p.OutFeatures()),
+			}
+			p.scratch[batch] = s
+		}
+		p.out, p.dX, p.lastArgmax = s.out, s.dX, s.argmax
+		p.lastBatch = batch
+	}
+	xd, od := x.Data(), p.out.Data()
 	inRow := p.InW * p.C
 	for b := 0; b < batch; b++ {
 		src := xd[b*p.InH*inRow:]
@@ -192,17 +292,17 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+	return p.out
 }
 
 // Backward implements Layer: the gradient routes to each window's argmax.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(p.lastBatch, p.InH*p.InW*p.C)
-	od, gd := out.Data(), grad.Data()
+	p.dX.Zero()
+	od, gd := p.dX.Data(), grad.Data()
 	for oi, src := range p.lastArgmax {
 		od[src] += gd[oi]
 	}
-	return out
+	return p.dX
 }
 
 // Params implements Layer.

@@ -29,12 +29,20 @@ type Layer interface {
 	Name() string
 }
 
-// Dense is a fully connected layer computing y = x·W + b.
+// Dense is a fully connected layer computing y = x·W + b. It owns
+// per-batch-shape scratch for its forward output and input gradient, reused
+// across training steps, and its backward pass runs the transpose-free
+// MatMulTransA/TransB kernels instead of materialising Transpose copies.
 type Dense struct {
 	W, B   *tensor.Tensor
 	dW, dB *tensor.Tensor
 	lastX  *tensor.Tensor
 	units  int // goroutine budget for the matrix products
+
+	// out/dX are the active scratch pair; scratch caches one pair per batch
+	// size so alternating train/eval batches don't reallocate every epoch.
+	out, dX *tensor.Tensor
+	scratch map[int][2]*tensor.Tensor
 }
 
 // NewDense constructs a Dense layer with Glorot-uniform weights.
@@ -52,18 +60,39 @@ func NewDense(r *tensor.RNG, in, out int) *Dense {
 // may use. This is how a task's computing-unit constraint reaches the math.
 func (d *Dense) SetParallelism(units int) { d.units = units }
 
-// Forward computes x·W + b.
+// Forward computes x·W + b. The returned tensor is owned by the layer and
+// overwritten by the next Forward call.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.lastX = x
-	return tensor.MatMulParallel(x, d.W, d.units).AddRowVector(d.B)
+	batch := x.Dim(0)
+	if d.out == nil || d.out.Dim(0) != batch {
+		if d.scratch == nil {
+			d.scratch = map[int][2]*tensor.Tensor{}
+		}
+		pair, ok := d.scratch[batch]
+		if !ok {
+			pair = [2]*tensor.Tensor{tensor.New(batch, d.W.Dim(1)), tensor.New(batch, d.W.Dim(0))}
+			d.scratch[batch] = pair
+		}
+		d.out, d.dX = pair[0], pair[1]
+	}
+	tensor.MatMulInto(d.out, x, d.W, d.units)
+	return d.out.AddRowVectorInPlace(d.B)
 }
 
 // Backward accumulates dW = xᵀ·grad, dB = column sums of grad, and returns
 // grad·Wᵀ.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	d.dW = tensor.MatMulParallel(d.lastX.Transpose(), grad, d.units)
-	d.dB = grad.SumRows()
-	return tensor.MatMulParallel(grad, d.W.Transpose(), d.units)
+	d.BackwardParamsOnly(grad)
+	return tensor.MatMulTransBInto(d.dX, grad, d.W, d.units)
+}
+
+// BackwardParamsOnly accumulates dW and dB but skips the input-gradient
+// product — the model calls this when the layer sits first in the stack,
+// where grad·Wᵀ would be discarded.
+func (d *Dense) BackwardParamsOnly(grad *tensor.Tensor) {
+	tensor.MatMulTransAInto(d.dW, d.lastX, grad, d.units)
+	grad.SumRowsInto(d.dB)
 }
 
 // Params returns the weight and bias tensors.
@@ -77,33 +106,50 @@ func (d *Dense) Name() string {
 	return fmt.Sprintf("Dense(%d→%d)", d.W.Dim(0), d.W.Dim(1))
 }
 
-// ReLU applies max(0, x) element-wise.
+// ReLU applies max(0, x) element-wise. Mask, output and gradient buffers are
+// owned by the layer, cached per input shape, and reused across steps.
 type ReLU struct {
-	mask *tensor.Tensor
+	mask, out, dX *tensor.Tensor
+	scratch       map[int][3]*tensor.Tensor
 }
 
 // NewReLU constructs a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer and
+// overwritten by the next Forward call.
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	l.mask = x.Apply(func(v float64) float64 {
-		if v > 0 {
-			return 1
+	if l.out == nil || !shapeEq(l.out, x) {
+		if l.scratch == nil {
+			l.scratch = map[int][3]*tensor.Tensor{}
 		}
-		return 0
-	})
-	return x.Apply(func(v float64) float64 {
-		if v > 0 {
-			return v
+		set, ok := l.scratch[x.Dim(0)]
+		if !ok || !shapeEq(set[0], x) {
+			set = [3]*tensor.Tensor{tensor.New(x.Shape()...), tensor.New(x.Shape()...), tensor.New(x.Shape()...)}
+			l.scratch[x.Dim(0)] = set
 		}
-		return 0
-	})
+		l.mask, l.out, l.dX = set[0], set[1], set[2]
+	}
+	xd, md, od := x.Data(), l.mask.Data(), l.out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			md[i] = 1
+			od[i] = v
+		} else {
+			md[i] = 0
+			od[i] = 0
+		}
+	}
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Mul(l.mask)
+	gd, md, od := grad.Data(), l.mask.Data(), l.dX.Data()
+	for i := range gd {
+		od[i] = gd[i] * md[i]
+	}
+	return l.dX
 }
 
 // Params implements Layer.
@@ -114,6 +160,20 @@ func (l *ReLU) Grads() []*tensor.Tensor { return nil }
 
 // Name implements Layer.
 func (l *ReLU) Name() string { return "ReLU" }
+
+// shapeEq reports whether two tensors have identical shapes (used by layers
+// to decide when per-batch scratch must be resized).
+func shapeEq(a, b *tensor.Tensor) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := 0; i < a.Rank(); i++ {
+		if a.Dim(i) != b.Dim(i) {
+			return false
+		}
+	}
+	return true
+}
 
 // Tanh applies the hyperbolic tangent element-wise.
 type Tanh struct {

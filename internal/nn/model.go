@@ -36,20 +36,19 @@ func NewMLP(r *tensor.RNG, in int, hidden []int, classes int) *Sequential {
 }
 
 // SetParallelism bounds the goroutine budget of every layer that supports
-// internal parallelism. It corresponds to the ComputingUnits constraint a
+// internal parallelism (Dense, Conv2D, BatchNorm — anything exposing a
+// SetParallelism method). It corresponds to the ComputingUnits constraint a
 // COMPSs task is granted: "if a task has built-in parallelism, PyCOMPSs will
-// not interfere with this" (paper §3).
+// not interfere with this" (paper §3); plumbing it here, once, keeps every
+// layer's kernels bounded by the same grant.
 func (m *Sequential) SetParallelism(units int) {
 	if units < 1 {
 		units = 1
 	}
 	m.units = units
 	for _, l := range m.Layers {
-		switch t := l.(type) {
-		case *Dense:
-			t.SetParallelism(units)
-		case *Conv2D:
-			t.SetParallelism(units)
+		if p, ok := l.(interface{ SetParallelism(int) }); ok {
+			p.SetParallelism(units)
 		}
 	}
 }
@@ -65,11 +64,28 @@ func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
-// Backward propagates the loss gradient through the stack.
+// paramsOnlyBackward is implemented by layers that can accumulate parameter
+// gradients without computing the gradient w.r.t. their input.
+type paramsOnlyBackward interface {
+	BackwardParamsOnly(grad *tensor.Tensor)
+}
+
+// Backward propagates the loss gradient through the stack. The first layer's
+// input gradient is never consumed (there is no layer below it), so when
+// that layer supports it the model skips the input-gradient product — for a
+// Dense or Conv2D input layer that is one of its two large backward GEMMs.
 func (m *Sequential) Backward(grad *tensor.Tensor) {
-	for i := len(m.Layers) - 1; i >= 0; i-- {
+	for i := len(m.Layers) - 1; i > 0; i-- {
 		grad = m.Layers[i].Backward(grad)
 	}
+	if len(m.Layers) == 0 {
+		return
+	}
+	if po, ok := m.Layers[0].(paramsOnlyBackward); ok {
+		po.BackwardParamsOnly(grad)
+		return
+	}
+	m.Layers[0].Backward(grad)
 }
 
 // Params collects every trainable tensor in the model.

@@ -83,8 +83,12 @@ func (o *Adam) Step(params, grads []*tensor.Tensor) {
 		o.v = zerosLike(params)
 	}
 	o.t++
-	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
-	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
+	// Hoist every loop-invariant division out of the element loop: the
+	// update needs one sqrt and one divide per element, not three divides.
+	invB1c := 1 / (1 - math.Pow(o.Beta1, float64(o.t)))
+	invB2c := 1 / (1 - math.Pow(o.Beta2, float64(o.t)))
+	c1, c2 := 1-o.Beta1, 1-o.Beta2
+	step := o.LR * invB1c
 	for i, p := range params {
 		pd := p.Data()
 		md := o.m[i].Data()
@@ -92,11 +96,11 @@ func (o *Adam) Step(params, grads []*tensor.Tensor) {
 		gd := grads[i].Data()
 		for j := range pd {
 			g := gd[j]
-			md[j] = o.Beta1*md[j] + (1-o.Beta1)*g
-			vd[j] = o.Beta2*vd[j] + (1-o.Beta2)*g*g
-			mhat := md[j] / b1c
-			vhat := vd[j] / b2c
-			pd[j] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+			m := o.Beta1*md[j] + c1*g
+			v := o.Beta2*vd[j] + c2*g*g
+			md[j] = m
+			vd[j] = v
+			pd[j] -= step * m / (math.Sqrt(v*invB2c) + o.Eps)
 		}
 	}
 }

@@ -53,6 +53,11 @@ type FitConfig struct {
 	RNG *tensor.RNG
 	// Callbacks run after every epoch; any returning an error stops training.
 	Callbacks []Callback
+	// Pool, when set, recycles per-batch intermediate tensors (the
+	// odd-sized tail-batch buffer) instead of allocating them each epoch.
+	// Callers sharing one Pool across sequential Fit calls amortise the
+	// buffers across trials; nil keeps plain allocation.
+	Pool *tensor.Pool
 }
 
 // Callback observes training after each epoch. Returning a non-nil error
@@ -149,6 +154,7 @@ func (m *Sequential) Fit(x *tensor.Tensor, y []int, valX *tensor.Tensor, valY []
 
 	cols := x.Dim(1)
 	batchX := tensor.New(cfg.BatchSize, cols)
+	labels := make([]int, cfg.BatchSize)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.Shuffle {
@@ -163,12 +169,13 @@ func (m *Sequential) Fit(x *tensor.Tensor, y []int, valX *tensor.Tensor, valY []
 			}
 			bs := end - start
 			var bx *tensor.Tensor
-			if bs == cfg.BatchSize {
-				bx = batchX
+			tail := bs != cfg.BatchSize
+			if tail {
+				bx = cfg.Pool.Get(bs, cols)
 			} else {
-				bx = tensor.New(bs, cols)
+				bx = batchX
 			}
-			by := make([]int, bs)
+			by := labels[:bs]
 			gather(x, order[start:end], bx)
 			for i, idx := range order[start:end] {
 				by[i] = y[idx]
@@ -178,6 +185,9 @@ func (m *Sequential) Fit(x *tensor.Tensor, y []int, valX *tensor.Tensor, valY []
 			loss, grad := m.loss.Loss(logits, by)
 			m.Backward(grad)
 			cfg.Optimizer.Step(m.Params(), m.Grads())
+			if tail {
+				cfg.Pool.Put(bx)
+			}
 
 			epochLoss += loss
 			epochAcc += Accuracy(logits, by)

@@ -127,24 +127,148 @@ func TestMatMulParallelAgreementProperty(t *testing.T) {
 	}
 }
 
-func BenchmarkMatMulSerial(b *testing.B) {
-	r := NewRNG(1)
-	x := Randn(r, 128, 128)
-	y := Randn(r, 128, 128)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MatMulParallel(x, y, 1)
+// matmulRef is the naive triple-loop reference the tiled kernels are checked
+// against: an independent implementation, deliberately free of tiling,
+// panels, or unrolling.
+func matmulRef(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	out := New(m, n)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ad[i*k+p] * bd[p*n+j]
+			}
+			od[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// edgeShapes exercises the kernel's remainder paths: empty output, k=1,
+// single rows/columns, tall-skinny and short-fat panels, shapes straddling
+// the 4×4 register tile and the 256-wide k panel, and non-divisible
+// remainders in every dimension.
+var edgeShapes = [][3]int{
+	{0, 3, 4}, {3, 0, 4}, {3, 4, 0},
+	{1, 1, 1}, {1, 7, 1}, {5, 1, 5},
+	{4, 4, 4}, {5, 5, 5}, {7, 9, 11},
+	{4, 256, 4}, {4, 257, 4}, {3, 511, 2},
+	{129, 3, 2}, {2, 3, 129}, {65, 17, 33},
+	{100, 1, 100}, {31, 258, 29},
+}
+
+// TestMatMulVariantsMatchReference pins every kernel entry point — serial
+// tiled, parallel, TransA, TransB and the *Into forms — to the naive
+// reference within 1e-9 across the edge shapes. Run under -race in CI, this
+// also checks the row-panel fan-out for data races.
+func TestMatMulVariantsMatchReference(t *testing.T) {
+	r := NewRNG(99)
+	for _, sh := range edgeShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := Randn(r, m, k)
+		b := Randn(r, k, n)
+		want := matmulRef(a, b)
+		for _, units := range []int{1, 3, 8} {
+			if got := MatMulParallel(a, b, units); !got.AllClose(want, 1e-9) {
+				t.Fatalf("MatMulParallel(%v, units=%d) differs from reference", sh, units)
+			}
+			// Into on a dirty destination: stale contents must be overwritten.
+			dst := Full(42, m, n)
+			if got := MatMulInto(dst, a, b, units); !got.AllClose(want, 1e-9) {
+				t.Fatalf("MatMulInto(%v, units=%d) differs from reference", sh, units)
+			}
+			// aᵀ×b via TransA, handing the kernel a k×m operand.
+			at := a.Transpose()
+			if got := MatMulTransA(at, b, units); !got.AllClose(want, 1e-9) {
+				t.Fatalf("MatMulTransA(%v, units=%d) differs from reference", sh, units)
+			}
+			dst = Full(-7, m, n)
+			if got := MatMulTransAInto(dst, at, b, units); !got.AllClose(want, 1e-9) {
+				t.Fatalf("MatMulTransAInto(%v, units=%d) differs from reference", sh, units)
+			}
+			// a×bᵀ via TransB, handing the kernel an n×k operand.
+			bt := b.Transpose()
+			if got := MatMulTransB(a, bt, units); !got.AllClose(want, 1e-9) {
+				t.Fatalf("MatMulTransB(%v, units=%d) differs from reference", sh, units)
+			}
+			dst = Full(1e9, m, n)
+			if got := MatMulTransBInto(dst, a, bt, units); !got.AllClose(want, 1e-9) {
+				t.Fatalf("MatMulTransBInto(%v, units=%d) differs from reference", sh, units)
+			}
+		}
 	}
 }
 
-func BenchmarkMatMulParallel4(b *testing.B) {
+// Property: random shapes (biased to tile remainders) and unit counts agree
+// with the reference for all variants.
+func TestMatMulVariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := NewRNG(seed)
+		m, k, n := 1+rr.Intn(70), 1+rr.Intn(300), 1+rr.Intn(70)
+		units := 1 + rr.Intn(8)
+		a := Randn(rr, m, k)
+		b := Randn(rr, k, n)
+		want := matmulRef(a, b)
+		return MatMulParallel(a, b, units).AllClose(want, 1e-9) &&
+			MatMulTransA(a.Transpose(), b, units).AllClose(want, 1e-9) &&
+			MatMulTransB(a, b.Transpose(), units).AllClose(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransShapeMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"TransA": func() { MatMulTransA(New(3, 2), New(4, 5), 1) },
+		"TransB": func() { MatMulTransB(New(2, 3), New(5, 4), 1) },
+		"Into":   func() { MatMulInto(New(9, 9), New(2, 3), New(3, 4), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic for shape mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func benchGFLOPS(b *testing.B, size int, fn func(x, y *Tensor)) {
 	r := NewRNG(1)
-	x := Randn(r, 128, 128)
-	y := Randn(r, 128, 128)
+	x := Randn(r, size, size)
+	y := Randn(r, size, size)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MatMulParallel(x, y, 4)
+		fn(x, y)
 	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkMatMulNaive pins the pre-tiling reference kernel so the speedup
+// of the blocked kernel stays visible in bench output.
+func BenchmarkMatMulNaive(b *testing.B) {
+	benchGFLOPS(b, 128, func(x, y *Tensor) { matmulRef(x, y) })
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	benchGFLOPS(b, 128, func(x, y *Tensor) { MatMulTransA(x, y, 1) })
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	benchGFLOPS(b, 128, func(x, y *Tensor) { MatMulTransB(x, y, 1) })
+}
+
+func BenchmarkMatMulSerial(b *testing.B) {
+	benchGFLOPS(b, 128, func(x, y *Tensor) { MatMulParallel(x, y, 1) })
+}
+
+func BenchmarkMatMulParallel4(b *testing.B) {
+	benchGFLOPS(b, 128, func(x, y *Tensor) { MatMulParallel(x, y, 4) })
 }

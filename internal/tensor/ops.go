@@ -179,6 +179,30 @@ func (t *Tensor) SumRows() *Tensor {
 	return out
 }
 
+// SumRowsInto writes the column sums of a 2-D tensor into dst (1×cols),
+// overwriting it, and returns dst. It is the allocation-free variant of
+// SumRows used by layer backward passes for bias gradients.
+func (t *Tensor) SumRowsInto(dst *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRowsInto requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if dst.Size() != cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto destination size %d, want %d", dst.Size(), cols))
+	}
+	dd := dst.data
+	for c := 0; c < cols; c++ {
+		dd[c] = 0
+	}
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			dd[c] += v
+		}
+	}
+	return dst
+}
+
 // AddRowVector adds a 1×cols row vector to every row of a 2-D tensor,
 // returning a new tensor.
 func (t *Tensor) AddRowVector(v *Tensor) *Tensor {
@@ -197,6 +221,28 @@ func (t *Tensor) AddRowVector(v *Tensor) *Tensor {
 		}
 	}
 	return out
+}
+
+// AddRowVectorInPlace adds a 1×cols row vector to every row of a 2-D tensor
+// in place and returns t — the bias-add step of a layer forward pass without
+// the copy AddRowVector makes.
+func (t *Tensor) AddRowVectorInPlace(v *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: AddRowVectorInPlace requires a 2-D tensor")
+	}
+	cols := t.shape[1]
+	if v.Size() != cols {
+		panic(fmt.Sprintf("tensor: row vector size %d does not match %d columns", v.Size(), cols))
+	}
+	rows := t.shape[0]
+	vd := v.data
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c := range row {
+			row[c] += vd[c]
+		}
+	}
+	return t
 }
 
 // Transpose returns the transpose of a 2-D tensor.

@@ -1,0 +1,38 @@
+package tensor
+
+// ParallelRange splits [0, n) into up to `units` contiguous chunks and runs
+// f(lo, hi) for each, on separate goroutines when units > 1, returning after
+// every chunk completes. It is the shared fan-out primitive for data-parallel
+// layer kernels (im2col, col2im, batch-norm columns): every layer bounds its
+// parallelism by the same computing-units grant, so a trial's @constraint
+// reaches all of them uniformly. units < 1 is treated as 1; f is never
+// called with an empty range.
+func ParallelRange(n, units int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if units > n {
+		units = n
+	}
+	if units <= 1 {
+		f(0, n)
+		return
+	}
+	chunk := (n + units - 1) / units
+	done := make(chan struct{}, units)
+	workers := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		workers++
+		go func(lo, hi int) {
+			f(lo, hi)
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for ; workers > 0; workers-- {
+		<-done
+	}
+}

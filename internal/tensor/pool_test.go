@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolReusesStorage(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 8)
+	if a.Dim(0) != 4 || a.Dim(1) != 8 {
+		t.Fatalf("Get shape = %v", a.Shape())
+	}
+	data := a.Data()
+	p.Put(a)
+	if p.Len() != 1 {
+		t.Fatalf("pool Len = %d, want 1", p.Len())
+	}
+	// Same element count, different shape: storage must be recycled and the
+	// tensor re-shaped.
+	b := p.Get(8, 4)
+	if b.Dim(0) != 8 || b.Dim(1) != 4 {
+		t.Fatalf("recycled shape = %v", b.Shape())
+	}
+	if &b.Data()[0] != &data[0] {
+		t.Fatal("pool did not reuse the backing array")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("pool Len = %d after Get, want 0", p.Len())
+	}
+}
+
+func TestPoolMismatchedSizeAllocates(t *testing.T) {
+	p := NewPool()
+	p.Put(New(2, 2))
+	got := p.Get(3, 3)
+	if got.Size() != 9 {
+		t.Fatalf("Get(3,3) size = %d", got.Size())
+	}
+	if p.Len() != 1 {
+		t.Fatal("mismatched Get must not consume the pooled tensor")
+	}
+}
+
+func TestNilPoolDegradesToAllocation(t *testing.T) {
+	var p *Pool
+	got := p.Get(2, 3)
+	if got.Dim(0) != 2 || got.Dim(1) != 3 {
+		t.Fatalf("nil pool Get shape = %v", got.Shape())
+	}
+	p.Put(got) // must not panic
+	if p.Len() != 0 {
+		t.Fatal("nil pool Len != 0")
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				x := p.Get(16, 16)
+				x.Fill(1)
+				p.Put(x)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParallelRangeCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, units int }{
+		{0, 4}, {1, 4}, {7, 3}, {16, 1}, {16, 16}, {16, 100}, {1000, 7}, {5, 0},
+	} {
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		ParallelRange(tc.n, tc.units, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("n=%d units=%d: empty chunk [%d,%d)", tc.n, tc.units, lo, hi)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d units=%d: index %d covered %d times", tc.n, tc.units, i, c)
+			}
+		}
+	}
+}
