@@ -17,6 +17,14 @@
 //	    [-checkpoint study.json] [-visualise]
 //	    [-journal hpod.journal -study cli] [-trace out.prv] [-graph out.dot]
 //	    [-policy fifo] [-metrics-addr 127.0.0.1:9090]
+//
+// The replay verb verifies a journal offline: it re-derives the study's
+// scheduler/pruner decisions from the record stream and checks the
+// recorded decisions byte-match (docs/JOURNAL.md, "Replay contract"):
+//
+//	hpo replay -journal hpod.journal -study <id>   (daemon journals: spec on record)
+//	hpo replay -journal j -study cli -scheduler hyperband -rung-mode async \
+//	    -space space.json -budget 9 -seed 42       (CLI journals: repeat the run's flags)
 package main
 
 import (
@@ -65,6 +73,13 @@ type options struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		if err := replayMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "hpo replay:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var o options
 	flag.StringVar(&o.spaceFile, "space", "", "search-space JSON file (required; paper Listing 1 format)")
 	flag.StringVar(&o.algo, "algo", "grid", "grid | random | bayes | tpe | hyperband")

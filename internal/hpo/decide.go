@@ -1,0 +1,128 @@
+package hpo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file isolates every scheduler verdict as a pure function of its
+// explicit inputs — no clocks, no locks, no scheduler state. The live
+// schedulers (RungHyperband sync+async, ASHAScheduler) and the journal
+// replay engine (internal/replay) both call these, so a replayed decision
+// is byte-identical to the live one by construction rather than by a
+// parallel reimplementation that could drift.
+
+// RungArrival is the verdict of one per-arrival (non-barrier) rung
+// decision: the arriving member's rank within the rung's pool, the pool
+// size after arrival, the keep count and whether the member is promoted.
+type RungArrival struct {
+	Promote bool
+	// Rank is the member's 1-based rank among the pool plus itself.
+	Rank int
+	// N is the pool size including the arriving member.
+	N int
+	// Keep is max(1, N/eta): ranks <= Keep promote.
+	Keep int
+}
+
+// DecideRungArrival applies the ASHA keep rule (Li et al., Massively
+// Parallel Hyperparameter Tuning) to a member arriving at a rung whose
+// pool already recorded the given values: rank counts incumbents at or
+// above the arriving value (ties rank behind earlier arrivals — an equal
+// value never displaces an incumbent), and the member promotes when it
+// ranks within the top max(1, n/eta) of the n values now at the rung.
+func DecideRungArrival(pool []float64, value float64, eta int) RungArrival {
+	rank := 1
+	for _, v := range pool {
+		if v >= value {
+			rank++
+		}
+	}
+	n := len(pool) + 1
+	keep := n / eta
+	if keep < 1 {
+		keep = 1
+	}
+	return RungArrival{Promote: rank <= keep, Rank: rank, N: n, Keep: keep}
+}
+
+// RungContender is one member of a settled synchronous rung: its stable
+// tie-break key and its ranking value (best observed, or -1 for members
+// that never produced one).
+type RungContender struct {
+	Key   string
+	Value float64
+}
+
+// RankSyncRung orders a settled synchronous rung exactly like the batch
+// Hyperband: value descending, key ascending on ties. order[i] is the
+// index into contenders of the i-th ranked member; the first keep =
+// len(contenders)/eta of them are promoted (keep may be 0: the rung can
+// halt everyone).
+func RankSyncRung(contenders []RungContender, eta int) (order []int, keep int) {
+	order = make([]int, len(contenders))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := contenders[order[a]], contenders[order[b]]
+		if ca.Value != cb.Value {
+			return ca.Value > cb.Value
+		}
+		return ca.Key < cb.Key
+	})
+	return order, len(contenders) / eta
+}
+
+// DecideMedianStop applies the median stopping rule (Golovin et al.,
+// Google Vizier) to one report: prune when at least minTrials other
+// curves reported the same epoch and the value falls strictly below
+// their median.
+func DecideMedianStop(value float64, others []float64, minTrials int) bool {
+	if len(others) < minTrials {
+		return false
+	}
+	return value < median(others)
+}
+
+// Reason formatters: the canonical decision strings persisted in
+// prune/promote journal records. Replay byte-compares its re-derived
+// reasons against the recorded ones, so every call site — live or replay
+// — must build them here.
+
+// ReasonRungAsyncPromote is an async rung promotion.
+func ReasonRungAsyncPromote(rank, n, rung, budget, next int) string {
+	return fmt.Sprintf("hyperband-rung/async: rank %d/%d at rung %d (budget %d), promoted to %d",
+		rank, n, rung, budget, next)
+}
+
+// ReasonRungAsyncHalt is an async rung halt.
+func ReasonRungAsyncHalt(rank, n, rung, budget int, value float64) string {
+	return fmt.Sprintf("hyperband-rung/async: rank %d/%d at rung %d (budget %d, value %.4f)",
+		rank, n, rung, budget, value)
+}
+
+// ReasonRungSyncPromote is a barrier-rung win.
+func ReasonRungSyncPromote(rung, budget, next int) string {
+	return fmt.Sprintf("hyperband-rung: won rung %d (budget %d), promoted to %d", rung, budget, next)
+}
+
+// ReasonRungSyncHalt is a barrier-rung loss.
+func ReasonRungSyncHalt(rung, budget int, value float64) string {
+	return fmt.Sprintf("hyperband-rung: lost rung %d (budget %d, value %.4f)", rung, budget, value)
+}
+
+// ReasonASHAHalt is an ASHA-promote scheduler halt.
+func ReasonASHAHalt(rank, n, rung, budget int, value float64) string {
+	return fmt.Sprintf("asha-promote: rank %d/%d at rung %d (budget %d, value %.4f)", rank, n, rung, budget, value)
+}
+
+// ReasonASHAPromote is an ASHA-promote scheduler promotion.
+func ReasonASHAPromote(rank, n, rung, from, to int) string {
+	return fmt.Sprintf("asha-promote: rank %d/%d at rung %d, promoted %d → %d epochs", rank, n, rung, from, to)
+}
+
+// ReasonPrunerLosing is the study's prune record for a Pruner verdict.
+func ReasonPrunerLosing(name string, epoch int, value float64) string {
+	return fmt.Sprintf("%s pruner: losing at epoch %d (value %.4f)", name, epoch, value)
+}

@@ -100,6 +100,12 @@ func (s *Study) recordRound(round []TrialResult) error {
 	if s.recorder == nil {
 		return nil
 	}
+	// Terminal trial records join the same total order as metric and
+	// decision records (see Study.decisionMu): replay relies on a trial's
+	// final record never interleaving into another trial's
+	// observation→decision window.
+	s.decisionMu.Lock()
+	defer s.decisionMu.Unlock()
 	return s.recorder.Record(toStoreTrials(round))
 }
 

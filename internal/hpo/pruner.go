@@ -101,10 +101,7 @@ func (m *MedianStop) Observe(trialID, epoch int, value float64) bool {
 		}
 		others = append(others, oc[epoch])
 	}
-	if len(others) < m.MinTrials {
-		return false
-	}
-	return value < median(others)
+	return DecideMedianStop(value, others, m.MinTrials)
 }
 
 // Complete implements Pruner: finished curves stay as median anchors.

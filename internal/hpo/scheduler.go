@@ -3,7 +3,6 @@ package hpo
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"repro/internal/tensor"
@@ -335,6 +334,36 @@ func (h *RungHyperband) MinSlots() int {
 	return slots
 }
 
+// RungMemberInfo describes one bracket member of a RungHyperband for
+// offline consumers (internal/replay): its hidden binding key, its
+// submission config (clone; carries "_hb", num_epochs and "_hb_max") and
+// its bracket's full rung budget ladder.
+type RungMemberInfo struct {
+	Key     string
+	Config  Config
+	Budgets []int
+}
+
+// Members lists every bracket member in the canonical global order — the
+// order the sync mode submits brackets and the async waiting room releases
+// them. Identical seeds build identical member lists, which is what lets a
+// replay engine rebind journal trial ids to bracket members.
+func (h *RungHyperband) Members() []RungMemberInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]RungMemberInfo, 0, h.total)
+	for _, b := range h.brackets {
+		for _, m := range b.members {
+			out = append(out, RungMemberInfo{
+				Key:     m.key,
+				Config:  memberConfig(m, b),
+				Budgets: append([]int(nil), b.budgets...),
+			})
+		}
+	}
+	return out
+}
+
 // Done implements Sampler.
 func (h *RungHyperband) Done() bool {
 	h.mu.Lock()
@@ -502,48 +531,33 @@ func (h *RungHyperband) observeAsyncLocked(m *rungMember, epoch int) []SchedDeci
 	if promoted, rank, n := h.arriveLocked(m, k); promoted {
 		return []SchedDecision{{
 			TrialID: m.trialID, Budget: b.budgets[k+1], Epoch: epoch,
-			Reason: fmt.Sprintf("hyperband-rung/async: rank %d/%d at rung %d (budget %d), promoted to %d",
-				rank, n, k, b.budgets[k], b.budgets[k+1]),
+			Reason: ReasonRungAsyncPromote(rank, n, k, b.budgets[k], b.budgets[k+1]),
 		}}
 	} else {
 		return []SchedDecision{{
 			TrialID: m.trialID, Budget: 0, Epoch: epoch,
-			Reason: fmt.Sprintf("hyperband-rung/async: rank %d/%d at rung %d (budget %d, value %.4f)",
-				rank, n, k, b.budgets[k], m.rankValue()),
+			Reason: ReasonRungAsyncHalt(rank, n, k, b.budgets[k], m.rankValue()),
 		}}
 	}
 }
 
-// arriveLocked records m's arrival at rung k and applies the ASHA keep
-// rule: promote when the member ranks within the top max(1, n/eta) of the
-// n values recorded at the rung so far. Ties rank behind earlier arrivals
-// (an equal value does not displace the incumbent): on plateaued
-// objectives where many trials converge to the same metric, counting ties
-// as rank-1 would promote nearly every arrival and blow the epoch budget
-// past the batch baseline. It advances or halts the member and returns
-// the verdict with its rank context. Callers hold h.mu.
+// arriveLocked records m's arrival at rung k and applies the pure
+// per-arrival rule (DecideRungArrival — the ASHA keep rule, ties ranking
+// behind earlier arrivals so a plateaued objective cannot promote every
+// arrival). It advances or halts the member and returns the verdict with
+// its rank context. Callers hold h.mu.
 func (h *RungHyperband) arriveLocked(m *rungMember, k int) (promoted bool, rank, n int) {
 	b := m.bracket
 	m.decided[k] = true
 	value := m.rankValue()
-	rank = 1
-	for _, v := range b.arrivals[k] {
-		if v >= value {
-			rank++
-		}
-	}
+	v := DecideRungArrival(b.arrivals[k], value, h.Eta)
 	b.arrivals[k] = append(b.arrivals[k], value)
-	n = len(b.arrivals[k])
-	keep := n / h.Eta
-	if keep < 1 {
-		keep = 1
-	}
-	if rank <= keep {
+	if v.Promote {
 		m.rung = k + 1
-		return true, rank, n
+		return true, v.Rank, v.N
 	}
 	m.halted = true
-	return false, rank, n
+	return false, v.Rank, v.N
 }
 
 // Complete implements TrialScheduler.
@@ -643,26 +657,24 @@ func (h *RungHyperband) evaluateBracketLocked(b *rungBracket) []SchedDecision {
 			break
 		}
 		b.evaluated[k] = true
-		// Rank exactly like the batch sampler: value desc, key asc; members
-		// without a usable value (failed/canceled before the boundary) lose
-		// with -1.
-		sort.Slice(alive, func(i, j int) bool {
-			vi, vj := alive[i].rankValue(), alive[j].rankValue()
-			if vi != vj {
-				return vi > vj
-			}
-			return alive[i].key < alive[j].key
-		})
-		keep := len(alive) / h.Eta
-		next := b.budgets[k+1]
+		// Rank through the pure barrier rule (RankSyncRung): value desc,
+		// key asc — exactly like the batch sampler; members without a
+		// usable value (failed/canceled before the boundary) lose with -1.
+		contenders := make([]RungContender, len(alive))
 		for i, m := range alive {
+			contenders[i] = RungContender{Key: m.key, Value: m.rankValue()}
+		}
+		order, keep := RankSyncRung(contenders, h.Eta)
+		next := b.budgets[k+1]
+		for i, idx := range order {
+			m := alive[idx]
 			switch {
 			case i < keep:
 				m.rung = k + 1
 				if !m.exited {
 					out = append(out, SchedDecision{
 						TrialID: m.trialID, Budget: next, Epoch: b.budgets[k] - 1,
-						Reason: fmt.Sprintf("hyperband-rung: won rung %d (budget %d), promoted to %d", k, b.budgets[k], next),
+						Reason: ReasonRungSyncPromote(k, b.budgets[k], next),
 					})
 				}
 			case m.exited:
@@ -671,7 +683,7 @@ func (h *RungHyperband) evaluateBracketLocked(b *rungBracket) []SchedDecision {
 				m.halted = true
 				out = append(out, SchedDecision{
 					TrialID: m.trialID, Budget: 0, Epoch: b.budgets[k] - 1,
-					Reason: fmt.Sprintf("hyperband-rung: lost rung %d (budget %d, value %.4f)", k, b.budgets[k], m.rankValue()),
+					Reason: ReasonRungSyncHalt(k, b.budgets[k], m.rankValue()),
 				})
 			}
 		}
@@ -782,25 +794,21 @@ func (a *ASHAScheduler) Observe(trialID, epoch int, value float64) []SchedDecisi
 		rung = make(map[int]float64)
 		a.rungs[k] = rung
 	}
-	rung[trialID] = value
-
-	keep := len(rung) / a.Eta
-	if keep < 1 {
-		keep = 1
-	}
-	// Ties rank behind earlier arrivals, like RungHyperband's async rule:
-	// equal values must not displace the incumbent, or a plateaued
-	// objective promotes every arrival.
-	rank := 1
+	// Rank against the incumbents through the pure per-arrival rule (ties
+	// rank behind earlier arrivals, like RungHyperband's async rule), then
+	// record this arrival in the pool.
+	pool := make([]float64, 0, len(rung))
 	for id, v := range rung {
-		if id != trialID && v >= value {
-			rank++
+		if id != trialID {
+			pool = append(pool, v)
 		}
 	}
-	if rank > keep {
+	rung[trialID] = value
+	verdict := DecideRungArrival(pool, value, a.Eta)
+	if !verdict.Promote {
 		return []SchedDecision{{
 			TrialID: trialID, Budget: 0, Epoch: epoch,
-			Reason: fmt.Sprintf("asha-promote: rank %d/%d at rung %d (budget %d, value %.4f)", rank, len(rung), k, budget, value),
+			Reason: ReasonASHAHalt(verdict.Rank, verdict.N, k, budget, value),
 		}}
 	}
 	next := budget * a.Eta
@@ -810,7 +818,7 @@ func (a *ASHAScheduler) Observe(trialID, epoch int, value float64) []SchedDecisi
 	a.budgets[trialID] = next
 	return []SchedDecision{{
 		TrialID: trialID, Budget: next, Epoch: epoch,
-		Reason: fmt.Sprintf("asha-promote: rank %d/%d at rung %d, promoted %d → %d epochs", rank, len(rung), k, budget, next),
+		Reason: ReasonASHAPromote(verdict.Rank, verdict.N, k, budget, next),
 	}}
 }
 

@@ -154,6 +154,17 @@ type Study struct {
 	// telemetry is the recorder's optional metric/prune sink.
 	telemetry store.MetricRecorder
 
+	// decisionMu serializes the journal's record appends with the
+	// scheduler/pruner observations that produce them: a metric record, the
+	// Observe it feeds and the prune/promote records that Observe emits form
+	// one atomic section, so the journal's record order is exactly the order
+	// the decisions were taken in. internal/replay's determinism contract
+	// (re-driving the scheduler over the record stream reproduces the
+	// recorded decisions byte-identically) depends on this invariant; without
+	// it two concurrent reports could journal in one order and observe in the
+	// other. Lock order: decisionMu may acquire mu inside, never the reverse.
+	decisionMu sync.Mutex
+
 	mu           sync.Mutex
 	trials       []*Trial
 	byTask       map[int]*Trial // runtime task id → live trial
@@ -455,8 +466,10 @@ func (s *Study) admitConfigs(configs []Config, checkpoint map[string]TrialResult
 				// The scheduler must account for every bracket member;
 				// a resumed result exits immediately with its final
 				// value, settling its rungs without re-execution.
+				s.decisionMu.Lock()
 				sched.Admit(cached.ID, cfg.Int("num_epochs", 0), cfg)
 				s.applyDecisions(sched.Complete(cached.ID, &cached))
+				s.decisionMu.Unlock()
 			}
 			immediate = append(immediate, cached)
 			*resumed++
@@ -473,8 +486,10 @@ func (s *Study) admitConfigs(configs []Config, checkpoint map[string]TrialResult
 			memo.Config = cfg
 			s.adoptFinished(memo)
 			if sched != nil {
+				s.decisionMu.Lock()
 				sched.Admit(id, cfg.Int("num_epochs", 0), cfg)
 				s.applyDecisions(sched.Complete(id, &memo))
+				s.decisionMu.Unlock()
 			}
 			immediate = append(immediate, memo)
 			*memoized++
@@ -559,7 +574,9 @@ func (s *Study) settleTrial(trial *Trial, v interface{}) TrialResult {
 	if sched := s.opts.Scheduler; sched != nil {
 		// A member's exit can settle its rung (and, on resume,
 		// cascade through several).
+		s.decisionMu.Lock()
 		s.applyDecisions(sched.Complete(trial.ID, &res))
+		s.decisionMu.Unlock()
 	}
 	return res
 }
@@ -674,6 +691,10 @@ func (s *Study) onTaskReport(taskID, epoch int, value float64) {
 	if s.opts.OnEpoch != nil {
 		s.opts.OnEpoch(trial.ID, epoch, value)
 	}
+	// From the journal append to the decisions it triggers is one atomic
+	// section (see decisionMu): record order must equal observation order.
+	s.decisionMu.Lock()
+	defer s.decisionMu.Unlock()
 	if s.telemetry != nil {
 		_ = s.telemetry.RecordMetric(trial.ID, epoch, value)
 	}
@@ -700,7 +721,7 @@ func (s *Study) onTaskReport(taskID, epoch int, value float64) {
 		s.applyDecisions(sched.Observe(trial.ID, epoch, value))
 	}
 	if s.opts.Pruner != nil && s.opts.Pruner.Observe(trial.ID, epoch, value) {
-		reason := fmt.Sprintf("%s pruner: losing at epoch %d (value %.4f)", s.opts.Pruner.Name(), epoch, value)
+		reason := ReasonPrunerLosing(s.opts.Pruner.Name(), epoch, value)
 		if trial.requestPrune(reason) {
 			if s.telemetry != nil {
 				_ = s.telemetry.RecordPrune(trial.ID, epoch, reason)

@@ -1,0 +1,151 @@
+package replay_test
+
+// Satellite contract: the trace timeline and the replay engine are two
+// consumers of the same record stream, and their rung-boundary
+// segmentation must agree — including for compacted studies, where
+// promote records are gone and both sides fall back to the final record's
+// evidence.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// TestTimelineAgreesWithReplay cross-checks BuildStudyTimeline's per-trial
+// segmentation against the replay engine's granted-budget ladders on the
+// live async journal: segment budgets ARE the ladder.
+func TestTimelineAgreesWithReplay(t *testing.T) {
+	for _, name := range []string{"async-rung", "sync-rung", "restart-async-rung"} {
+		t.Run(name, func(t *testing.T) {
+			_, recs := loadFixture(t, name)
+			rep := verifyFixture(t, name, recs, fixtureParams(t, name))
+
+			tl, _ := trace.BuildStudyTimeline(fixtureStudy, "done", recs)
+			if len(tl.Rows) == 0 {
+				t.Fatal("timeline has no rows")
+			}
+			for _, row := range tl.Rows {
+				ladder, ok := rep.Budgets[row.Trial]
+				if !ok {
+					t.Fatalf("trial %d has a timeline row but no replay ladder", row.Trial)
+				}
+				if len(row.Segments) != len(ladder) {
+					t.Fatalf("trial %d: %d timeline segments vs %d-rung replay ladder %v",
+						row.Trial, len(row.Segments), len(ladder), ladder)
+				}
+				for i, seg := range row.Segments {
+					if seg.Budget != ladder[i] {
+						t.Fatalf("trial %d segment %d: timeline budget %d vs replay grant %d (ladder %v)",
+							row.Trial, i, seg.Budget, ladder[i], ladder)
+					}
+					if seg.Rung != i {
+						t.Fatalf("trial %d segment %d: rung index %d", row.Trial, i, seg.Rung)
+					}
+				}
+				// Segment epoch counts partition the trial's metric stream.
+				total := 0
+				for _, seg := range row.Segments {
+					total += seg.Epochs
+				}
+				if total != row.Epochs {
+					t.Fatalf("trial %d: segments hold %d epochs, row reports %d", row.Trial, total, row.Epochs)
+				}
+			}
+		})
+	}
+}
+
+// TestCompactedTimelineReconciles: after compaction drops metric and
+// promote records, both the timeline and the replay engine must degrade
+// identically — single-segment rows whose budget is the executed epoch
+// count, and a passing replay that flags the missing telemetry instead of
+// failing.
+func TestCompactedTimelineReconciles(t *testing.T) {
+	src := fixtureDir(t, "async-rung")
+	dir := filepath.Join(t.TempDir(), "j")
+	copyDir(t, src, dir)
+
+	j, err := store.OpenJournal(dir, store.JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetStudyState(fixtureStudy, store.StateDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := j.StudyRecords(fixtureStudy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Metric != nil || r.Promote != nil || r.Prune != nil {
+			t.Fatal("compaction left telemetry records behind; the test premise is gone")
+		}
+	}
+
+	// Replay still verifies: no decisions on either side, budgets
+	// unverifiable for promoted trials — warned, not failed.
+	rep := verifyFixture(t, "async-rung/compacted", recs, fixtureParams(t, "async-rung"))
+	if len(rep.Recorded) != 0 || len(rep.Replayed) != 0 {
+		t.Fatalf("compacted stream replayed decisions: recorded %d, replayed %d",
+			len(rep.Recorded), len(rep.Replayed))
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatal("compacted promoted trials should warn about unverifiable ceilings")
+	}
+
+	tl, _ := trace.BuildStudyTimeline(fixtureStudy, "done", recs)
+	promoted := 0
+	for _, row := range tl.Rows {
+		if len(row.Segments) != 1 {
+			t.Fatalf("compacted trial %d has %d segments, want 1", row.Trial, len(row.Segments))
+		}
+		var final *store.Trial
+		for _, r := range recs {
+			if r.Trial != nil && r.Trial.ID == row.Trial {
+				final = r.Trial
+				break
+			}
+		}
+		if final == nil {
+			t.Fatalf("trial %d has no final record", row.Trial)
+		}
+		want := configIntOf(final.Config, "num_epochs")
+		if final.Promoted {
+			promoted++
+			// The reconciled budget: executed epochs stand in for the
+			// compacted-away grants, exactly like the replay engine's
+			// ceiling accounting.
+			want = final.Epochs
+		}
+		if row.Segments[0].Budget != want {
+			t.Fatalf("compacted trial %d: timeline budget %d, want %d (promoted=%v, epochs=%d)",
+				row.Trial, row.Segments[0].Budget, want, final.Promoted, final.Epochs)
+		}
+	}
+	if promoted == 0 {
+		t.Fatal("fixture has no promoted trial; the reconciliation path went untested")
+	}
+}
+
+// configIntOf reads an integral config value across the int/float64 split
+// JSON round-trips introduce.
+func configIntOf(cfg map[string]interface{}, key string) int {
+	switch v := cfg[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	}
+	return 0
+}

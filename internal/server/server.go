@@ -13,6 +13,7 @@
 //	GET  /v1/studies/{id}/events SSE stream of trial/metric/prune/state events (?since=seq)
 //	GET  /v1/studies/{id}/timeline      per-trial gantt rows rebuilt from the journal
 //	GET  /v1/studies/{id}/timeline.prv  the same timeline as a Paraver trace
+//	POST /v1/studies/{id}/verify replay the journal's decisions and check they byte-match
 //	POST /v1/admin/compact       compact terminal studies' journal segments now
 //	GET  /healthz                liveness + counters + journal/compaction stats
 //	GET  /metrics                Prometheus text exposition (internal/obs registry)
@@ -68,6 +69,7 @@ func New(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Server {
 	s.handle("GET /v1/studies/{id}/events", s.handleEvents)
 	s.handle("GET /v1/studies/{id}/timeline", s.handleTimeline)
 	s.handle("GET /v1/studies/{id}/timeline.prv", s.handleTimelinePrv)
+	s.handle("POST /v1/studies/{id}/verify", s.handleVerify)
 	s.handle("POST /v1/admin/compact", s.handleCompact)
 	s.registerScrapeHook()
 	return s

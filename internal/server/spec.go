@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/hpo"
+	"repro/internal/replay"
 	"repro/internal/store"
 )
 
@@ -234,4 +235,62 @@ func (s StudySpec) memoScope() string {
 		hidden = hpo.DefaultHidden()
 	}
 	return store.MemoScope(s.Dataset, s.Samples, s.CVFolds, hidden, s.Seed, s.Target)
+}
+
+// ReplayParams maps the spec onto the replay engine's decision parameters,
+// resolving the daemon defaults exactly like the runner does at launch
+// (BuildScheduler / BuildPruner, including the defaulted-incompatible
+// fallbacks and the scheduler-supersedes-default-pruner rule). Keeping
+// this next to those builders is what makes the verify endpoint honest:
+// replay re-derives decisions under the same resolution the live run used.
+func (s StudySpec) ReplayParams(defaultScheduler, defaultMode, defaultPruner string) (replay.Params, error) {
+	space, err := s.BuildSpace()
+	if err != nil {
+		return replay.Params{}, err
+	}
+	p := replay.Params{
+		Algo:   s.Algo,
+		Space:  space,
+		Budget: s.Budget,
+		Seed:   s.Seed,
+		Target: s.Target,
+	}
+
+	// Scheduler name + rung mode: mirror BuildScheduler's fallback chain.
+	name := s.Scheduler
+	defaulted := name == ""
+	if defaulted {
+		name = defaultScheduler
+	}
+	active := s.schedulerActive(name)
+	if active && defaulted && (s.CVFolds > 1 || (name == "hyperband" && s.Algo != "hyperband") ||
+		(s.Pruner != "" && s.Pruner != "none")) {
+		active = false
+	}
+	if active {
+		mode := s.RungMode
+		if mode == "" {
+			mode = defaultMode
+			if name == "asha" && mode == hpo.RungSync {
+				mode = ""
+			}
+		}
+		p.Scheduler = name
+		p.RungMode = mode
+		p.Eta = s.PrunerEta
+		p.MinResource = s.PrunerWarmup
+		return p, nil
+	}
+
+	// No scheduler: a pruner may be active (spec field or daemon default).
+	pruner := s.Pruner
+	if pruner == "" {
+		pruner = defaultPruner
+	}
+	if pruner != "" && pruner != "none" {
+		p.Pruner = pruner
+		p.PrunerEta = s.PrunerEta
+		p.PrunerWarmup = s.PrunerWarmup
+	}
+	return p, nil
 }

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/replay"
+)
+
+// VerifyResponse is the body of POST /v1/studies/{id}/verify. OK means the
+// journal's recorded decision stream byte-matched a fresh replay of the
+// study's decision logic; when false, Error classifies the failure
+// (divergence vs corruption) and Diff pinpoints the first mismatch.
+type VerifyResponse struct {
+	OK bool `json:"ok"`
+	// Error is the typed verification failure ("" when OK).
+	Error string `json:"error,omitempty"`
+	// Diff is a unified recorded-vs-replayed excerpt around the first
+	// diverging decision (divergence failures only).
+	Diff string `json:"diff,omitempty"`
+	// Report is the replay accounting regardless of verdict: decision
+	// logs, epoch totals, per-trial budget ladders, warnings.
+	Report *replay.Report `json:"report"`
+}
+
+// handleVerify serves POST /v1/studies/{id}/verify: re-derives the study's
+// scheduler/pruner decisions from its journal record stream and checks the
+// recorded decisions byte-match the replay (docs/JOURNAL.md, "Replay
+// contract"). Pure over the journal — no runtime is touched, so verifying
+// a terminal study is always safe and repeated calls are idempotent. The
+// study's persisted spec supplies the decision parameters, resolved
+// against the daemon's current -scheduler/-rung-mode/-pruner defaults the
+// same way the runner resolved them at launch; a POST because the verdict
+// reflects this resolution, not a stored attribute of the study.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, err := s.store.GetStudy(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec, err := ParseSpec(meta.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	params, err := spec.ReplayParams(s.runner.DefaultScheduler, s.runner.DefaultRungMode, s.runner.DefaultPruner)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	recs, err := s.store.StudyRecords(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	rep, err := replay.Verify(id, recs, params)
+	resp := VerifyResponse{OK: err == nil, Report: rep}
+	if err != nil {
+		resp.Error = err.Error()
+		var div *replay.DivergenceError
+		if errors.As(err, &div) {
+			resp.Diff = div.Diff()
+		}
+		if !errors.Is(err, replay.ErrDivergence) && !errors.Is(err, replay.ErrCorrupt) {
+			// Not a verification verdict — an infrastructure failure.
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func postVerify(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestVerifyEndpointAsyncRungStudy: a finished rung study verifies OK —
+// the journal's recorded decisions byte-match a fresh replay driven by the
+// persisted spec — and the verdict is idempotent across calls. A decision
+// record the live scheduler never took then flips the verdict to a typed
+// divergence with a diff, without disturbing the study itself.
+func TestVerifyEndpointAsyncRungStudy(t *testing.T) {
+	journal, ts := newRungTestServer(t)
+
+	code, created := postJSON(t, ts.URL+"/v1/studies", `{
+		"algo": "hyperband", "scheduler": "hyperband", "rung_mode": "async",
+		"budget": 9, "seed": 42,
+		"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}},
+		"start": true}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	code, body := postVerify(t, ts.URL+"/v1/studies/"+id+"/verify")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d:\n%.400s", code, body)
+	}
+	var resp VerifyResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("verify body does not decode: %v", err)
+	}
+	if !resp.OK || resp.Error != "" || resp.Diff != "" {
+		t.Fatalf("clean journal failed verification: %+v", resp)
+	}
+	if resp.Report == nil || len(resp.Report.Recorded) == 0 {
+		t.Fatalf("rung study verified with no recorded decisions: %+v", resp.Report)
+	}
+	if resp.Report.Epochs == 0 {
+		t.Fatal("report accounts zero epochs")
+	}
+
+	_, body2 := postVerify(t, ts.URL+"/v1/studies/"+id+"/verify")
+	if !bytes.Equal(body, body2) {
+		t.Fatal("repeated verify calls are not byte-identical")
+	}
+
+	// Append a promotion the scheduler never granted: the stream is now a
+	// lie about the study's decisions, and verify must say so.
+	rec := journal.Recorder(id, "verify-tamper")
+	if err := rec.(store.MetricRecorder).RecordPromote(0, 0, 27, "forged grant"); err != nil {
+		t.Fatal(err)
+	}
+	code, body = postVerify(t, ts.URL+"/v1/studies/"+id+"/verify")
+	if code != http.StatusOK {
+		t.Fatalf("verify after tamper = %d:\n%.400s", code, body)
+	}
+	var tampered VerifyResponse
+	if err := json.Unmarshal(body, &tampered); err != nil {
+		t.Fatal(err)
+	}
+	if tampered.OK {
+		t.Fatal("forged promote record passed verification")
+	}
+	if !strings.Contains(tampered.Error, "diverge") && !strings.Contains(tampered.Error, "corrupt") {
+		t.Fatalf("tampered verdict is not typed: %q", tampered.Error)
+	}
+	if tampered.Report == nil {
+		t.Fatal("failed verification dropped the report")
+	}
+}
+
+// TestVerifyEndpointPrunerStudy: the endpoint resolves pruner specs too —
+// the median-stop decision stream replays from the same spec the runner
+// launched with.
+func TestVerifyEndpointPrunerStudy(t *testing.T) {
+	_, ts := newRungTestServer(t)
+
+	code, created := postJSON(t, ts.URL+"/v1/studies", `{
+		"algo": "grid", "pruner": "median",
+		"space": {"acc": [0.82, 0.64, 0.23, 0.77, 0.15], "num_epochs": [3]},
+		"start": true}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	code, body := postVerify(t, ts.URL+"/v1/studies/"+id+"/verify")
+	if code != http.StatusOK {
+		t.Fatalf("verify = %d:\n%.400s", code, body)
+	}
+	var resp VerifyResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("pruner study failed verification: %+v", resp)
+	}
+}
+
+// TestVerifyNotFound: unknown studies map to 404.
+func TestVerifyNotFound(t *testing.T) {
+	_, ts := newRungTestServer(t)
+	if code, _ := postVerify(t, ts.URL+"/v1/studies/nope/verify"); code != http.StatusNotFound {
+		t.Fatalf("verify for unknown study = %d, want 404", code)
+	}
+}

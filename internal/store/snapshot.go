@@ -1,0 +1,129 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot reading: a read-only view of one study's record stream taken
+// straight from the journal directory, without opening the journal (no
+// flock, no index replay, no writes). This is what offline verifiers need
+// — `hpo replay` must be able to re-derive a study's decisions while the
+// daemon still holds the directory's LOCK.
+//
+// The snapshot is torn-tail tolerant on the active (highest-numbered)
+// segment only, exactly like Journal.StudyRecords: a half-flushed final
+// line is in-flight, not corruption. Because the writer may rotate or
+// compact segments between our manifest read and the file reads, a
+// missing sealed segment triggers one full retry from the manifest before
+// it is reported as corruption.
+
+// SnapshotStudyRecords reads one study's records from the journal
+// directory at dir without acquiring the journal lock. It returns the
+// study's reconstructed metadata (folded from its study/state records, so
+// Spec and the latest known State are available) and the record stream in
+// sequence order, decoded exactly like Journal.StudyRecords. ErrNotFound
+// is returned when the manifest does not list the study.
+func SnapshotStudyRecords(dir, id string) (StudyMeta, []StudyRecord, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		meta, recs, err := snapshotOnce(dir, id)
+		if err == nil {
+			return meta, recs, nil
+		}
+		lastErr = err
+	}
+	return StudyMeta{}, nil, lastErr
+}
+
+// snapshotOnce is one manifest-read → segment-read pass.
+func snapshotOnce(dir, id string) (StudyMeta, []StudyRecord, error) {
+	m, ok, err := readManifest(dir)
+	if err != nil {
+		return StudyMeta{}, nil, err
+	}
+	if !ok {
+		return StudyMeta{}, nil, fmt.Errorf("%w: no journal at %s", ErrNotFound, dir)
+	}
+	var segs []int
+	found := false
+	for _, ms := range m.Studies {
+		if ms.ID == id {
+			segs, found = ms.Segments, true
+			break
+		}
+	}
+	if !found {
+		return StudyMeta{}, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+
+	sdir := studyDir(dir, id)
+	var recs []record
+	for i, n := range segs {
+		active := i == len(segs)-1
+		path := filepath.Join(sdir, segmentFileName(n))
+		raw, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			if active {
+				continue // listed but never written (no records yet)
+			}
+			// The writer may have compacted this segment away after we
+			// read the manifest; the caller retries from a fresh manifest.
+			return StudyMeta{}, nil, fmt.Errorf("%w: sealed segment missing: %s", ErrCorrupt, segmentFileName(n))
+		}
+		if err != nil {
+			return StudyMeta{}, nil, fmt.Errorf("store: reading segment: %w", err)
+		}
+		rs, _, err := parseSegment(raw, path, active)
+		if err != nil {
+			return StudyMeta{}, nil, err
+		}
+		recs = append(recs, rs...)
+	}
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].Seq < recs[b].Seq })
+
+	meta := StudyMeta{ID: id}
+	out := make([]StudyRecord, 0, len(recs))
+	for _, rec := range recs {
+		// Fold study/state records into the meta exactly like the journal's
+		// in-memory index (Journal.apply).
+		switch rec.Type {
+		case recStudy:
+			if rec.Study != nil {
+				meta = *rec.Study
+				if meta.State == "" {
+					meta.State = StateCreated
+				}
+			}
+		case recState:
+			if rec.State != "" {
+				meta.State = rec.State
+				meta.Error = rec.Error
+				meta.UpdatedAt = rec.At
+				if rec.Summary != nil {
+					meta.Trials = rec.Summary.Trials
+					meta.Resumed = rec.Summary.Resumed
+					meta.Memoized = rec.Summary.Memoized
+					meta.BestAcc = rec.Summary.BestAcc
+				}
+			}
+		}
+		sr := StudyRecord{Seq: rec.Seq, Type: rec.Type, At: rec.At, State: rec.State,
+			Metric: rec.Metric, Prune: rec.Prune, Promote: rec.Promote}
+		if rec.Type == recState && rec.State == "" {
+			continue
+		}
+		if rec.Type == recStudy && rec.Study != nil {
+			sr.State = rec.Study.State
+		}
+		if rec.Trial != nil {
+			t := decodeTrialHistory(*rec.Trial)
+			t.Config = NormaliseConfig(t.Config)
+			sr.Trial = &t
+		}
+		out = append(out, sr)
+	}
+	return meta, out, nil
+}

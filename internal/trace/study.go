@@ -181,6 +181,13 @@ func BuildStudyTimeline(id, state string, recs []store.StudyRecord) (*StudyTimel
 			row.Epochs = ts.final.Epochs
 			row.Outcome = trialOutcome(*ts.final)
 			budget = configInt(ts.final.Config, "num_epochs")
+			if ts.final.Promoted && len(ts.promotes) == 0 && ts.final.Epochs > budget {
+				// Compaction dropped this promoted trial's promote records:
+				// the executed epoch count is the only surviving evidence of
+				// its final budget. Report that, matching the replay
+				// engine's ceiling accounting for compacted studies.
+				budget = ts.final.Epochs
+			}
 		} else {
 			row.Epochs = len(ts.metrics)
 		}
