@@ -10,10 +10,17 @@
 //
 //	hpod -addr :8080 -journal hpod.journal [-backend local] [-parallel 8]
 //	     [-workers 3] [-max-studies 2] [-drain 30s] [-migrate study.json]
-//	     [-token secret] [-pruner median] [-scheduler hyperband]
+//	     [-token secret] [-tenants tenants.json] [-queue-depth 16]
+//	     [-retry-after 1s] [-pruner median] [-scheduler hyperband]
 //	     [-rung-mode async]
 //	     [-retain-events 1024] [-max-open-segments 128]
 //	     [-compact-interval 10m]
+//
+// With -tenants the daemon is multi-tenant (docs/TENANCY.md): each
+// registered bearer token maps to a tenant namespace with its own study
+// ids, listings, and quota envelope (concurrent studies, total epoch
+// budget, SSE subscribers, fair-share weight). Starts beyond quota are
+// rejected 429, a full waiting room 503 — both with a Retry-After hint.
 //
 // The journal is a sharded directory store (docs/JOURNAL.md): terminal
 // studies are compacted down to their summary records on -compact-interval
@@ -63,6 +70,9 @@ type options struct {
 	migrate         string
 	noResume        bool
 	token           string
+	tenants         string
+	queueDepth      int
+	retryAfter      time.Duration
 	pruner          string
 	scheduler       string
 	rungMode        string
@@ -83,6 +93,12 @@ func main() {
 	flag.StringVar(&o.migrate, "migrate", "", "import a legacy -checkpoint JSON file into the journal, then continue")
 	flag.BoolVar(&o.noResume, "no-resume", false, "do not re-queue studies left running by a previous daemon")
 	flag.StringVar(&o.token, "token", "", "bearer token required on every endpoint except /healthz (empty = no auth)")
+	flag.StringVar(&o.tenants, "tenants", "",
+		"tenant registry JSON file (docs/TENANCY.md): per-tenant bearer tokens, namespaces and quotas; supersedes -token")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0,
+		"max studies waiting for an execution slot before starts are rejected 503 (0 = unbounded)")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second,
+		"Retry-After hint attached to 429/503 admission rejections")
 	flag.StringVar(&o.pruner, "pruner", "", "default trial pruner for specs that set none: none | median | asha")
 	flag.StringVar(&o.scheduler, "scheduler", "",
 		"default rung-driven scheduler for specs that set none: none | hyperband | asha (supersedes -pruner when active)")
@@ -144,6 +160,19 @@ func newDaemon(o options) (*daemon, error) {
 	if !hpo.KnownRungMode(o.rungMode) {
 		return nil, fmt.Errorf("unknown -rung-mode %q (want sync or async)", o.rungMode)
 	}
+	// The registry must parse before the journal opens: a bad tenants file
+	// fails the boot, it does not run the daemon open to everyone.
+	var registry *server.TenantRegistry
+	if o.tenants != "" {
+		if o.token != "" {
+			return nil, fmt.Errorf("-token and -tenants are mutually exclusive (the registry carries the tokens)")
+		}
+		reg, err := server.LoadTenantRegistry(o.tenants)
+		if err != nil {
+			return nil, err
+		}
+		registry = reg
+	}
 	journal, err := store.OpenJournal(o.journal, store.JournalOptions{
 		RetainEvents:    o.retainEvents,
 		MaxOpenSegments: o.maxOpenSegments,
@@ -162,6 +191,11 @@ func newDaemon(o options) (*daemon, error) {
 	}
 	srv := server.New(journal, runtimeFactory(o), o.maxStudies)
 	srv.SetAuthToken(o.token)
+	if registry != nil {
+		srv.SetTenantRegistry(registry)
+	}
+	srv.Runner().SetQueueDepth(o.queueDepth)
+	srv.SetRetryAfter(o.retryAfter)
 	srv.Runner().DefaultPruner = o.pruner
 	srv.Runner().DefaultScheduler = o.scheduler
 	srv.Runner().DefaultRungMode = o.rungMode

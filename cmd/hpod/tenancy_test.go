@@ -1,0 +1,489 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hpo"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// Daemon-level tenancy drives: the acceptance scenario (two tenants, one
+// daemon — quota 429s, weighted fair-share that a FCFS regression would
+// fail, zero cross-tenant visibility, no token leaks into the journal or
+// the metrics exposition) and the restart contract (per-tenant epoch
+// usage re-derived exactly from journal replay, total-epoch budget
+// enforced across kill-restart and compaction).
+
+// writeTenants writes a registry file and returns its path.
+func writeTenants(t *testing.T, dir, doc string) string {
+	t.Helper()
+	path := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tenantJSON issues a bearer-authenticated request, returning status,
+// headers and decoded body.
+func tenantJSON(t *testing.T, method, url, token, body string) (int, http.Header, map[string]interface{}) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+// daemonGate blocks each study's single trial until released and records
+// execution order — the observable admission order.
+type daemonGate struct {
+	mu    sync.Mutex
+	order []string
+	ch    map[string]chan struct{}
+}
+
+func newDaemonGate() *daemonGate { return &daemonGate{ch: make(map[string]chan struct{})} }
+
+func (g *daemonGate) chanFor(name string) chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ch[name] == nil {
+		g.ch[name] = make(chan struct{})
+	}
+	return g.ch[name]
+}
+
+func (g *daemonGate) objectives(spec server.StudySpec) (hpo.Objective, error) {
+	name := spec.Name
+	ch := g.chanFor(name)
+	return &hpo.FuncObjective{ObjName: "gated", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+		g.mu.Lock()
+		g.order = append(g.order, name)
+		g.mu.Unlock()
+		<-ch
+		return hpo.TrialMetrics{BestAcc: 0.5, FinalAcc: 0.5, Epochs: 1, ValAccHistory: []float64{0.5}}, nil
+	}}, nil
+}
+
+func (g *daemonGate) release(name string) { close(g.chanFor(name)) }
+
+func (g *daemonGate) started() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+func (g *daemonGate) waitStarted(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(g.started()) >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("only %d studies started executing, want %d", len(g.started()), n)
+}
+
+const driveTokenA, driveTokenB, driveTokenZ = "secret-drive-a", "secret-drive-b", "secret-drive-z"
+
+// TestDaemonTwoTenantDrive is the acceptance drive: tenant A's third
+// concurrent study 429s while its quota is 2, admission interleaves B
+// between A's burst (failing if admission falls back to FCFS), tenants
+// cannot see each other's studies, and bearer tokens never reach the
+// journal directory or the metrics exposition.
+func TestDaemonTwoTenantDrive(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "hpod.journal")
+	o := testOptions(journal)
+	o.maxStudies = 1
+	o.tenants = writeTenants(t, dir, fmt.Sprintf(`{"tenants": [
+		{"id": "drv-a", "token": %q, "max_concurrent_studies": 2},
+		{"id": "drv-b", "token": %q},
+		{"id": "drv-z", "token": %q}
+	]}`, driveTokenA, driveTokenB, driveTokenZ))
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newDaemonGate()
+	d.srv.Runner().Objectives = g.objectives
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	base := "http://" + d.Addr()
+
+	spec := func(name string) string {
+		return fmt.Sprintf(`{"name":%q,"algo":"grid","space":{"num_epochs":[1]},"start":true,"memoize":false}`, name)
+	}
+	// z1 occupies the single execution slot; then A bursts two studies
+	// before B submits one — all three wait for admission.
+	if code, _, body := tenantJSON(t, "POST", base+"/v1/studies", driveTokenZ, spec("z1")); code != http.StatusCreated {
+		t.Fatalf("create z1 = %d %v", code, body)
+	}
+	g.waitStarted(t, 1)
+	ids := map[string]string{}
+	for _, c := range []struct{ token, name string }{
+		{driveTokenA, "a1"}, {driveTokenA, "a2"}, {driveTokenB, "b1"},
+	} {
+		code, _, body := tenantJSON(t, "POST", base+"/v1/studies", c.token, spec(c.name))
+		if code != http.StatusCreated {
+			t.Fatalf("create %s = %d %v", c.name, code, body)
+		}
+		ids[c.name] = body["id"].(string)
+	}
+
+	// Tenant A is at its concurrency quota (2 in flight, waiting counts):
+	// the third submission is 429 with Retry-After, and the study exists
+	// for a later start.
+	code, hdr, body := tenantJSON(t, "POST", base+"/v1/studies", driveTokenA, spec("a3"))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("tenant A 3rd concurrent study = %d %v, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+	if msg := body["error"].(string); !strings.Contains(msg, "concurrent_studies") {
+		t.Fatalf("429 body %q does not name the concurrency quota", msg)
+	}
+	a3 := body["id"].(string)
+
+	// Zero cross-tenant visibility: B lists only its own study and reads
+	// A's as not-found.
+	code, _, listed := tenantJSON(t, "GET", base+"/v1/studies", driveTokenB, "")
+	if code != http.StatusOK {
+		t.Fatalf("B list = %d", code)
+	}
+	if studies := listed["studies"].([]interface{}); len(studies) != 1 {
+		t.Fatalf("B sees %d studies, want exactly its own 1", len(studies))
+	}
+	if code, _, _ := tenantJSON(t, "GET", base+"/v1/studies/"+ids["a1"], driveTokenB, ""); code != http.StatusNotFound {
+		t.Fatalf("B reading A's study = %d, want 404", code)
+	}
+
+	// Drain the slot one study at a time: fair share interleaves B
+	// between A's burst. FCFS would run a1 a2 b1.
+	g.release("z1")
+	g.waitStarted(t, 2)
+	g.release(g.started()[1])
+	g.waitStarted(t, 3)
+	g.release(g.started()[2])
+	g.waitStarted(t, 4)
+	g.release(g.started()[3])
+	if got, want := strings.Join(g.started(), " "), "z1 a1 b1 a2"; got != want {
+		t.Fatalf("admission order = %q, want %q (FCFS gives \"z1 a1 a2 b1\")", got, want)
+	}
+
+	// With A's burst finished, the rejected study is admitted on retry.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		code, _, _ = tenantJSON(t, "POST", base+"/v1/studies/"+a3+"/start", driveTokenA, "")
+		if code == http.StatusAccepted {
+			break
+		}
+		if code != http.StatusTooManyRequests || !time.Now().Before(deadline) {
+			t.Fatalf("a3 restart = %d", code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	g.release("a3")
+	for _, name := range []string{"a1", "a2", "b1", "a3"} {
+		token := driveTokenA
+		if name == "b1" {
+			token = driveTokenB
+		}
+		id := ids[name]
+		if name == "a3" {
+			id = a3
+		}
+		waitTenantState(t, base, id, token, "done")
+	}
+
+	// Leak pin: bearer tokens appear nowhere in the metrics exposition or
+	// in any journal file — tenant ids do (they tag study metadata).
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, token := range []string{driveTokenA, driveTokenB, driveTokenZ} {
+		if strings.Contains(string(metrics), token) {
+			t.Fatalf("bearer token %q leaked into /metrics", token)
+		}
+	}
+	var journalBytes []byte
+	err = filepath.Walk(journal, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		journalBytes = append(journalBytes, raw...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, token := range []string{driveTokenA, driveTokenB, driveTokenZ} {
+		if strings.Contains(string(journalBytes), token) {
+			t.Fatalf("bearer token %q leaked into the journal", token)
+		}
+	}
+	if !strings.Contains(string(journalBytes), `"tenant":"drv-a"`) {
+		t.Fatal("journal carries no tenant tag on study metadata")
+	}
+}
+
+// waitTenantState polls an authenticated study read until it reaches want.
+func waitTenantState(t *testing.T, base, id, token, want string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		code, _, study := tenantJSON(t, "GET", base+"/v1/studies/"+id, token, "")
+		if code != http.StatusOK {
+			t.Fatalf("get %s = %d", id, code)
+		}
+		switch study["state"].(string) {
+		case want:
+			return
+		case "failed":
+			t.Fatalf("study %s failed: %v", id, study["error"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("study %s never reached %s", id, want)
+}
+
+// reportingObjectives reports `epochs` per-epoch metrics per trial (each
+// becomes a journal metric record — the epoch-accounting unit) with a
+// per-epoch delay so the daemon can be killed mid-run.
+func reportingObjectives(epochs int, delay time.Duration) func(server.StudySpec) (hpo.Objective, error) {
+	return func(server.StudySpec) (hpo.Objective, error) {
+		return &hpo.FuncObjective{ObjName: "reporting", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+			var m hpo.TrialMetrics
+			for e := 0; e < epochs; e++ {
+				acc := 0.2 + 0.1*float64(e+1)
+				m.Epochs, m.BestAcc, m.FinalAcc = e+1, acc, acc
+				m.ValAccHistory = append(m.ValAccHistory, acc)
+				if ctx.Report != nil {
+					ctx.Report(e, acc)
+				}
+				time.Sleep(delay)
+			}
+			return m, nil
+		}}, nil
+	}
+}
+
+// scrapeGauge reads one gauge sample from the daemon's /metrics.
+func scrapeGauge(t *testing.T, base, sample string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, sample+" "), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+const budgetTokenA, budgetTokenAdmin = "secret-budget-a", "secret-budget-admin"
+
+// TestDaemonTenantEpochBudgetAcrossRestart: kill the daemon mid-burst,
+// and the per-tenant epoch usage re-derived from journal replay matches
+// the journal's own accounting exactly; once the study finishes, the
+// tenant's lifetime epoch budget rejects further starts with 429 — and
+// keeps rejecting them across compaction and another restart.
+func TestDaemonTenantEpochBudgetAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "hpod.journal")
+	tenants := writeTenants(t, dir, fmt.Sprintf(`{"tenants": [
+		{"id": "bud-a", "token": %q, "max_total_epochs": 8},
+		{"id": "bud-admin", "token": %q, "admin": true}
+	]}`, budgetTokenA, budgetTokenAdmin))
+	o := testOptions(journal)
+	o.tenants = tenants
+
+	// Daemon 1: a 4-trial study, 2 reported epochs per trial; killed once
+	// at least two trials are journaled (mid-burst).
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.srv.Runner().Objectives = reportingObjectives(2, 60*time.Millisecond)
+	if err := d1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d1.Addr()
+	spec := `{"name":"burst","algo":"grid","space":{"num_epochs":[1,2,3,4]},"start":true,"memoize":false}`
+	code, _, created := tenantJSON(t, "POST", base+"/v1/studies", budgetTokenA, spec)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		code, _, out := tenantJSON(t, "GET", base+"/v1/studies/"+id+"/trials", budgetTokenA, "")
+		if code != http.StatusOK {
+			t.Fatalf("trials = %d", code)
+		}
+		if trials, _ := out["trials"].([]interface{}); len(trials) >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := d1.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal's own replay-derived accounting is the truth the next
+	// daemon must reproduce.
+	j, err := store.OpenJournal(journal, store.JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usedAtKill := j.TenantEpochs("bud-a")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if usedAtKill < 2 {
+		t.Fatalf("kill landed before any epochs were journaled (%d)", usedAtKill)
+	}
+
+	// Daemon 2 (no resume, so nothing new runs): the scraped per-tenant
+	// usage gauge equals the journal-derived count exactly.
+	o2 := o
+	o2.noResume = true
+	d2, err := newDaemon(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base = "http://" + d2.Addr()
+	got, ok := scrapeGauge(t, base, `hpo_tenant_epochs_used{tenant="bud-a"}`)
+	if !ok {
+		t.Fatal("hpo_tenant_epochs_used{tenant=\"bud-a\"} not exported")
+	}
+	if int(got) != usedAtKill {
+		t.Fatalf("re-derived epoch usage = %v, want %d (journal replay)", got, usedAtKill)
+	}
+	if err := d2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon 3 resumes and finishes the study (resume bypasses the budget
+	// check — the study was already admitted once). The finished total
+	// reaches the 8-epoch budget, so the tenant's next start is 429 with
+	// the total_epochs quota; the admin tenant is unaffected.
+	d3, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3.srv.Runner().Objectives = reportingObjectives(2, 0)
+	if err := d3.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Stop()
+	base = "http://" + d3.Addr()
+	waitTenantState(t, base, id, budgetTokenA, "done")
+
+	spec2 := `{"name":"over","algo":"grid","space":{"num_epochs":[1]},"start":true,"memoize":false}`
+	code, hdr, body := tenantJSON(t, "POST", base+"/v1/studies", budgetTokenA, spec2)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget start = %d %v, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+	if msg := body["error"].(string); !strings.Contains(msg, "total_epochs") {
+		t.Fatalf("429 body %q does not name the epoch budget", msg)
+	}
+	if code, _, _ := tenantJSON(t, "POST", base+"/v1/studies", budgetTokenAdmin,
+		`{"name":"ok","algo":"grid","space":{"num_epochs":[1]},"start":true,"memoize":false}`); code != http.StatusCreated {
+		t.Fatalf("other tenant start = %d, want 201", code)
+	}
+
+	// Compaction drops the metric records; the budget verdict must not
+	// move — then prove it once more across a final restart.
+	if code, _, _ := tenantJSON(t, "POST", base+"/v1/admin/compact", budgetTokenAdmin, ""); code != http.StatusOK {
+		t.Fatal("compact failed")
+	}
+	if code, _, _ := tenantJSON(t, "POST", base+"/v1/studies/"+id+"/start", budgetTokenA, ""); code != http.StatusTooManyRequests {
+		t.Fatalf("post-compaction re-run = %d, want 429 (budget spent)", code)
+	}
+	if err := d3.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	d4, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d4.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d4.Stop()
+	base = "http://" + d4.Addr()
+	if code, _, _ := tenantJSON(t, "POST", base+"/v1/studies/"+id+"/start", budgetTokenA, ""); code != http.StatusTooManyRequests {
+		t.Fatalf("post-compaction-restart re-run = %d, want 429 (budget re-derived)", code)
+	}
+}
+
+// TestDaemonRejectsTokenWithTenants: -token and -tenants are mutually
+// exclusive at boot, and a broken registry file fails the boot.
+func TestDaemonRejectsTokenWithTenants(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions(filepath.Join(dir, "hpod.journal"))
+	o.token = "x"
+	o.tenants = writeTenants(t, dir, `{"tenants":[{"id":"a","token":"ta"}]}`)
+	if _, err := newDaemon(o); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("boot with -token and -tenants: err = %v", err)
+	}
+	o.token = ""
+	o.tenants = writeTenants(t, dir, `{"tenants":[{"id":"has.dot","token":"ta"}]}`)
+	if _, err := newDaemon(o); err == nil || !strings.Contains(err.Error(), "letters, digits") {
+		t.Fatalf("boot with dotted tenant id: err = %v", err)
+	}
+}

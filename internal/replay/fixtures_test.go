@@ -240,6 +240,35 @@ func fixtures() []fixture {
 			runs: 1,
 		},
 		{
+			name: "tenant-async-rung",
+			generate: func(t *testing.T, dir string) {
+				// The async-rung run, but the study is created tenant-tagged
+				// and server-style (state records) first — the golden journal
+				// the tenancy contract replays: tenant and epoch accounting
+				// must ride the same record stream every other fixture pins.
+				j, err := store.OpenJournal(dir, store.JournalOptions{NoSync: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := j.CreateStudy(store.StudyMeta{ID: fixtureStudy, Tenant: "acme"}); err != nil {
+					t.Fatal(err)
+				}
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				space := mustSpace(t, rungSpaceJSON)
+				rh := hpo.NewRungHyperbandAsync(space, fixMaxR, fixEta, fixSeed)
+				runFixtureStudy(t, dir, 1, true, hpo.StudyOptions{
+					Sampler: rh, Scheduler: rh, Objective: fixtureObjective(fixMaxR, nil),
+				})
+			},
+			params: func(t *testing.T) replay.Params {
+				return replay.Params{Scheduler: "hyperband", RungMode: hpo.RungAsync,
+					Space: mustSpace(t, rungSpaceJSON), Budget: fixMaxR, Eta: fixEta, Seed: fixSeed}
+			},
+			runs: 1,
+		},
+		{
 			name: "restart-async-rung",
 			generate: func(t *testing.T, dir string) {
 				// Two server-style runs over one journal: run 1 completes the

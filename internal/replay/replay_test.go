@@ -258,6 +258,26 @@ func TestDriftFixturesReplayIdentically(t *testing.T) {
 	}
 }
 
+// TestTenantFixtureIsTagged pins that the tenant-tagged golden journal
+// really carries its tenant through snapshot reads — the tag multi-tenant
+// quota accounting re-derives from — and that a regeneration cannot
+// silently drop it.
+func TestTenantFixtureIsTagged(t *testing.T) {
+	meta, recs := loadFixture(t, "tenant-async-rung")
+	if meta.Tenant != "acme" {
+		t.Fatalf("fixture meta.Tenant = %q, want %q", meta.Tenant, "acme")
+	}
+	metrics := 0
+	for _, r := range recs {
+		if r.Metric != nil {
+			metrics++
+		}
+	}
+	if metrics == 0 {
+		t.Fatal("tenant fixture streams no metric records — nothing for epoch budgets to count")
+	}
+}
+
 // fixtureParams returns the replay params of a named fixture.
 func fixtureParams(t *testing.T, name string) replay.Params {
 	t.Helper()

@@ -654,6 +654,7 @@ func (rt *Runtime) ExtendTask(id, budget int) bool {
 	ok := rt.backend.extendRunning(inv, budget)
 	if ok {
 		obsExtendLatency.ObserveSince(t0)
+		obsExtendLastLatency.Set(time.Since(t0).Seconds())
 	}
 	return ok
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/hpo"
 	"repro/internal/obs"
 )
 
@@ -98,6 +99,14 @@ func (s *Server) registerScrapeHook() {
 		}
 		for _, state := range studyStates {
 			obsStudies.With(state).Set(float64(byState[state]))
+		}
+
+		if s.tenants != nil {
+			// Tenant ids label the series (bounded by the static registry);
+			// tokens never reach the registry.
+			for _, id := range s.tenants.IDs() {
+				hpo.SetTenantEpochsUsed(id, s.store.TenantEpochs(id))
+			}
 		}
 	})
 }

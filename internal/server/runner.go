@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -31,6 +32,7 @@ type RuntimeFactory func(spec StudySpec) (*runtime.Runtime, func(), error)
 type Runner struct {
 	store   *store.Journal
 	pool    *runtime.Pool
+	adm     *hpo.AdmissionQueue
 	factory RuntimeFactory
 	// Objectives overrides spec→objective construction (tests inject fast
 	// synthetic objectives here); nil uses StudySpec.BuildObjective.
@@ -57,21 +59,63 @@ type Runner struct {
 	cancelReq map[string]bool
 }
 
-// NewRunner builds a runner executing at most maxConcurrent studies at once.
+// NewRunner builds a runner executing at most maxConcurrent studies at
+// once. Concurrency is enforced by the admission queue, not the worker
+// pool: every submitted study gets a goroutine immediately, but blocks in
+// AdmissionQueue.Await until the queue grants it one of maxConcurrent
+// slots — that is what makes weighted fair-share ordering (instead of
+// pool FIFO) decide who runs next under contention.
 func NewRunner(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Runner {
 	return &Runner{
-		store: st, pool: runtime.NewPool(maxConcurrent), factory: factory,
+		store: st, pool: runtime.NewPool(1 << 20),
+		adm: hpo.NewAdmissionQueue(maxConcurrent), factory: factory,
 		active:    make(map[string]*hpo.Study),
 		cancelReq: make(map[string]bool),
 	}
 }
 
+// ConfigureTenancy installs the tenant quota resolver and the
+// journal-derived epoch-usage resolver on the admission queue. Configure
+// before serving traffic.
+func (r *Runner) ConfigureTenancy(limits func(tenant string) hpo.TenantLimits, epochs func(tenant string) int) {
+	r.adm.SetLimits(limits)
+	r.adm.SetEpochUsage(epochs)
+}
+
+// SetQueueDepth bounds the admission waiting room (0 = unbounded); a full
+// room rejects Start with hpo.ErrBackpressure.
+func (r *Runner) SetQueueDepth(n int) { r.adm.SetMaxDepth(n) }
+
+// Admission exposes the admission queue (metrics, tests).
+func (r *Runner) Admission() *hpo.AdmissionQueue { return r.adm }
+
 // Start queues a persisted study for execution and returns its job handle.
 // Starting a study that is already queued or running returns the live
 // handle (idempotent); finished (or canceled) studies re-run, resuming
-// every recorded trial from the journal.
+// every recorded trial from the journal. Admission is checked first: a
+// tenant at quota gets hpo.ErrQuotaExceeded, a full waiting room
+// hpo.ErrBackpressure — in both cases nothing is journaled.
 func (r *Runner) Start(id string) (*runtime.Job, error) {
-	if _, err := r.store.GetStudy(id); err != nil {
+	return r.start(id, nil, false)
+}
+
+// StartWait is Start that, when the waiting room is full, blocks for
+// space until ctx expires (then hpo.ErrBackpressureTimeout) instead of
+// failing fast. Quota rejections still return immediately.
+func (r *Runner) StartWait(ctx context.Context, id string) (*runtime.Job, error) {
+	return r.start(id, ctx, false)
+}
+
+// startForced is the restart path: studies the journal already recorded
+// as active were admitted once and re-enter the room bypassing quota and
+// depth checks.
+func (r *Runner) startForced(id string) (*runtime.Job, error) {
+	return r.start(id, nil, true)
+}
+
+func (r *Runner) start(id string, waitCtx context.Context, forced bool) (*runtime.Job, error) {
+	meta, err := r.store.GetStudy(id)
+	if err != nil {
 		return nil, err
 	}
 	if job, ok := r.pool.Job(id); ok {
@@ -82,10 +126,35 @@ func (r *Runner) Start(id string) (*runtime.Job, error) {
 	r.mu.Lock()
 	delete(r.cancelReq, id) // an explicit restart clears a stale cancel
 	r.mu.Unlock()
-	if err := r.store.SetStudyState(id, store.StateQueued, "", nil); err != nil {
+	switch {
+	case forced:
+		err = r.adm.ReserveForced(meta.Tenant, id)
+	case waitCtx != nil:
+		err = r.adm.ReserveWait(waitCtx, meta.Tenant, id)
+	default:
+		err = r.adm.Reserve(meta.Tenant, id)
+	}
+	if err != nil {
 		return nil, err
 	}
-	return r.pool.Submit(id, func() error { return r.execute(id) })
+	if err := r.store.SetStudyState(id, store.StateQueued, "", nil); err != nil {
+		r.adm.Release(id)
+		return nil, err
+	}
+	job, err := r.pool.Submit(id, func() error {
+		if err := r.adm.Await(id); err != nil {
+			// Reservation withdrawn (cancel or shutdown) before a slot was
+			// granted; nothing ran, nothing to release.
+			return nil
+		}
+		defer r.adm.Release(id)
+		return r.execute(id)
+	})
+	if err != nil {
+		r.adm.Release(id)
+		return nil, err
+	}
+	return job, nil
 }
 
 // Cancel stops a queued or running study: the live study (if any) receives
@@ -112,8 +181,10 @@ func (r *Runner) Cancel(id string) error {
 	if !meta.State.Active() {
 		return fmt.Errorf("%w: %s is %s", ErrNotCancelable, id, meta.State)
 	}
-	// Queued but not yet executing: journal the terminal state now;
-	// execute skips it when the pool slot frees up.
+	// Queued but not yet executing: withdraw the admission reservation (its
+	// Await returns the abort, so the worker never runs) and journal the
+	// terminal state. If the grant raced us, execute observes cancelReq.
+	r.adm.Abort(id)
 	return r.store.SetStudyState(id, store.StateCanceled, "canceled by operator", nil)
 }
 
@@ -123,7 +194,7 @@ func (r *Runner) Cancel(id string) error {
 func (r *Runner) Resume() ([]*runtime.Job, error) {
 	var jobs []*runtime.Job
 	for _, id := range r.store.ActiveStudies() {
-		job, err := r.Start(id)
+		job, err := r.startForced(id)
 		if err != nil {
 			return jobs, err
 		}
@@ -135,11 +206,14 @@ func (r *Runner) Resume() ([]*runtime.Job, error) {
 // Job exposes a study's execution handle.
 func (r *Runner) Job(id string) (*runtime.Job, bool) { return r.pool.Job(id) }
 
-// Close stops accepting work and waits up to drain for in-flight studies
-// (their journaled trials make abandonment safe; zero waits forever). It
-// reports whether the pool fully drained.
+// Close stops accepting work, aborts every study still waiting for
+// admission (their journaled queued state resumes them next boot), and
+// waits up to drain for executing studies (their journaled trials make
+// abandonment safe; zero waits forever). It reports whether the pool
+// fully drained.
 func (r *Runner) Close(drain time.Duration) bool {
 	r.pool.Close()
+	r.adm.Shutdown()
 	return r.pool.Drain(drain)
 }
 

@@ -25,6 +25,7 @@
 package server
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -32,8 +33,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
+	"repro/internal/hpo"
 	"repro/internal/runtime"
 	"repro/internal/store"
 )
@@ -47,16 +50,40 @@ type Server struct {
 	// token, when non-empty, gates every endpoint except /healthz behind
 	// bearer auth.
 	token string
+	// tenants, when non-nil, switches the server to multi-tenant mode:
+	// bearer tokens resolve to tenants, study ids are tenant-prefixed, and
+	// listings/reads are tenant-scoped.
+	tenants *TenantRegistry
+	// retryAfter is the Retry-After hint attached to 429/503 admission
+	// rejections.
+	retryAfter time.Duration
+
+	// subsMu guards subs, the per-tenant count of connected SSE
+	// subscribers (the MaxEventSubscribers quota denominator).
+	subsMu sync.Mutex
+	subs   map[string]int
+}
+
+// tenantKey carries the resolved *Tenant through the request context.
+type tenantKey struct{}
+
+// tenantOf returns the request's resolved tenant (nil in single-token
+// mode).
+func tenantOf(r *http.Request) *Tenant {
+	t, _ := r.Context().Value(tenantKey{}).(*Tenant)
+	return t
 }
 
 // New wires a server over a journal and a runtime factory. maxConcurrent
 // bounds simultaneously executing studies.
 func New(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Server {
 	s := &Server{
-		store:   st,
-		runner:  NewRunner(st, factory, maxConcurrent),
-		started: time.Now(),
-		mux:     http.NewServeMux(),
+		store:      st,
+		runner:     NewRunner(st, factory, maxConcurrent),
+		started:    time.Now(),
+		mux:        http.NewServeMux(),
+		retryAfter: time.Second,
+		subs:       make(map[string]int),
 	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
@@ -88,15 +115,44 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 // trial metrics are not public data.
 func (s *Server) SetAuthToken(tok string) { s.token = tok }
 
-// Handler returns the HTTP handler tree (wrapped with auth when a token is
-// configured).
+// SetTenantRegistry switches the server to multi-tenant mode: every
+// request (bar /healthz and /metrics) must present a registered tenant's
+// bearer token, studies live in per-tenant namespaces, and the runner's
+// admission queue enforces the registry's quota envelopes (epoch budgets
+// re-derived from the journal). Supersedes SetAuthToken.
+func (s *Server) SetTenantRegistry(reg *TenantRegistry) {
+	s.tenants = reg
+	s.runner.ConfigureTenancy(reg.Limits, s.store.TenantEpochs)
+}
+
+// SetRetryAfter tunes the Retry-After hint on 429/503 admission
+// rejections (default 1s).
+func (s *Server) SetRetryAfter(d time.Duration) {
+	if d > 0 {
+		s.retryAfter = d
+	}
+}
+
+// Handler returns the HTTP handler tree (wrapped with auth when a token
+// or a tenant registry is configured).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.token != "" && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
-			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.token)) != 1 {
-				w.Header().Set("WWW-Authenticate", "Bearer")
-				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "server: missing or invalid bearer token"})
-				return
+		if r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+			switch {
+			case s.tenants != nil:
+				tenant := s.tenants.Resolve(r.Header.Get("Authorization"))
+				if tenant == nil {
+					w.Header().Set("WWW-Authenticate", "Bearer")
+					writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "server: missing or invalid bearer token"})
+					return
+				}
+				r = r.WithContext(context.WithValue(r.Context(), tenantKey{}, tenant))
+			case s.token != "":
+				if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.token)) != 1 {
+					w.Header().Set("WWW-Authenticate", "Bearer")
+					writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "server: missing or invalid bearer token"})
+					return
+				}
 			}
 		}
 		s.mux.ServeHTTP(w, r)
@@ -113,8 +169,17 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps sentinel errors onto HTTP statuses.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps sentinel errors onto HTTP statuses. Admission errors
+// carry a Retry-After hint: 429 for quota rejections (retry after the
+// tenant's own studies finish), 503 for backpressure (retry after the
+// shared waiting room drains).
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, s.errorStatus(w, err), map[string]string{"error": err.Error()})
+}
+
+// errorStatus resolves err's HTTP status, setting Retry-After on the
+// response for admission rejections.
+func (s *Server) errorStatus(w http.ResponseWriter, err error) int {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, store.ErrNotFound):
@@ -125,10 +190,41 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrNotCancelable):
 		code = http.StatusConflict
-	case errors.Is(err, store.ErrClosed), errors.Is(err, runtime.ErrPoolClosed):
+	case errors.Is(err, hpo.ErrQuotaExceeded):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retryAfter)))
+	case errors.Is(err, hpo.ErrBackpressure), errors.Is(err, hpo.ErrBackpressureTimeout):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retryAfter)))
+	case errors.Is(err, hpo.ErrAdmissionAborted),
+		errors.Is(err, store.ErrClosed), errors.Is(err, runtime.ErrPoolClosed):
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	return code
+}
+
+// getVisible loads a study enforcing tenant scoping: a study owned by
+// another tenant reads as not-found — existence itself is namespaced, so
+// ids never leak across tenants.
+func (s *Server) getVisible(r *http.Request, id string) (store.StudyMeta, error) {
+	meta, err := s.store.GetStudy(id)
+	if err != nil {
+		return store.StudyMeta{}, err
+	}
+	if t := tenantOf(r); t != nil && meta.Tenant != t.ID {
+		return store.StudyMeta{}, fmt.Errorf("%w: %s", store.ErrNotFound, id)
+	}
+	return meta, nil
+}
+
+// retryAfterSeconds renders a Retry-After duration in whole seconds,
+// rounding sub-second hints up to 1 (a zero hint reads as "no wait").
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // studyView is the API rendering of a study.
@@ -191,9 +287,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // reclaim counters plus the cumulative totals — the same numbers /healthz
 // reports under "journal".
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if t := tenantOf(r); t != nil && !t.Admin {
+		writeJSON(w, http.StatusForbidden,
+			map[string]string{"error": "server: compaction requires an admin tenant"})
+		return
+	}
 	delta, err := s.store.Compact()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -205,64 +306,99 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		s.writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
 		return
 	}
 	spec, err := ParseSpec(raw)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	id := NewStudyID()
+	tenantID := ""
+	if t := tenantOf(r); t != nil {
+		// The tenant id prefixes the study id, so per-study journal
+		// sharding doubles as per-tenant sharding and ids are namespaced.
+		tenantID = t.ID
+		id = t.ID + "." + id
+	}
 	name := spec.Name
 	if name == "" {
 		name = id
 	}
-	if err := s.store.CreateStudy(store.StudyMeta{ID: id, Name: name, Spec: raw}); err != nil {
-		writeError(w, err)
+	if err := s.store.CreateStudy(store.StudyMeta{ID: id, Name: name, Tenant: tenantID, Spec: raw}); err != nil {
+		s.writeError(w, err)
 		return
 	}
 	if spec.Start {
 		if _, err := s.runner.Start(id); err != nil {
-			writeError(w, err)
+			// The study exists but was refused admission (quota or
+			// backpressure): return the id so the client can start it later.
+			writeJSON(w, s.errorStatus(w, err), map[string]string{"error": err.Error(), "id": id})
 			return
 		}
 	}
 	meta, err := s.store.GetStudy(id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.view(meta, false))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
 	metas := s.store.ListStudies()
 	out := make([]studyView, 0, len(metas))
 	for _, m := range metas {
+		if tenant != nil && m.Tenant != tenant.ID {
+			continue
+		}
 		out = append(out, s.view(m, false))
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"studies": out})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	meta, err := s.store.GetStudy(r.PathValue("id"))
+	meta, err := s.getVisible(r, r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.view(meta, true))
 }
 
+// handleStart queues the study. ?wait=<duration> turns waiting-room
+// backpressure into a bounded block: the request holds until admission
+// or the deadline (then 503 with ErrBackpressureTimeout) instead of
+// failing fast.
 func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, err := s.runner.Start(id); err != nil {
-		writeError(w, err)
+	if _, err := s.getVisible(r, id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var err error
+	if q := r.URL.Query().Get("wait"); q != "" {
+		d, perr := time.ParseDuration(q)
+		if perr != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("server: wait must be a positive duration, got %q", q)})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		_, err = s.runner.StartWait(ctx, id)
+		cancel()
+	} else {
+		_, err = s.runner.Start(id)
+	}
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
 	meta, err := s.store.GetStudy(id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.view(meta, false))
@@ -272,22 +408,31 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 // terminal and journaled, so a restarting daemon never re-queues it.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, err := s.getVisible(r, id); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	if err := s.runner.Cancel(id); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	meta, err := s.store.GetStudy(id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.view(meta, false))
 }
 
 func (s *Server) handleTrials(w http.ResponseWriter, r *http.Request) {
-	trials, err := s.store.StudyTrials(r.PathValue("id"))
+	id := r.PathValue("id")
+	if _, err := s.getVisible(r, id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	trials, err := s.store.StudyTrials(id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"trials": trials})
@@ -299,8 +444,8 @@ func (s *Server) handleTrials(w http.ResponseWriter, r *http.Request) {
 // study reaches a terminal state and all its events have been sent.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, err := s.store.GetStudy(id); err != nil {
-		writeError(w, err)
+	if _, err := s.getVisible(r, id); err != nil {
+		s.writeError(w, err)
 		return
 	}
 	since := uint64(0)
@@ -315,9 +460,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, errors.New("server: response writer cannot stream"))
+		s.writeError(w, errors.New("server: response writer cannot stream"))
 		return
 	}
+	tenant := tenantOf(r)
+	if err := s.acquireSubscriber(tenant); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.releaseSubscriber(tenant)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -352,4 +503,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-watch:
 		}
 	}
+}
+
+// acquireSubscriber reserves one SSE stream slot against the tenant's
+// MaxEventSubscribers quota (nil tenant / zero quota = unlimited,
+// counted under the "default" namespace).
+func (s *Server) acquireSubscriber(t *Tenant) error {
+	id := ""
+	if t != nil {
+		id = t.ID
+	}
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	if t != nil && t.MaxEventSubscribers > 0 && s.subs[id] >= t.MaxEventSubscribers {
+		err := &hpo.QuotaError{Tenant: id, Resource: "event_subscribers",
+			Used: s.subs[id], Limit: t.MaxEventSubscribers}
+		hpo.CountRejection(id, err)
+		return err
+	}
+	s.subs[id]++
+	hpo.AddTenantSubscribers(id, 1)
+	return nil
+}
+
+// releaseSubscriber returns an SSE stream slot.
+func (s *Server) releaseSubscriber(t *Tenant) {
+	id := ""
+	if t != nil {
+		id = t.ID
+	}
+	s.subsMu.Lock()
+	s.subs[id]--
+	if s.subs[id] <= 0 {
+		delete(s.subs, id)
+	}
+	s.subsMu.Unlock()
+	hpo.AddTenantSubscribers(id, -1)
 }

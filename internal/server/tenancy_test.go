@@ -1,0 +1,595 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpo"
+	"repro/internal/runtime"
+	"repro/internal/store"
+)
+
+// Tenancy contract suite: multi-tenant isolation, quota enforcement
+// under concurrency, weighted fair-share admission ordering (the tests
+// fail if admission degrades to FCFS), and typed 429/503 backpressure
+// with Retry-After. Run with -race — the quota invariants are exactly
+// the ones concurrency breaks first.
+
+// newTenantTestServer wires a server in multi-tenant mode over a temp
+// journal.
+func newTenantTestServer(t *testing.T, maxConcurrent int, registryJSON string) (*Server, *httptest.Server) {
+	t.Helper()
+	journal, err := store.OpenJournal(filepath.Join(t.TempDir(), "j.journal"), store.JournalOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal.Close() })
+	factory := func(spec StudySpec) (*runtime.Runtime, func(), error) {
+		rt, err := runtime.New(runtime.Options{Cluster: cluster.Local(2), Backend: runtime.Real})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rt, rt.Shutdown, nil
+	}
+	reg, err := ParseTenantRegistry([]byte(registryJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(journal, factory, maxConcurrent)
+	srv.SetTenantRegistry(reg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// authJSON issues a bearer-authenticated request and decodes the JSON
+// body, returning status, headers and body.
+func authJSON(t *testing.T, method, url, token, body string) (int, http.Header, map[string]interface{}) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+// gate serves per-study-name blocking objectives and records the order
+// in which studies began executing — the observable admission order.
+type gate struct {
+	mu    sync.Mutex
+	order []string
+	ch    map[string]chan struct{}
+}
+
+func newGate() *gate { return &gate{ch: make(map[string]chan struct{})} }
+
+func (g *gate) chanFor(name string) chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ch[name] == nil {
+		g.ch[name] = make(chan struct{})
+	}
+	return g.ch[name]
+}
+
+// objectives is the Runner.Objectives hook: each study's single trial
+// records its start then blocks until release(name).
+func (g *gate) objectives(spec StudySpec) (hpo.Objective, error) {
+	name := spec.Name
+	ch := g.chanFor(name)
+	return &hpo.FuncObjective{ObjName: "gated", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+		g.mu.Lock()
+		g.order = append(g.order, name)
+		g.mu.Unlock()
+		<-ch
+		return hpo.TrialMetrics{BestAcc: 0.5, FinalAcc: 0.5, Epochs: 1, ValAccHistory: []float64{0.5}}, nil
+	}}, nil
+}
+
+func (g *gate) release(name string) { close(g.chanFor(name)) }
+
+func (g *gate) started() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+// waitStarted blocks until n studies have begun executing.
+func (g *gate) waitStarted(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(g.started()) >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("only %d studies started executing, want %d", len(g.started()), n)
+}
+
+// oneTrialSpec builds a single-trial spec named name that starts
+// immediately. Memoization is off: these tests pin who executes when,
+// and cross-study result reuse would answer identical configs from the
+// journal without ever running the gated objective.
+func oneTrialSpec(name string) string {
+	return fmt.Sprintf(`{"name":%q,"algo":"grid","space":{"num_epochs":[1]},"start":true,"memoize":false}`, name)
+}
+
+const isolationRegistry = `{"tenants": [
+	{"id": "acme", "token": "tok-acme"},
+	{"id": "umbrella", "token": "tok-umbrella", "admin": true}
+]}`
+
+// TestTenantIsolation: tenants see exactly their own namespace — foreign
+// studies 404 on every per-study endpoint, listings are scoped, admin
+// endpoints are gated, and unknown tokens are 401.
+func TestTenantIsolation(t *testing.T) {
+	_, ts := newTenantTestServer(t, 2, isolationRegistry)
+
+	if code, _, _ := authJSON(t, "GET", ts.URL+"/v1/studies", "", ""); code != http.StatusUnauthorized {
+		t.Fatalf("no token: %d, want 401", code)
+	}
+	if code, _, _ := authJSON(t, "GET", ts.URL+"/v1/studies", "wrong", ""); code != http.StatusUnauthorized {
+		t.Fatalf("bad token: %d, want 401", code)
+	}
+
+	spec := `{"name":"a-study","algo":"grid","space":{"num_epochs":[1,2]}}`
+	code, _, created := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-acme", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+	if !strings.HasPrefix(id, "acme.") {
+		t.Fatalf("study id %q not namespaced under tenant acme", id)
+	}
+
+	// The owner sees it; the other tenant sees an empty namespace and
+	// not-found on every per-study route — existence must not leak.
+	code, _, listed := authJSON(t, "GET", ts.URL+"/v1/studies", "tok-acme", "")
+	if code != http.StatusOK || len(listed["studies"].([]interface{})) != 1 {
+		t.Fatalf("owner list = %d %v", code, listed)
+	}
+	code, _, listed = authJSON(t, "GET", ts.URL+"/v1/studies", "tok-umbrella", "")
+	if code != http.StatusOK || len(listed["studies"].([]interface{})) != 0 {
+		t.Fatalf("foreign list = %d %v, want empty", code, listed)
+	}
+	for _, route := range []struct{ method, path string }{
+		{"GET", "/v1/studies/" + id},
+		{"GET", "/v1/studies/" + id + "/trials"},
+		{"GET", "/v1/studies/" + id + "/events"},
+		{"GET", "/v1/studies/" + id + "/timeline"},
+		{"POST", "/v1/studies/" + id + "/start"},
+		{"POST", "/v1/studies/" + id + "/cancel"},
+		{"POST", "/v1/studies/" + id + "/verify"},
+	} {
+		if code, _, _ := authJSON(t, route.method, ts.URL+route.path, "tok-umbrella", ""); code != http.StatusNotFound {
+			t.Fatalf("foreign %s %s = %d, want 404", route.method, route.path, code)
+		}
+	}
+
+	// Admin gating: compaction needs an admin tenant.
+	if code, _, _ := authJSON(t, "POST", ts.URL+"/v1/admin/compact", "tok-acme", ""); code != http.StatusForbidden {
+		t.Fatalf("non-admin compact = %d, want 403", code)
+	}
+	if code, _, _ := authJSON(t, "POST", ts.URL+"/v1/admin/compact", "tok-umbrella", ""); code != http.StatusOK {
+		t.Fatalf("admin compact = %d, want 200", code)
+	}
+
+	// /healthz and /metrics stay unauthenticated (probes and scrapers).
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+const quotaRegistry = `{"tenants": [
+	{"id": "acme", "token": "tok-acme", "max_concurrent_studies": 2},
+	{"id": "umbrella", "token": "tok-umbrella"}
+]}`
+
+// TestTenantConcurrentStudyQuota: the tenant's third concurrent study is
+// rejected 429 with the quota sentinel and a Retry-After hint while two
+// run; other tenants are unaffected; the slot freed by a finished study
+// admits the rejected one.
+func TestTenantConcurrentStudyQuota(t *testing.T) {
+	srv, ts := newTenantTestServer(t, 4, quotaRegistry)
+	g := newGate()
+	srv.Runner().Objectives = g.objectives
+
+	for _, name := range []string{"a1", "a2"} {
+		if code, _, body := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-acme", oneTrialSpec(name)); code != http.StatusCreated {
+			t.Fatalf("create %s = %d %v", name, code, body)
+		}
+	}
+	g.waitStarted(t, 2)
+
+	// Third concurrent study: created, but refused admission with 429 +
+	// Retry-After; the body carries the id so the client can start later.
+	code, hdr, body := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-acme", oneTrialSpec("a3"))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("3rd concurrent study = %d %v, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	if msg := body["error"].(string); !strings.Contains(msg, "tenant quota exceeded") || !strings.Contains(msg, "concurrent_studies") {
+		t.Fatalf("429 body %q does not name the quota sentinel", msg)
+	}
+	a3 := body["id"].(string)
+	if a3 == "" {
+		t.Fatal("429 body carries no study id")
+	}
+
+	// The other tenant is not collateral damage.
+	code, _, body = authJSON(t, "POST", ts.URL+"/v1/studies", "tok-umbrella", oneTrialSpec("b1"))
+	if code != http.StatusCreated {
+		t.Fatalf("other tenant create = %d %v", code, body)
+	}
+	g.waitStarted(t, 3)
+
+	// Finish one of acme's studies; its slot admits the rejected study.
+	g.release("a1")
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		code, _, _ = authJSON(t, "POST", ts.URL+"/v1/studies/"+a3+"/start", "tok-acme", "")
+		if code == http.StatusAccepted {
+			break
+		}
+		if code != http.StatusTooManyRequests || !time.Now().Before(deadline) {
+			t.Fatalf("restart after slot freed = %d", code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, name := range []string{"a2", "a3", "b1"} {
+		g.release(name)
+	}
+}
+
+const hammerRegistry = `{"tenants": [
+	{"id": "h-a", "token": "tok-h-a", "max_concurrent_studies": 1},
+	{"id": "h-b", "token": "tok-h-b", "max_concurrent_studies": 1}
+]}`
+
+// TestTenantQuotaNeverOversubscribesHTTP: two tenants race M concurrent
+// submissions each through the HTTP plane; at no instant does a tenant
+// execute more studies than its quota, every rejection is exactly 429
+// with the quota sentinel, and retries eventually run everything.
+func TestTenantQuotaNeverOversubscribesHTTP(t *testing.T) {
+	const perTenant = 5
+	srv, ts := newTenantTestServer(t, 4, hammerRegistry)
+
+	var violations atomic.Int32
+	running := map[string]*atomic.Int32{"h-a": {}, "h-b": {}}
+	srv.Runner().Objectives = func(spec StudySpec) (hpo.Objective, error) {
+		tenant := strings.SplitN(spec.Name, "/", 2)[0]
+		return &hpo.FuncObjective{ObjName: "hammer", Fn: func(ctx hpo.ObjectiveContext) (hpo.TrialMetrics, error) {
+			if cur := running[tenant].Add(1); cur > 1 {
+				violations.Add(1)
+			}
+			time.Sleep(5 * time.Millisecond)
+			running[tenant].Add(-1)
+			return hpo.TrialMetrics{BestAcc: 0.5, FinalAcc: 0.5, Epochs: 1, ValAccHistory: []float64{0.5}}, nil
+		}}, nil
+	}
+
+	var wg sync.WaitGroup
+	var rejected atomic.Int32
+	ids := make(chan string, 2*perTenant)
+	for _, tenant := range []string{"h-a", "h-b"} {
+		token := "tok-" + tenant
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				code, _, body := authJSON(t, "POST", ts.URL+"/v1/studies", token, oneTrialSpec(name))
+				id, _ := body["id"].(string)
+				switch code {
+				case http.StatusCreated:
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+					// The rejected study exists; retry starting it until the
+					// quota admits it.
+					admitted := false
+					deadline := time.Now().Add(30 * time.Second)
+					for time.Now().Before(deadline) {
+						c, _, _ := authJSON(t, "POST", ts.URL+"/v1/studies/"+id+"/start", token, "")
+						if c == http.StatusAccepted {
+							admitted = true
+							break
+						}
+						if c != http.StatusTooManyRequests {
+							t.Errorf("retry start %s = %d", name, c)
+							return
+						}
+						time.Sleep(5 * time.Millisecond)
+					}
+					if !admitted {
+						t.Errorf("%s never admitted", name)
+						return
+					}
+				default:
+					t.Errorf("create %s = %d %v", name, code, body)
+				}
+				ids <- id
+			}(fmt.Sprintf("%s/s%d", tenant, i))
+		}
+	}
+	wg.Wait()
+	close(ids)
+
+	for id := range ids {
+		if id == "" {
+			continue
+		}
+		waitForStateAuth(t, ts.URL, id, tokenForID(id), "done")
+	}
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("quota oversubscribed %d times", v)
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("no submission was ever rejected — the hammer did not contend")
+	}
+}
+
+func tokenForID(id string) string {
+	return "tok-" + strings.SplitN(id, ".", 2)[0]
+}
+
+// waitForStateAuth is waitForState with a bearer token.
+func waitForStateAuth(t *testing.T, base, id, token, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, _, study := authJSON(t, "GET", base+"/v1/studies/"+id, token, "")
+		if code != http.StatusOK {
+			t.Fatalf("get %s: HTTP %d", id, code)
+		}
+		switch study["state"].(string) {
+		case want:
+			return
+		case "failed":
+			t.Fatalf("study %s failed: %v", id, study["error"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("study %s never reached %s", id, want)
+}
+
+const fairRegistry = `{"tenants": [
+	{"id": "fa", "token": "tok-fa"},
+	{"id": "fb", "token": "tok-fb"},
+	{"id": "fz", "token": "tok-fz"}
+]}`
+
+// TestTenantFairShareNotFCFS: with one execution slot held, tenant fa
+// bursts two studies before fb submits one. FCFS would run fa's burst
+// back-to-back; weighted fair share interleaves fb between them. The
+// assertion is on the exact grant order, so a regression to
+// first-come-first-served fails.
+func TestTenantFairShareNotFCFS(t *testing.T) {
+	srv, ts := newTenantTestServer(t, 1, fairRegistry)
+	g := newGate()
+	srv.Runner().Objectives = g.objectives
+
+	// Occupy the only slot.
+	if code, _, body := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-fz", oneTrialSpec("z1")); code != http.StatusCreated {
+		t.Fatalf("create z1 = %d %v", code, body)
+	}
+	g.waitStarted(t, 1)
+
+	// fa bursts two studies, then fb submits one; all three wait.
+	for _, c := range []struct{ token, name string }{
+		{"tok-fa", "a1"}, {"tok-fa", "a2"}, {"tok-fb", "b1"},
+	} {
+		if code, _, body := authJSON(t, "POST", ts.URL+"/v1/studies", c.token, oneTrialSpec(c.name)); code != http.StatusCreated {
+			t.Fatalf("create %s = %d %v", c.name, code, body)
+		}
+	}
+	adm := srv.Runner().Admission()
+	deadline := time.Now().Add(20 * time.Second)
+	for adm.Depth() != 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if d := adm.Depth(); d != 3 {
+		t.Fatalf("admission depth = %d, want 3 waiting", d)
+	}
+
+	// Drain one slot at a time and observe the grant order.
+	g.release("z1")
+	g.waitStarted(t, 2)
+	g.release(g.started()[1])
+	g.waitStarted(t, 3)
+	g.release(g.started()[2])
+	g.waitStarted(t, 4)
+	g.release(g.started()[3])
+
+	got := strings.Join(g.started(), " ")
+	if want := "z1 a1 b1 a2"; got != want {
+		t.Fatalf("admission order = %q, want %q (FCFS would give \"z1 a1 a2 b1\")", got, want)
+	}
+}
+
+const bpRegistry = `{"tenants": [
+	{"id": "bp-z", "token": "tok-bp-z"},
+	{"id": "bp-a", "token": "tok-bp-a"}
+]}`
+
+// TestBackpressureBoundedQueue: with one slot and queue depth 1, the
+// second waiting study is rejected 503 with ErrBackpressure and the
+// configured Retry-After; ?wait= blocks then times out with the typed
+// timeout; the admission metrics agree with what was observed; and no
+// bearer token ever appears in the exposition.
+func TestBackpressureBoundedQueue(t *testing.T) {
+	srv, ts := newTenantTestServer(t, 1, bpRegistry)
+	srv.Runner().SetQueueDepth(1)
+	srv.SetRetryAfter(7 * time.Second)
+	g := newGate()
+	srv.Runner().Objectives = g.objectives
+
+	if code, _, body := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-bp-z", oneTrialSpec("z1")); code != http.StatusCreated {
+		t.Fatalf("create z1 = %d %v", code, body)
+	}
+	g.waitStarted(t, 1)
+	if code, _, body := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-bp-a", oneTrialSpec("a1")); code != http.StatusCreated {
+		t.Fatalf("create a1 = %d %v", code, body)
+	}
+
+	// Queue full: fail-fast start is 503 + Retry-After with the
+	// backpressure sentinel.
+	code, hdr, body := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-bp-a", oneTrialSpec("a2"))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("over-depth start = %d %v, want 503", code, body)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", ra)
+	}
+	if msg := body["error"].(string); !strings.Contains(msg, "admission queue full") {
+		t.Fatalf("503 body %q does not name backpressure", msg)
+	}
+	a2 := body["id"].(string)
+
+	// Bounded wait: ?wait= holds, then times out with the typed timeout.
+	t0 := time.Now()
+	code, _, body = authJSON(t, "POST", ts.URL+"/v1/studies/"+a2+"/start?wait=80ms", "tok-bp-a", "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("wait-start = %d %v, want 503", code, body)
+	}
+	if msg := body["error"].(string); !strings.Contains(msg, "admission wait timed out") {
+		t.Fatalf("timeout body %q does not name the timeout sentinel", msg)
+	}
+	if waited := time.Since(t0); waited < 80*time.Millisecond {
+		t.Fatalf("wait-start returned after %v, before the 80ms deadline", waited)
+	}
+
+	// The metrics agree with what we just observed: one study waiting,
+	// one backpressure rejection, one timeout rejection — and no token
+	// material anywhere in the exposition.
+	metrics := fetchMetrics(t, ts.URL)
+	for _, want := range []string{
+		`hpo_admission_queue_depth 1`,
+		`hpo_tenant_rejected_total{tenant="bp-a",reason="backpressure"} 1`,
+		`hpo_tenant_rejected_total{tenant="bp-a",reason="backpressure_timeout"} 1`,
+		`hpo_tenant_admitted_total{tenant="bp-z"} 1`,
+		`hpo_tenant_studies_inflight{tenant="bp-a"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	for _, token := range []string{"tok-bp-z", "tok-bp-a"} {
+		if strings.Contains(metrics, token) {
+			t.Fatalf("bearer token %q leaked into /metrics", token)
+		}
+	}
+	if !strings.Contains(metrics, "hpo_admission_queue_oldest_wait_seconds") {
+		t.Error("metrics exposition missing hpo_admission_queue_oldest_wait_seconds")
+	}
+
+	// Draining the slot admits the waiter and empties the waiting room.
+	g.release("z1")
+	g.waitStarted(t, 2)
+	if got := g.started()[1]; got != "a1" {
+		t.Fatalf("freed slot went to %q, want the waiting a1", got)
+	}
+	if d := srv.Runner().Admission().Depth(); d != 0 {
+		t.Fatalf("post-grant admission depth = %d, want 0", d)
+	}
+	g.release("a1")
+}
+
+// fetchMetrics scrapes the exposition.
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+const sseRegistry = `{"tenants": [
+	{"id": "sse", "token": "tok-sse", "max_event_subscribers": 1}
+]}`
+
+// TestTenantSSESubscriberCap: the tenant's second concurrent event
+// stream is rejected 429; disconnecting the first frees the slot.
+func TestTenantSSESubscriberCap(t *testing.T) {
+	_, ts := newTenantTestServer(t, 1, sseRegistry)
+	code, _, created := authJSON(t, "POST", ts.URL+"/v1/studies", "tok-sse",
+		`{"name":"s","algo":"grid","space":{"num_epochs":[1]}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["id"].(string)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/studies/"+id+"/events", nil)
+	req.Header.Set("Authorization", "Bearer tok-sse")
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("first stream = %d, want 200", stream.StatusCode)
+	}
+
+	if code, _, body := authJSON(t, "GET", ts.URL+"/v1/studies/"+id+"/events", "tok-sse", ""); code != http.StatusTooManyRequests {
+		t.Fatalf("second stream = %d %v, want 429", code, body)
+	} else if msg := body["error"].(string); !strings.Contains(msg, "event_subscribers") {
+		t.Fatalf("429 body %q does not name the subscriber quota", msg)
+	}
+
+	// Disconnect the first stream; its slot frees (asynchronously — the
+	// handler notices the closed context on its next wakeup). Probe with
+	// raw requests: a 200 here is an open stream, so don't decode it.
+	stream.Body.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		probe, _ := http.NewRequest("GET", ts.URL+"/v1/studies/"+id+"/events", nil)
+		probe.Header.Set("Authorization", "Bearer tok-sse")
+		resp, err := http.DefaultClient.Do(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("subscriber slot never freed after disconnect")
+}

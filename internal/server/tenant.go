@@ -1,0 +1,161 @@
+package server
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/hpo"
+)
+
+// Multi-tenant registry: a static token→tenant mapping loaded at boot
+// (hpod -tenants tenants.json). Each tenant owns a study namespace —
+// study ids are prefixed "<tenant>." so the per-study journal sharding
+// doubles as per-tenant sharding — and a quota envelope enforced by the
+// runner's admission queue. The registry is immutable after load; quota
+// changes are a daemon restart, which is also what re-derives usage from
+// the journal (docs/TENANCY.md).
+
+// TenantQuotas is a tenant's quota envelope. Zero values mean unlimited —
+// a registry entry with no quotas is a namespace without an envelope.
+type TenantQuotas struct {
+	// MaxConcurrentStudies caps studies admitted (executing) at once.
+	MaxConcurrentStudies int `json:"max_concurrent_studies,omitempty"`
+	// MaxTotalEpochs caps the tenant's cumulative epoch budget across all
+	// its studies, live and terminal — re-derived from the journal on
+	// restart, so it survives crashes and compaction.
+	MaxTotalEpochs int `json:"max_total_epochs,omitempty"`
+	// MaxEventSubscribers caps concurrently connected SSE streams.
+	MaxEventSubscribers int `json:"max_event_subscribers,omitempty"`
+	// Weight biases fair-share admission ordering (default 1.0): a
+	// weight-2 tenant drains its waiting studies twice as fast as a
+	// weight-1 tenant under contention.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Tenant is one registry entry.
+type Tenant struct {
+	// ID names the tenant's namespace. Letters, digits, '_' and '-' only —
+	// no '.', so the "<tenant>.<suffix>" study-id split is unambiguous.
+	ID string `json:"id"`
+	// Token is the bearer token identifying the tenant. Never logged,
+	// never journaled, never exported as a metric label.
+	Token string `json:"token"`
+	// Admin grants access to admin endpoints (POST /v1/admin/compact).
+	Admin bool `json:"admin,omitempty"`
+	TenantQuotas
+}
+
+// TenantRegistry resolves bearer tokens to tenants and tenant ids to
+// quota envelopes.
+type TenantRegistry struct {
+	tenants []*Tenant          // load order, for deterministic listings
+	byID    map[string]*Tenant // id → tenant
+}
+
+// LoadTenantRegistry reads a tenants.json registry file:
+//
+//	{"tenants": [{"id": "acme", "token": "...", "max_concurrent_studies": 2}]}
+func LoadTenantRegistry(path string) (*TenantRegistry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading tenant registry: %w", err)
+	}
+	return ParseTenantRegistry(raw)
+}
+
+// ParseTenantRegistry parses and validates a registry document.
+func ParseTenantRegistry(raw []byte) (*TenantRegistry, error) {
+	var doc struct {
+		Tenants []*Tenant `json:"tenants"`
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("server: parsing tenant registry: %w", err)
+	}
+	if len(doc.Tenants) == 0 {
+		return nil, fmt.Errorf("server: tenant registry declares no tenants")
+	}
+	reg := &TenantRegistry{tenants: doc.Tenants, byID: make(map[string]*Tenant, len(doc.Tenants))}
+	tokens := make(map[string]bool, len(doc.Tenants))
+	for _, t := range doc.Tenants {
+		if err := validTenantID(t.ID); err != nil {
+			return nil, err
+		}
+		if t.Token == "" {
+			return nil, fmt.Errorf("server: tenant %q has an empty token", t.ID)
+		}
+		if reg.byID[t.ID] != nil {
+			return nil, fmt.Errorf("server: duplicate tenant id %q", t.ID)
+		}
+		if tokens[t.Token] {
+			return nil, fmt.Errorf("server: tenant %q reuses another tenant's token", t.ID)
+		}
+		if t.Weight < 0 || t.MaxConcurrentStudies < 0 || t.MaxTotalEpochs < 0 || t.MaxEventSubscribers < 0 {
+			return nil, fmt.Errorf("server: tenant %q has a negative quota", t.ID)
+		}
+		reg.byID[t.ID] = t
+		tokens[t.Token] = true
+	}
+	return reg, nil
+}
+
+// validTenantID enforces the namespace charset: study ids are
+// "<tenant>.<suffix>", so a tenant id must not contain '.' and must fit
+// the journal's study-id charset (docs/JOURNAL.md §1).
+func validTenantID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("server: tenant id %q must be 1-64 characters", id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return fmt.Errorf("server: tenant id %q may only contain letters, digits, '_' and '-'", id)
+		}
+	}
+	return nil
+}
+
+// Resolve maps an Authorization header to its tenant, or nil when no
+// token matches. Every registered token is compared in constant time so
+// response timing does not reveal near-miss prefixes.
+func (reg *TenantRegistry) Resolve(authHeader string) *Tenant {
+	var found *Tenant
+	for _, t := range reg.tenants {
+		if subtle.ConstantTimeCompare([]byte(authHeader), []byte("Bearer "+t.Token)) == 1 && found == nil {
+			found = t
+		}
+	}
+	return found
+}
+
+// Limits returns the admission-queue quota envelope for a tenant id.
+// Unknown ids get the zero envelope (unlimited) — they cannot occur via
+// the HTTP plane, which only admits registered tenants.
+func (reg *TenantRegistry) Limits(id string) hpo.TenantLimits {
+	t := reg.byID[id]
+	if t == nil {
+		return hpo.TenantLimits{}
+	}
+	return hpo.TenantLimits{
+		MaxConcurrent:  t.MaxConcurrentStudies,
+		MaxTotalEpochs: t.MaxTotalEpochs,
+		MaxSubscribers: t.MaxEventSubscribers,
+		Weight:         t.Weight,
+	}
+}
+
+// IDs lists registered tenant ids, sorted.
+func (reg *TenantRegistry) IDs() []string {
+	ids := make([]string, 0, len(reg.byID))
+	for id := range reg.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

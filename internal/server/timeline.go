@@ -30,9 +30,14 @@ func (s *Server) studyTimeline(id string) (*trace.StudyTimeline, *trace.Recorder
 // with rung-boundary segments and promote/prune markers, times in
 // nanoseconds since the study's first journal record.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	tl, _, err := s.studyTimeline(r.PathValue("id"))
+	id := r.PathValue("id")
+	if _, err := s.getVisible(r, id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	tl, _, err := s.studyTimeline(id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tl)
@@ -42,9 +47,14 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 // timeline as a Paraver trace (one thread per trial), loadable by Paraver
 // or cmd/traceview.
 func (s *Server) handleTimelinePrv(w http.ResponseWriter, r *http.Request) {
-	_, rec, err := s.studyTimeline(r.PathValue("id"))
+	id := r.PathValue("id")
+	if _, err := s.getVisible(r, id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	_, rec, err := s.studyTimeline(id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -34,24 +34,24 @@ type VerifyResponse struct {
 // reflects this resolution, not a stored attribute of the study.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	meta, err := s.store.GetStudy(id)
+	meta, err := s.getVisible(r, id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	spec, err := ParseSpec(meta.Spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	params, err := spec.ReplayParams(s.runner.DefaultScheduler, s.runner.DefaultRungMode, s.runner.DefaultPruner)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	recs, err := s.store.StudyRecords(id)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 
@@ -65,7 +65,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 		if !errors.Is(err, replay.ErrDivergence) && !errors.Is(err, replay.ErrCorrupt) {
 			// Not a verification verdict — an infrastructure failure.
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 	}

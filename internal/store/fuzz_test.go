@@ -15,6 +15,9 @@ var fuzzSeedLines = [][]byte{
 	[]byte(`{"seq":2,"type":"trial","study_id":"s","trial":{"id":0,"config":{"x":1},"best_acc":0.5},"at":"2026-01-01T00:00:00Z"}` + "\n"),
 	[]byte(`{"seq":3,"type":"metric","study_id":"s","metric":{"trial_id":0,"epoch":1,"value":0.25},"at":"2026-01-01T00:00:00Z"}` + "\n"),
 	[]byte(`{"seq":4,"type":"promote","study_id":"s","promote":{"trial_id":0,"epoch":2,"budget":9,"reason":"r"},"at":"2026-01-01T00:00:00Z"}` + "\n"),
+	// A tenant-tagged study record with an absorbed epoch summary — the
+	// multi-tenant daemon's record shape (docs/TENANCY.md).
+	[]byte(`{"seq":5,"type":"study","study_id":"acme.s","study":{"id":"acme.s","tenant":"acme","state":"done","trials":1,"best_acc":0.5,"epochs_executed":2},"at":"2026-01-01T00:00:00Z"}` + "\n"),
 }
 
 // FuzzParseSegment fuzzes the segment record parser: whatever the bytes,

@@ -154,6 +154,13 @@ type Journal struct {
 	// promotes holds each study's rung-promotion decisions in append order
 	// (dropped by compaction along with the other telemetry).
 	promotes map[string][]Promotion
+	// epochsLive counts metric records appended since the study's last
+	// terminal transition — the in-flight half of epoch accounting. Each
+	// terminal state record absorbs it into Summary.Epochs (and from there
+	// into StudyMeta.EpochsExecuted), so per-tenant usage re-derives
+	// exactly from replay: terminal runs from the durable summary, the
+	// live run from its replayed metric records.
+	epochsLive map[string]int
 	// seg tracks each study's live segment files; segOrder mirrors the
 	// manifest's study order (creation order, including studies whose
 	// first record never landed).
@@ -199,21 +206,22 @@ type Journal struct {
 // detected and truncated away; corruption anywhere else returns ErrCorrupt.
 func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
 	j := &Journal{
-		dir:      path,
-		opts:     opts,
-		retain:   resolveRetain(opts.RetainEvents),
-		maxSeg:   resolveMaxSeg(opts.MaxSegmentBytes),
-		maxOpen:  resolveMaxOpen(opts.MaxOpenSegments),
-		lru:      list.New(),
-		studies:  make(map[string]*StudyMeta),
-		trials:   make(map[string][]Trial),
-		seenOK:   make(map[string]map[string]bool),
-		memo:     make(map[string]Trial),
-		promotes: make(map[string][]Promotion),
-		seg:      make(map[string]*studySegments),
-		dirtySet: make(map[string]struct{}),
-		windows:  make(map[string]*eventWindow),
-		watch:    make(chan struct{}),
+		dir:        path,
+		opts:       opts,
+		retain:     resolveRetain(opts.RetainEvents),
+		maxSeg:     resolveMaxSeg(opts.MaxSegmentBytes),
+		maxOpen:    resolveMaxOpen(opts.MaxOpenSegments),
+		lru:        list.New(),
+		studies:    make(map[string]*StudyMeta),
+		trials:     make(map[string][]Trial),
+		seenOK:     make(map[string]map[string]bool),
+		memo:       make(map[string]Trial),
+		promotes:   make(map[string][]Promotion),
+		epochsLive: make(map[string]int),
+		seg:        make(map[string]*studySegments),
+		dirtySet:   make(map[string]struct{}),
+		windows:    make(map[string]*eventWindow),
+		watch:      make(chan struct{}),
 	}
 	fi, err := os.Stat(path)
 	switch {
@@ -477,6 +485,18 @@ func (j *Journal) apply(rec record) {
 			meta.Resumed = rec.Summary.Resumed
 			meta.Memoized = rec.Summary.Memoized
 			meta.BestAcc = rec.Summary.BestAcc
+			if rec.Summary.Epochs > 0 || rec.State.Terminal() {
+				meta.EpochsExecuted = rec.Summary.Epochs
+			}
+		}
+		if rec.State.Terminal() {
+			if rec.Summary == nil {
+				// Pre-epoch-accounting journals end runs without a summary
+				// on the failure path: fold the replayed live count so the
+				// usage is not lost.
+				meta.EpochsExecuted += j.epochsLive[rec.StudyID]
+			}
+			delete(j.epochsLive, rec.StudyID)
 		}
 		j.pushEvent(Event{Seq: rec.Seq, Type: recState, StudyID: rec.StudyID, State: rec.State, Error: rec.Error})
 	case recTrial:
@@ -510,6 +530,7 @@ func (j *Journal) apply(rec record) {
 		if rec.Metric == nil {
 			return
 		}
+		j.epochsLive[rec.StudyID]++
 		m := *rec.Metric
 		j.pushEvent(Event{Seq: rec.Seq, Type: recMetric, StudyID: rec.StudyID, Metric: &m})
 	case recPrune:
@@ -710,6 +731,22 @@ func (j *Journal) appendBatchOpts(recs []record, sync bool) (uint64, error) {
 	now := time.Now().UTC()
 	var seq uint64
 	for i := range recs {
+		if recs[i].Type == recState && recs[i].State.Terminal() {
+			// A terminal transition settles the run's epoch usage into the
+			// durable summary: prior finished runs (meta.EpochsExecuted)
+			// plus this run's metric records. Synthesizing a summary on the
+			// summary-less failure path must preserve the meta's existing
+			// counters — apply() folds the summary back wholesale.
+			if meta := j.studies[recs[i].StudyID]; meta != nil {
+				sum := Summary{Trials: meta.Trials, Resumed: meta.Resumed,
+					Memoized: meta.Memoized, BestAcc: meta.BestAcc}
+				if recs[i].Summary != nil {
+					sum = *recs[i].Summary
+				}
+				sum.Epochs = meta.EpochsExecuted + j.epochsLive[recs[i].StudyID]
+				recs[i].Summary = &sum
+			}
+		}
 		ss, err := j.writerFor(recs[i].StudyID, sync)
 		if err != nil {
 			j.mu.Unlock()
@@ -955,6 +992,36 @@ func (j *Journal) ActiveStudies() []string {
 		}
 	}
 	return out
+}
+
+// StudyEpochs reports the training epochs a study has consumed: the
+// durable total of finished runs plus the metric records of the run in
+// flight. Exact across restarts and compaction (the terminal summary and
+// compacted study record both carry the number).
+func (j *Journal) StudyEpochs(id string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	meta, ok := j.studies[id]
+	if !ok {
+		return 0
+	}
+	return meta.EpochsExecuted + j.epochsLive[id]
+}
+
+// TenantEpochs sums epoch usage across a tenant's studies — the number an
+// admission queue checks a MaxTotalEpochs budget against. The empty
+// tenant aggregates single-tenant (registry-less) studies.
+func (j *Journal) TenantEpochs(tenant string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	total := 0
+	for id, meta := range j.studies {
+		if meta.Tenant != tenant {
+			continue
+		}
+		total += meta.EpochsExecuted + j.epochsLive[id]
+	}
+	return total
 }
 
 // AppendTrials persists finished trials for a study as one durable batch

@@ -107,6 +107,9 @@ func snapshotOnce(dir, id string) (StudyMeta, []StudyRecord, error) {
 					meta.Resumed = rec.Summary.Resumed
 					meta.Memoized = rec.Summary.Memoized
 					meta.BestAcc = rec.Summary.BestAcc
+					if rec.Summary.Epochs > 0 || rec.State.Terminal() {
+						meta.EpochsExecuted = rec.Summary.Epochs
+					}
 				}
 			}
 		}

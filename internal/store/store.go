@@ -73,8 +73,13 @@ func (s StudyState) Terminal() bool {
 
 // StudyMeta is the persisted description of one study.
 type StudyMeta struct {
-	ID        string     `json:"id"`
-	Name      string     `json:"name,omitempty"`
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Tenant is the owning tenant's id in a multi-tenant daemon (empty on
+	// single-tenant journals). It scopes listing/visibility at the API
+	// layer and keys per-tenant quota accounting; it is always a tenant
+	// id, never a bearer token.
+	Tenant    string     `json:"tenant,omitempty"`
 	Spec      []byte     `json:"spec,omitempty"` // submitted spec, verbatim JSON
 	State     StudyState `json:"state"`
 	Error     string     `json:"error,omitempty"`
@@ -86,14 +91,23 @@ type StudyMeta struct {
 	Resumed  int     `json:"resumed,omitempty"`
 	Memoized int     `json:"memoized,omitempty"`
 	BestAcc  float64 `json:"best_acc,omitempty"`
+	// EpochsExecuted accumulates the training epochs this study's finished
+	// runs consumed (one per journaled metric record), folded in from each
+	// terminal state record's Summary.Epochs. It survives compaction — the
+	// compacted study record carries the full meta — so per-tenant epoch
+	// budgets re-derive exactly across restarts.
+	EpochsExecuted int `json:"epochs_executed,omitempty"`
 }
 
-// Summary carries end-of-run counters into SetStudyState.
+// Summary carries end-of-run counters into SetStudyState. Epochs is
+// filled by the journal itself at append time (the journal counts metric
+// records; callers cannot know about epochs recorded by prior runs).
 type Summary struct {
 	Trials   int
 	Resumed  int
 	Memoized int
 	BestAcc  float64
+	Epochs   int `json:",omitempty"`
 }
 
 // Trial is the storage form of one finished trial — the same shape the

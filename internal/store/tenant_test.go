@@ -1,0 +1,125 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestEpochAccountingSurvivesRestartAndCompaction is the quota-accounting
+// contract: per-study epoch usage (one per metric record) must re-derive
+// exactly across a mid-run restart, a terminal transition, a re-run, and
+// compaction — no double-count, no leak.
+func TestEpochAccountingSurvivesRestartAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j := openTestJournal(t, path)
+	if err := j.CreateStudy(StudyMeta{ID: "a", Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CreateStudy(StudyMeta{ID: "b", Tenant: "umbrella"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetStudyState("a", StateRunning, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 5; e++ {
+		if err := j.AppendMetric("a", 1, e, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.AppendMetric("b", 1, 1, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.StudyEpochs("a"); got != 5 {
+		t.Fatalf("live StudyEpochs(a) = %d, want 5", got)
+	}
+	if got := j.TenantEpochs("acme"); got != 5 {
+		t.Fatalf("live TenantEpochs(acme) = %d, want 5", got)
+	}
+
+	// Kill mid-run: the live count must re-derive from replayed metrics.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j = openTestJournal(t, path)
+	if got := j.StudyEpochs("a"); got != 5 {
+		t.Fatalf("post-restart StudyEpochs(a) = %d, want 5 (re-derived from metric replay)", got)
+	}
+	if got := j.TenantEpochs("umbrella"); got != 1 {
+		t.Fatalf("post-restart TenantEpochs(umbrella) = %d, want 1", got)
+	}
+
+	// Finish the run (3 more epochs) — the terminal summary absorbs the
+	// live count; a canceled study is charged for what it ran, exactly once.
+	for e := 6; e <= 8; e++ {
+		if err := j.AppendMetric("a", 1, e, 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.SetStudyState("a", StateDone, "", &Summary{Trials: 1, BestAcc: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetStudyState("b", StateCanceled, "canceled by operator", nil); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := j.GetStudy("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.EpochsExecuted != 8 || meta.Tenant != "acme" {
+		t.Fatalf("terminal meta = {EpochsExecuted: %d, Tenant: %q}, want {8, acme}", meta.EpochsExecuted, meta.Tenant)
+	}
+	if got := j.TenantEpochs("umbrella"); got != 1 {
+		t.Fatalf("canceled-study TenantEpochs(umbrella) = %d, want 1 (charged once, not leaked)", got)
+	}
+
+	// A re-run accumulates on top of the durable total.
+	if err := j.SetStudyState("a", StateRunning, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 2; e++ {
+		if err := j.AppendMetric("a", 2, e, 0.7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.StudyEpochs("a"); got != 10 {
+		t.Fatalf("re-run StudyEpochs(a) = %d, want 10 (8 durable + 2 live)", got)
+	}
+	if err := j.SetStudyState("a", StateDone, "", &Summary{Trials: 1, BestAcc: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compaction drops the metric records; the usage must not move.
+	if _, err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.StudyEpochs("a"); got != 10 {
+		t.Fatalf("post-compaction StudyEpochs(a) = %d, want 10", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j = openTestJournal(t, path)
+	defer j.Close()
+	if got := j.StudyEpochs("a"); got != 10 {
+		t.Fatalf("post-compaction-restart StudyEpochs(a) = %d, want 10", got)
+	}
+	if got := j.TenantEpochs("acme"); got != 10 {
+		t.Fatalf("post-compaction-restart TenantEpochs(acme) = %d, want 10", got)
+	}
+	meta, err = j.GetStudy("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Tenant != "acme" {
+		t.Fatalf("tenant tag lost across compaction: %q", meta.Tenant)
+	}
+
+	// Snapshot readers fold the same numbers without the journal lock.
+	snapMeta, _, err := SnapshotStudyRecords(path, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapMeta.EpochsExecuted != 10 || snapMeta.Tenant != "acme" {
+		t.Fatalf("snapshot meta = {EpochsExecuted: %d, Tenant: %q}, want {10, acme}", snapMeta.EpochsExecuted, snapMeta.Tenant)
+	}
+}
