@@ -14,7 +14,7 @@
 //	     [-retry-after 1s] [-pruner median] [-scheduler hyperband]
 //	     [-rung-mode async]
 //	     [-retain-events 1024] [-max-open-segments 128]
-//	     [-compact-interval 10m]
+//	     [-compact-interval 10m] [-verify-on-compact=true]
 //
 // With -tenants the daemon is multi-tenant (docs/TENANCY.md): each
 // registered bearer token maps to a tenant namespace with its own study
@@ -42,6 +42,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -79,6 +80,7 @@ type options struct {
 	retainEvents    int
 	maxOpenSegments int
 	compactInterval time.Duration
+	verifyOnCompact bool
 }
 
 func main() {
@@ -110,6 +112,8 @@ func main() {
 		"open segment file-handle ceiling across studies (0 = default 128, negative = unbounded)")
 	flag.DurationVar(&o.compactInterval, "compact-interval", 10*time.Minute,
 		"how often terminal studies' journal segments are compacted in the background (0 = only on POST /v1/admin/compact)")
+	flag.BoolVar(&o.verifyOnCompact, "verify-on-compact", true,
+		"replay-verify each study before compaction drops its decision stream; failing studies are left uncompacted")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -199,6 +203,9 @@ func newDaemon(o options) (*daemon, error) {
 	srv.Runner().DefaultPruner = o.pruner
 	srv.Runner().DefaultScheduler = o.scheduler
 	srv.Runner().DefaultRungMode = o.rungMode
+	if !o.verifyOnCompact {
+		journal.SetCompactVerify(nil)
+	}
 	d := &daemon{
 		opts:    o,
 		journal: journal,
@@ -249,7 +256,7 @@ func (d *daemon) Stop() error {
 	err := d.journal.Close()
 	select {
 	case serr := <-d.served:
-		if serr != nil && serr != http.ErrServerClosed && err == nil {
+		if serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 			err = serr
 		}
 	default:

@@ -95,6 +95,7 @@ func (m *MedianStop) Observe(trialID, epoch int, value float64) bool {
 		return false
 	}
 	var others []float64
+	//lint:ignore replaydet guarded collect of peer curve values; DecideMedianStop reduces them via the median, which is order-insensitive
 	for id, oc := range m.curves {
 		if id == trialID || len(oc) <= epoch || !m.seen[id][epoch] {
 			continue
@@ -185,6 +186,7 @@ func (a *ASHA) Observe(trialID, epoch int, value float64) bool {
 		keep = 1
 	}
 	rank := 1
+	//lint:ignore replaydet pure count of better-scoring incumbents; summation order cannot change the rank
 	for id, v := range rung {
 		if id == trialID {
 			continue

@@ -798,6 +798,7 @@ func (a *ASHAScheduler) Observe(trialID, epoch int, value float64) []SchedDecisi
 	// rank behind earlier arrivals, like RungHyperband's async rule), then
 	// record this arrival in the pool.
 	pool := make([]float64, 0, len(rung))
+	//lint:ignore replaydet guarded collect of incumbent scores; DecideRungArrival ranks by counting, which is order-insensitive
 	for id, v := range rung {
 		if id != trialID {
 			pool = append(pool, v)

@@ -357,6 +357,7 @@ func (e *engine) runRecords(r int) []store.StudyRecord {
 // study admitted them (ids are assigned in Ask-consumption order).
 func (e *engine) runTrials(r int) []int {
 	var ids []int
+	//lint:ignore replaydet guarded collect into a slice; sort.Ints below restores a canonical order
 	for tid, rr := range e.runOf {
 		if rr == r {
 			ids = append(ids, tid)
@@ -440,12 +441,14 @@ func (e *engine) replayRungHyperband() error {
 	for r := range e.runStarts {
 		// Members anchored by an earlier run's success keep their binding.
 		anchored := map[string]int{} // member key → succeeded earlier trial id
+		//lint:ignore replaydet map-to-map projection; keys are unique per run so insertion order cannot matter
 		for tid, key := range bindings {
 			if f := e.finals[tid]; f != nil && f.Succeeded() {
 				anchored[key] = tid
 			}
 		}
 		claimed := map[string]bool{}
+		//lint:ignore replaydet map-to-set projection; membership is order-insensitive
 		for key := range anchored {
 			claimed[key] = true
 		}
@@ -689,7 +692,14 @@ func (e *engine) replayBatchHyperband() error {
 		}
 		h.Tell(results)
 	}
+	// Sorted so the first out-of-schedule trial named in the corrupt error
+	// is deterministic across runs, not whichever map key came up first.
+	tids := make([]int, 0, len(e.finals))
 	for tid := range e.finals {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
 		if tid >= id {
 			return e.corrupt(0, "trial %d recorded beyond the derived schedule of %d trials", tid, id)
 		}

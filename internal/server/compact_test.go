@@ -2,6 +2,8 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -92,6 +94,110 @@ func TestAdminCompactEndpoint(t *testing.T) {
 	code, trials := getJSON(t, ts.URL+"/v1/studies/done1/trials")
 	if code != http.StatusOK || len(trials["trials"].([]interface{})) != 1 {
 		t.Fatalf("trials after compact = %d %v", code, trials)
+	}
+}
+
+// TestCompactionRefusesTamperedStudy: verify-on-compact end to end. Two
+// rung studies finish; one stream gains a promotion the scheduler never
+// granted. Compaction must rewrite the intact study, refuse the tampered
+// one (its full record stream is the divergence evidence), count the
+// refusal in the run delta / healthz / the metrics exposition, and leave
+// the tampered study's verify verdict reproducible afterwards.
+func TestCompactionRefusesTamperedStudy(t *testing.T) {
+	journal, ts := newRungTestServer(t)
+
+	specFmt := `{
+		"algo": "hyperband", "scheduler": "hyperband", "rung_mode": "async",
+		"budget": 9, "seed": %d,
+		"space": {"acc": {"type": "float", "min": 0.1, "max": 0.9}},
+		"start": true}`
+	var ids []string
+	for _, seed := range []int{41, 42} {
+		code, created := postJSON(t, ts.URL+"/v1/studies", fmt.Sprintf(specFmt, seed))
+		if code != http.StatusCreated {
+			t.Fatalf("create = %d %v", code, created)
+		}
+		id := created["id"].(string)
+		waitForState(t, ts.URL, id, "done")
+		ids = append(ids, id)
+	}
+	tampered, intact := ids[0], ids[1]
+
+	// Forge a promotion into one stream: replay will not re-derive it.
+	rec := journal.Recorder(tampered, "tamper")
+	if err := rec.(store.MetricRecorder).RecordPromote(0, 0, 27, "forged grant"); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := postJSON(t, ts.URL+"/v1/admin/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("compact = %d %v", code, out)
+	}
+	delta, ok := out["compacted"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("compact response = %v", out)
+	}
+	if delta["verify_refusals"].(float64) != 1 {
+		t.Fatalf("tampered study was not refused: %v", delta)
+	}
+	if delta["studies_compacted"].(float64) != 1 {
+		t.Fatalf("intact study was not compacted alongside the refusal: %v", delta)
+	}
+
+	// The refusal is visible in the cumulative healthz stats...
+	code, health := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	comp := health["journal"].(map[string]interface{})["compaction"].(map[string]interface{})
+	if comp["verify_refusals"].(float64) != 1 {
+		t.Fatalf("healthz compaction stats missing the refusal: %v", comp)
+	}
+
+	// ...and on the Prometheus exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		sb.WriteString(scanner.Text())
+		sb.WriteByte('\n')
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "hpo_store_compaction_verify_refusals_total 1") {
+		t.Fatalf("metrics exposition missing the refusal counter:\n%.2000s", sb.String())
+	}
+
+	// The tampered study's record stream survived intact: the verdict is
+	// still reproducible (which compaction would have destroyed).
+	code, body := postVerify(t, ts.URL+"/v1/studies/"+tampered+"/verify")
+	if code != http.StatusOK {
+		t.Fatalf("verify after refusal = %d", code)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.OK {
+		t.Fatal("tampered study verifies OK — the forged record was compacted away")
+	}
+
+	// The intact study still serves its trials from the compacted form.
+	code, trials := getJSON(t, ts.URL+"/v1/studies/"+intact+"/trials")
+	if code != http.StatusOK || len(trials["trials"].([]interface{})) == 0 {
+		t.Fatalf("intact study unreadable after compaction: %d %v", code, trials)
+	}
+
+	// A second run refuses again: the gate is idempotent, not one-shot.
+	code, out = postJSON(t, ts.URL+"/v1/admin/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("second compact = %d %v", code, out)
+	}
+	delta = out["compacted"].(map[string]interface{})
+	if delta["verify_refusals"].(float64) != 1 || delta["studies_compacted"].(float64) != 0 {
+		t.Fatalf("second compact run = %v", delta)
 	}
 }
 

@@ -99,6 +99,10 @@ func New(st *store.Journal, factory RuntimeFactory, maxConcurrent int) *Server {
 	s.handle("POST /v1/studies/{id}/verify", s.handleVerify)
 	s.handle("POST /v1/admin/compact", s.handleCompact)
 	s.registerScrapeHook()
+	// Verify-on-compact is on by default: the journal refuses to drop any
+	// decision stream that fails replay verification (hpod
+	// -verify-on-compact=false unhooks it).
+	st.SetCompactVerify(s.CompactVerify)
 	return s
 }
 

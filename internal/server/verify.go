@@ -71,3 +71,36 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// CompactVerify is the journal's verify-on-compact gate
+// (store.SetCompactVerify): it re-runs the study's decision replay exactly
+// like POST /v1/studies/{id}/verify and returns the verification error, so
+// compaction refuses to drop a record stream that no longer byte-matches
+// its replay. Infrastructure failures (unreadable records, bad spec)
+// refuse too — conservatively: when the stream cannot be proven intact it
+// must not be destroyed.
+func (s *Server) CompactVerify(id string) error {
+	meta, err := s.store.GetStudy(id)
+	if err != nil {
+		return err
+	}
+	if len(meta.Spec) == 0 {
+		// No spec on record (store-level writers, pre-spec migrations):
+		// there is no decision stream to re-derive, nothing to protect.
+		return nil
+	}
+	spec, err := ParseSpec(meta.Spec)
+	if err != nil {
+		return err
+	}
+	params, err := spec.ReplayParams(s.runner.DefaultScheduler, s.runner.DefaultRungMode, s.runner.DefaultPruner)
+	if err != nil {
+		return err
+	}
+	recs, err := s.store.StudyRecords(id)
+	if err != nil {
+		return err
+	}
+	_, err = replay.Verify(id, recs, params)
+	return err
+}

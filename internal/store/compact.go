@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"time"
@@ -25,6 +26,9 @@ type CompactionStats struct {
 	SegmentsRemoved int `json:"segments_removed"`
 	// BytesReclaimed sums the sizes of unlinked segment files.
 	BytesReclaimed int64 `json:"bytes_reclaimed"`
+	// VerifyRefusals counts studies left uncompacted because the
+	// SetCompactVerify hook rejected them (replay divergence/corruption).
+	VerifyRefusals int `json:"verify_refusals"`
 }
 
 // add folds another run's counters in.
@@ -34,6 +38,21 @@ func (s *CompactionStats) add(d CompactionStats) {
 	s.RecordsDropped += d.RecordsDropped
 	s.SegmentsRemoved += d.SegmentsRemoved
 	s.BytesReclaimed += d.BytesReclaimed
+	s.VerifyRefusals += d.VerifyRefusals
+}
+
+// SetCompactVerify installs a pre-compaction gate: before a study's full
+// record stream is dropped, fn is called with the study id, and a non-nil
+// error refuses compaction for that study (the run continues with the
+// rest). The daemon wires this to replay verification so compaction can
+// never destroy the evidence of a divergent or corrupt decision stream —
+// once the per-epoch records are gone, the byte-match contract of
+// docs/JOURNAL.md §8 is unverifiable. Pass nil to disable. fn is called
+// without journal locks held and may use the journal's read API.
+func (j *Journal) SetCompactVerify(fn func(id string) error) {
+	j.mu.Lock()
+	j.compactVerify = fn
+	j.mu.Unlock()
 }
 
 // JournalStats is a point-in-time description of the store for health
@@ -138,6 +157,20 @@ func (j *Journal) compactableLocked(id string) bool {
 // between (an operator re-started it) is left alone for a later run.
 func (j *Journal) compactStudy(id string) (CompactionStats, error) {
 	var d CompactionStats
+	j.mu.Lock()
+	verify := j.compactVerify
+	j.mu.Unlock()
+	if verify != nil {
+		if err := verify(id); err != nil {
+			// Refusing is the whole point: compaction would drop the very
+			// records a divergence investigation needs. Keep the study as-is
+			// and let the operator run POST /v1/studies/{id}/verify.
+			obsCompactionVerifyRefusals.Inc()
+			log.Printf("store: refusing to compact study %s: pre-compaction replay verification failed: %v", id, err)
+			d.VerifyRefusals = 1
+			return d, nil
+		}
+	}
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()

@@ -190,6 +190,9 @@ type Journal struct {
 	compactMu   sync.Mutex
 	compactStop chan struct{}
 	compactDone chan struct{}
+	// compactVerify, when set, gates per-study compaction: a non-nil error
+	// leaves the study's full record stream on disk (see SetCompactVerify).
+	compactVerify func(id string) error
 
 	// commitMu serialises fsyncs; synced is the highest durable seq.
 	commitMu sync.Mutex
@@ -438,6 +441,8 @@ func (j *Journal) replayStudy(ms manifestStudy) ([]record, *studySegments, error
 			}
 		case recState:
 			terminal = rec.State.Terminal()
+		default:
+			// Trial/metric/prune/promote records never change terminality.
 		}
 	}
 	if terminal {

@@ -36,6 +36,8 @@ var (
 		"Journal records removed from disk by compaction.")
 	obsCompactionBytes = obs.Default().Counter("hpo_store_compaction_bytes_reclaimed_total",
 		"Segment bytes unlinked by compaction.")
+	obsCompactionVerifyRefusals = obs.Default().Counter("hpo_store_compaction_verify_refusals_total",
+		"Terminal studies left uncompacted because pre-compaction replay verification failed.")
 )
 
 // countAppend records one appended journal line in the metrics layer.

@@ -112,6 +112,8 @@ func snapshotOnce(dir, id string) (StudyMeta, []StudyRecord, error) {
 					}
 				}
 			}
+		default:
+			// Trial/metric/prune/promote records carry no study meta.
 		}
 		sr := StudyRecord{Seq: rec.Seq, Type: rec.Type, At: rec.At, State: rec.State,
 			Metric: rec.Metric, Prune: rec.Prune, Promote: rec.Promote}

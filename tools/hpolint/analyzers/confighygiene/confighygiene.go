@@ -1,0 +1,67 @@
+// Package confighygiene enforces the hidden-key hygiene clause
+// (docs/JOURNAL.md "config hygiene"): underscore-prefixed scheduler keys
+// ("_hb", "_hb_max", and any future "_"-key) are in-memory coordination
+// state and must never reach the persistence or API layers. The sanctioned
+// choke points — store.PublicConfig and the sanitize helpers — are the
+// only places in internal/store and internal/server allowed to spell such
+// a key; anywhere else, a literal like "_hb" in those packages is a sign
+// someone is about to encode one past the boundary.
+package confighygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "confighygiene",
+	Doc:  "forbid underscore-prefixed config-key literals in the persistence/API layers outside PublicConfig/sanitize",
+	Run:  run,
+}
+
+// sanctioned are the function names allowed to manipulate hidden keys in
+// scope: the strip choke points themselves.
+var sanctioned = map[string]bool{
+	"PublicConfig": true,
+	"sanitize":     true,
+}
+
+// hiddenKey matches underscore-prefixed config keys ("_hb", "_hb_max",
+// "_anything"); the bare "_" string (used by the HasPrefix hygiene checks
+// themselves) is not a key.
+var hiddenKey = regexp.MustCompile(`^_[A-Za-z]`)
+
+func run(pass *lintkit.Pass) error {
+	if !strings.HasSuffix(pass.ImportPath, "internal/store") &&
+		!strings.HasSuffix(pass.ImportPath, "internal/server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			inSanctioned := ok && sanctioned[fn.Name.Name]
+			ast.Inspect(decl, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !hiddenKey.MatchString(s) {
+					return true
+				}
+				if inSanctioned {
+					return true
+				}
+				pass.Reportf(lit.Pos(),
+					"hidden config key %q in the persistence/API layer: underscore keys must be stripped at PublicConfig/sanitize, not handled here", s)
+				return true
+			})
+		}
+	}
+	return nil
+}

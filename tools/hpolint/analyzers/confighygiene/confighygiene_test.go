@@ -1,0 +1,16 @@
+package confighygiene_test
+
+import (
+	"testing"
+
+	"repro/tools/hpolint/analyzers/confighygiene"
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+func TestGolden(t *testing.T) {
+	lintkit.RunGolden(t, "testdata/src", confighygiene.Analyzer,
+		"repro/internal/store",
+		"repro/internal/server",
+		"repro/internal/hpo",
+	)
+}

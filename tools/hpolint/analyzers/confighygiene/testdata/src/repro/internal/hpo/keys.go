@@ -1,0 +1,7 @@
+package hpo
+
+// internal/hpo is outside the persistence/API scope: the scheduler is
+// allowed to mint hidden coordination keys.
+func heartbeatKey() string {
+	return "_hb"
+}

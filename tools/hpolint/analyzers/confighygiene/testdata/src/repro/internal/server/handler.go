@@ -1,0 +1,9 @@
+package server
+
+func render(cfg map[string]string) string {
+	return cfg["_hb_max"] // want `hidden config key "_hb_max"`
+}
+
+func sanitize(cfg map[string]string) {
+	delete(cfg, "_hb") // ok: sanctioned sanitize choke point
+}

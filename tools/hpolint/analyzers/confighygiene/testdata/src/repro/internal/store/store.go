@@ -1,0 +1,22 @@
+package store
+
+const hiddenHeartbeat = "_hb" // want `hidden config key "_hb"`
+
+func PublicConfig(cfg map[string]string) map[string]string {
+	out := map[string]string{}
+	for k, v := range cfg {
+		if k == "_hb" || k == "_hb_max" { // ok: the sanctioned strip choke point
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func leak(cfg map[string]string) string {
+	return cfg["_hb"] // want `hidden config key "_hb"`
+}
+
+func prefixCheck(k string) bool {
+	return len(k) > 0 && k[:1] == "_" // ok: bare underscore is not a key
+}

@@ -1,0 +1,83 @@
+// Package fsyncpath enforces the group-commit durability rule: os.File
+// fsyncs are expensive and ordering-sensitive, so every File.Sync must go
+// through internal/store's sanctioned commit path — the group-commit pass
+// (Journal.commit), segment rotation/teardown, and the write-then-sync
+// helpers. A Sync anywhere else either stalls a hot path (the PR 2/PR 4
+// "telemetry must not stall the read loop" incidents) or advances
+// durability outside the synced high-water protocol.
+package fsyncpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "fsyncpath",
+	Doc:  "os.File.Sync only inside internal/store's group-commit path",
+	Run:  run,
+}
+
+// sanctioned are the internal/store functions allowed to call File.Sync:
+// the group-commit pass, rotation sealing, shutdown, and the
+// write-everything-then-sync helpers used by manifest swaps and
+// compaction.
+var sanctioned = map[string]bool{
+	"commit":        true, // Journal.commit — the group-commit fsync pass
+	"rotateLocked":  true, // seals the active segment before rotation
+	"Close":         true, // journal teardown
+	"writeFileSync": true, // atomic write helper (manifest, compacted segments)
+	"syncDir":       true, // directory entry durability after rename
+}
+
+func run(pass *lintkit.Pass) error {
+	inStore := strings.HasSuffix(pass.ImportPath, "internal/store")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, isFunc := decl.(*ast.FuncDecl)
+			allowed := inStore && isFunc && sanctioned[fn.Name.Name]
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Sync" || len(call.Args) != 0 {
+					return true
+				}
+				if !isOSFile(pass, sel.X) || allowed {
+					return true
+				}
+				if inStore {
+					pass.Reportf(call.Pos(),
+						"File.Sync outside the sanctioned group-commit path (Journal.commit/rotateLocked/Close, writeFileSync, syncDir): route durability through the group commit")
+				} else {
+					pass.Reportf(call.Pos(),
+						"File.Sync outside internal/store: fsync policy is owned by the journal's group-commit path (docs/JOURNAL.md)")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isOSFile reports whether the expression has type *os.File.
+func isOSFile(pass *lintkit.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "File" && named.Obj().Pkg().Path() == "os"
+}

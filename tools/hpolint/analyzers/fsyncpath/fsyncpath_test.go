@@ -1,0 +1,15 @@
+package fsyncpath_test
+
+import (
+	"testing"
+
+	"repro/tools/hpolint/analyzers/fsyncpath"
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+func TestGolden(t *testing.T) {
+	lintkit.RunGolden(t, "testdata/src", fsyncpath.Analyzer,
+		"repro/internal/store",
+		"repro/internal/other",
+	)
+}

@@ -1,0 +1,15 @@
+package other
+
+import "os"
+
+type flusher struct{}
+
+func (flusher) Sync() error { return nil }
+
+func save(f *os.File) error {
+	return f.Sync() // want `File\.Sync outside internal/store`
+}
+
+func flush(fl flusher) error {
+	return fl.Sync() // ok: not an os.File
+}

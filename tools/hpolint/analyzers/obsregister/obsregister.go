@@ -1,0 +1,130 @@
+// Package obsregister enforces the metric-registry conventions of
+// docs/OBSERVABILITY.md §2: instruments are registered once, at package
+// init (package-level var initializers or init functions) so handles are
+// pre-resolved off the hot path and the two-way docs pin sees a complete
+// registry at import time; family names follow
+// `hpo_<subsystem>_<what>[_total]` (library) or `hpod_<what>` (daemon HTTP
+// plane); `_total` marks counters and only counters.
+package obsregister
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "obsregister",
+	Doc:  "metric registration only at package init, with doc-pinned family naming",
+	Run:  run,
+}
+
+// registerMethods are the *obs.Registry constructors; the value marks
+// counter kinds (which must carry the _total suffix).
+var registerMethods = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"Gauge":        false,
+	"GaugeVec":     false,
+	"Histogram":    false,
+	"HistogramVec": false,
+}
+
+var (
+	libName    = regexp.MustCompile(`^hpo_[a-z0-9]+(_[a-z0-9]+)+$`)
+	daemonName = regexp.MustCompile(`^hpod_[a-z0-9]+(_[a-z0-9]+)*$`)
+)
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			atInit := declIsInitScope(decl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				isCounter, isRegister := registerMethods[sel.Sel.Name]
+				if !isRegister || !isRegistryRecv(pass, sel) {
+					return true
+				}
+				if !atInit {
+					pass.Reportf(call.Pos(),
+						"obs.Registry.%s outside a package-level var or init: register instruments at package init so handles are pre-resolved and the docs pin sees the full registry", sel.Sel.Name)
+				}
+				checkName(pass, call, sel.Sel.Name, isCounter)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkName validates the family-name argument against the documented
+// conventions.
+func checkName(pass *lintkit.Pass, call *ast.CallExpr, method string, isCounter bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs.Registry.%s family name is not a constant string: names must be statically checkable against docs/OBSERVABILITY.md", method)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !libName.MatchString(name) && !daemonName.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric family %q does not match the hpo_<subsystem>_<what>[_total] / hpod_<what> convention (docs/OBSERVABILITY.md §2)", name)
+		return
+	}
+	if isCounter && !strings.HasSuffix(name, "_total") {
+		pass.Reportf(call.Args[0].Pos(),
+			"counter family %q must end in _total (docs/OBSERVABILITY.md §2)", name)
+	}
+	if !isCounter && strings.HasSuffix(name, "_total") {
+		pass.Reportf(call.Args[0].Pos(),
+			"%s family %q must not end in _total — the suffix marks monotonic counters (docs/OBSERVABILITY.md §2)", strings.ToLower(strings.TrimSuffix(method, "Vec")), name)
+	}
+}
+
+// declIsInitScope reports whether a top-level declaration runs at package
+// init: a var block or an init function. Function literals inside a var
+// initializer (the build-a-map-then-return idiom) still count — they run
+// during package initialization.
+func declIsInitScope(decl ast.Decl) bool {
+	switch d := decl.(type) {
+	case *ast.GenDecl:
+		return d.Tok.String() == "var"
+	case *ast.FuncDecl:
+		return d.Name.Name == "init" && d.Recv == nil
+	}
+	return false
+}
+
+// isRegistryRecv reports whether the selector's receiver is an
+// *obs.Registry from this repo's internal/obs package.
+func isRegistryRecv(pass *lintkit.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Registry" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+}

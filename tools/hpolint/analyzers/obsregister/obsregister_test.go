@@ -1,0 +1,14 @@
+package obsregister_test
+
+import (
+	"testing"
+
+	"repro/tools/hpolint/analyzers/obsregister"
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+func TestGolden(t *testing.T) {
+	lintkit.RunGolden(t, "testdata/src", obsregister.Analyzer,
+		"repro/internal/metrics",
+	)
+}

@@ -1,0 +1,31 @@
+package metrics
+
+import "repro/internal/obs"
+
+var (
+	goodCounter = obs.Default().Counter("hpo_store_appends_total", "ok")
+	goodGauge   = obs.Default().Gauge("hpo_queue_depth", "ok")
+	goodDaemon  = obs.Default().Counter("hpod_requests_total", "ok: daemon plane")
+	goodVec     = obs.Default().CounterVec("hpo_server_errors_total", "ok", "code")
+
+	badName    = obs.Default().Counter("storeAppends_total", "x")  // want `does not match`
+	noTotal    = obs.Default().Counter("hpo_store_appends", "x")   // want `must end in _total`
+	gaugeTotal = obs.Default().Gauge("hpo_queue_depth_total", "x") // want `must not end in _total`
+
+	// The build-a-map-in-a-func-literal idiom still runs at package init.
+	lazy = func() *obs.Counter {
+		return obs.Default().Counter("hpo_lazy_bumps_total", "ok")
+	}()
+)
+
+func init() {
+	obs.Default().Counter("hpo_init_registrations_total", "ok: init scope")
+}
+
+func late() *obs.Counter {
+	return obs.Default().Counter("hpo_late_registrations_total", "x") // want `outside a package-level var or init`
+}
+
+func dynamic(name string) *obs.Gauge {
+	return obs.Default().Gauge(name, "x") // want `outside a package-level var or init` `not a constant string`
+}

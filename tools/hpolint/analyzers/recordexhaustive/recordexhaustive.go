@@ -1,0 +1,184 @@
+// Package recordexhaustive enforces conscious handling of journal record
+// types: a switch over record-type strings must either cover every member
+// of store.recordTypes or carry an explicit default clause. The docs pin
+// (TestJournalDocSpecCoversRecordTypes) keeps the SPEC in sync with
+// recordTypes; this analyzer keeps the CODE in sync — adding a record type
+// breaks every switch that silently assumed the old closed set.
+//
+// The authoritative member list is parsed out of the repository's own
+// internal/store sources (the `recordTypes` slice), resolved relative to
+// the analyzed package's module root, so the checker never drifts from the
+// store.
+package recordexhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "recordexhaustive",
+	Doc:  "switches over journal record types must cover every store.recordTypes member or declare a default",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if pass.ModuleRoot == "" {
+		return nil
+	}
+	members, err := loadRecordTypes(pass.ModuleRoot)
+	if err != nil || len(members) == 0 {
+		// A module without internal/store (or without the slice) has no
+		// record-type contract to enforce.
+		return nil
+	}
+	set := make(map[string]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw, members, set)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch flags a default-less switch whose cases are all record-type
+// strings but do not cover the full set.
+func checkSwitch(pass *lintkit.Pass, sw *ast.SwitchStmt, members []string, set map[string]bool) {
+	covered := map[string]bool{}
+	caseCount := 0
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			return // explicit default: conscious handling of the rest
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return // not a constant-string switch
+			}
+			v := constant.StringVal(tv.Value)
+			if !set[v] {
+				return // switches over some other string domain
+			}
+			covered[v] = true
+			caseCount++
+		}
+	}
+	// One-case switches are idiomatic guards, not type dispatches; require
+	// at least two distinct record types before treating the switch as "a
+	// switch over journal record types".
+	if len(covered) < 2 {
+		return
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over journal record types misses %s: cover every store.recordTypes member or add an explicit default clause",
+		strings.Join(missing, ", "))
+}
+
+// recordTypesCache memoizes the per-module-root member list: vet runs the
+// analyzer once per package, but the store sources only need parsing once.
+var recordTypesCache sync.Map // module root → []string
+
+// loadRecordTypes parses <root>/internal/store for
+// `var recordTypes = []string{...}`, resolving identifier elements against
+// the package's string constants.
+func loadRecordTypes(root string) ([]string, error) {
+	if v, ok := recordTypesCache.Load(root); ok {
+		return v.([]string), nil
+	}
+	dir := filepath.Join(root, "internal", "store")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		recordTypesCache.Store(root, []string(nil))
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	consts := map[string]string{}
+	var elems []ast.Expr
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if s, err := strconv.Unquote(lit.Value); err == nil {
+							consts[id.Name] = s
+						}
+					}
+					if id.Name == "recordTypes" {
+						if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							elems = cl.Elts
+						}
+					}
+				}
+			}
+		}
+	}
+	var members []string
+	for _, e := range elems {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if s, ok := consts[e.Name]; ok {
+				members = append(members, s)
+			} else {
+				return nil, fmt.Errorf("recordexhaustive: unresolved recordTypes member %s", e.Name)
+			}
+		case *ast.BasicLit:
+			if s, err := strconv.Unquote(e.Value); err == nil {
+				members = append(members, s)
+			}
+		}
+	}
+	recordTypesCache.Store(root, members)
+	return members, nil
+}

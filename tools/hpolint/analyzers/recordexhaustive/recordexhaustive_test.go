@@ -1,0 +1,14 @@
+package recordexhaustive_test
+
+import (
+	"testing"
+
+	"repro/tools/hpolint/analyzers/recordexhaustive"
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+func TestGolden(t *testing.T) {
+	lintkit.RunGolden(t, "testdata/src", recordexhaustive.Analyzer,
+		"repro/internal/store",
+	)
+}

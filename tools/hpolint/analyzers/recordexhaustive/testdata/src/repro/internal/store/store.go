@@ -1,0 +1,59 @@
+package store
+
+const (
+	recStudy  = "study"
+	recState  = "state"
+	recTrial  = "trial"
+	recMetric = "metric"
+)
+
+var recordTypes = []string{recStudy, recState, recTrial, recMetric}
+
+func dispatch(t string) int {
+	switch t { // ok: covers every member
+	case recStudy:
+		return 0
+	case recState:
+		return 1
+	case recTrial:
+		return 2
+	case recMetric:
+		return 3
+	}
+	return -1
+}
+
+func partial(t string) bool {
+	switch t { // want `switch over journal record types misses metric, trial`
+	case recStudy:
+		return true
+	case recState:
+		return true
+	}
+	return false
+}
+
+func partialWithDefault(t string) bool {
+	switch t { // ok: explicit default is conscious handling of the rest
+	case recStudy, recState:
+		return true
+	default:
+		return false
+	}
+}
+
+func guard(t string) bool {
+	switch t { // ok: a single-type guard, not a record dispatch
+	case recStudy:
+		return true
+	}
+	return false
+}
+
+func otherDomain(s string) bool {
+	switch s { // ok: some other string domain
+	case "alpha", "beta":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package replaydet_test
+
+import (
+	"testing"
+
+	"repro/tools/hpolint/analyzers/replaydet"
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+func TestGolden(t *testing.T) {
+	lintkit.RunGolden(t, "testdata/src", replaydet.Analyzer,
+		"repro/internal/replay",
+		"repro/internal/hpo",
+		"repro/internal/other",
+	)
+}

@@ -1,0 +1,7 @@
+package hpo
+
+import "time"
+
+func promoteAt() int64 {
+	return time.Now().Unix() // want `time\.Now on the replay decision path`
+}

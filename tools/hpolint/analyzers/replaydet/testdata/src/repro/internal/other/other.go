@@ -1,0 +1,9 @@
+package other
+
+import "time"
+
+// The analyzer is scoped to internal/replay and internal/hpo decision
+// files; everything else may read the clock.
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

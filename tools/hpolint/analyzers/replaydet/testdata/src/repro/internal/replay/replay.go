@@ -1,0 +1,40 @@
+package replay
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func decide(seed int64, scores map[string]float64) []string {
+	start := time.Now()   // want `time\.Now on the replay decision path`
+	_ = time.Since(start) // want `time\.Since on the replay decision path`
+	_ = rand.Intn(3)      // want `global math/rand\.Intn`
+
+	rng := rand.New(rand.NewSource(seed)) // ok: seeded local source
+	_ = rng.Intn(3)                       // ok: method on the seeded source
+
+	var ids []string
+	for id := range scores { // ok: collect-then-sort single append
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	for id, s := range scores { // want `range over map on the replay decision path`
+		if s > 0 {
+			ids = append(ids, id)
+		}
+	}
+
+	total := 0.0
+	//lint:ignore replaydet order-insensitive sum over the pool
+	for _, s := range scores {
+		total += s
+	}
+	_ = total
+
+	for _, id := range ids { // ok: slices iterate deterministically
+		_ = id
+	}
+	return ids
+}

@@ -1,0 +1,116 @@
+// Package sentinelis enforces the typed-sentinel contract: exported Err*
+// sentinel values (ErrQuotaExceeded, ErrBackpressure, ErrCanceled, ...)
+// must be matched with errors.Is, never compared with == or != — raw
+// comparison silently stops matching the moment anyone wraps the sentinel
+// with fmt.Errorf("...: %w", err), which the HTTP error mapping and the
+// admission queue both rely on.
+package sentinelis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "sentinelis",
+	Doc:  "forbid ==/!= comparison against exported Err* sentinels; use errors.Is",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinelName(pass, side); ok {
+						pass.Reportf(n.Pos(),
+							"%s compared with %s: use errors.Is so wrapped sentinels still match", name, n.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch flags `switch err { case ErrFoo: }` — the same raw identity
+// comparison spelled as a switch.
+func checkSwitch(pass *lintkit.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelName(pass, e); ok {
+				pass.Reportf(e.Pos(),
+					"switch case compares %s by identity: use errors.Is so wrapped sentinels still match", name)
+			}
+		}
+	}
+}
+
+// sentinelName reports whether the expression names an exported
+// package-level Err* variable of error type, and returns its display name.
+func sentinelName(pass *lintkit.Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	var id *ast.Ident
+	display := ""
+	switch e := e.(type) {
+	case *ast.Ident:
+		id, display = e, e.Name
+	case *ast.SelectorExpr:
+		id = e.Sel
+		if x, ok := e.X.(*ast.Ident); ok {
+			display = x.Name + "." + e.Sel.Name
+		} else {
+			display = e.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	// Package-level sentinels only: locals named ErrX are somebody else's
+	// problem, and fields are not sentinels.
+	if obj.Parent() != obj.Pkg().Scope() || obj.IsField() {
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !obj.Exported() || len(obj.Name()) <= len("Err") {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	return display, true
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil {
+		return false
+	}
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}

@@ -1,0 +1,15 @@
+package sentinelis_test
+
+import (
+	"testing"
+
+	"repro/tools/hpolint/analyzers/sentinelis"
+	"repro/tools/hpolint/internal/lintkit"
+)
+
+func TestGolden(t *testing.T) {
+	lintkit.RunGolden(t, "testdata/src", sentinelis.Analyzer,
+		"repro/internal/sent",
+		"repro/internal/sent2",
+	)
+}

@@ -1,0 +1,29 @@
+package sent
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+var errInternal = errors.New("internal") // unexported: not a public sentinel
+
+func check(err error) bool {
+	if err == ErrBoom { // want `ErrBoom compared with ==`
+		return true
+	}
+	if err != ErrBoom { // want `ErrBoom compared with !=`
+		return false
+	}
+	if errors.Is(err, ErrBoom) { // ok: the sanctioned matcher
+		return true
+	}
+	if err == errInternal { // ok: unexported, identity is this package's business
+		return true
+	}
+	switch err {
+	case ErrBoom: // want `switch case compares ErrBoom by identity`
+		return true
+	case nil:
+		return false
+	}
+	return err == nil // ok: nil check is not a sentinel comparison
+}

@@ -1,0 +1,17 @@
+package sent2
+
+import (
+	"errors"
+
+	"repro/internal/sent"
+)
+
+func classify(err error) int {
+	if err == sent.ErrBoom { // want `sent\.ErrBoom compared with ==`
+		return 1
+	}
+	if errors.Is(err, sent.ErrBoom) { // ok
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module repro/tools/hpolint
+
+go 1.24

@@ -1,0 +1,105 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation strings from a `// want "rx" "rx"`
+// comment — the analysistest golden-diagnostic convention: each quoted
+// regexp must match exactly one diagnostic reported on that line.
+var wantRe = regexp.MustCompile(`(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `)`)
+
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunGolden loads each package (import paths under srcRoot), runs the
+// analyzer alone, and checks the diagnostics against `// want` comments:
+// every diagnostic must be expected, every expectation must fire.
+func RunGolden(t *testing.T, srcRoot string, a *Analyzer, paths ...string) {
+	t.Helper()
+	loader := NewLoader(srcRoot)
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := Analyze(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			if !claimWant(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", path, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses the `// want` comments of every file in the package.
+func collectWants(t *testing.T, pkg *Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[idx+len("want "):], -1) {
+					var lit string
+					var err error
+					if strings.HasPrefix(q, "`") {
+						lit = strings.Trim(q, "`")
+					} else {
+						lit, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, q, err)
+						}
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+					}
+					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claimWant marks the first unclaimed expectation on the diagnostic's line
+// that matches it.
+func claimWant(wants []*wantExpectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Pos renders a token.Position compactly for test failure messages.
+func Pos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

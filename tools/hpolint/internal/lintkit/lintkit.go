@@ -1,0 +1,192 @@
+// Package lintkit is a dependency-free miniature of the golang.org/x/tools
+// go/analysis framework: just enough Analyzer/Pass surface to write
+// repo-specific contract checkers, a `go vet -vettool` unitchecker
+// protocol driver, a source-mode package loader for tests, and an
+// analysistest-style golden-diagnostic harness.
+//
+// The container this repo builds in has no module proxy access, so the
+// real x/tools dependency is out of reach; the shapes here mirror it
+// closely enough that swapping back is a mechanical change.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one contract checker: a name (used in diagnostics and
+// //lint:ignore directives), a doc string, and the per-package Run hook.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the package's canonical import path; analyzers scope
+	// themselves by suffix (e.g. "internal/replay").
+	ImportPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// ModuleRoot is the nearest ancestor of Dir containing go.mod ("" when
+	// none was found); repo-pinned analyzers resolve contract sources (like
+	// internal/store's recordTypes) relative to it.
+	ModuleRoot string
+
+	diags   *[]Diagnostic
+	ignores map[string]map[int][]string // filename → line → analyzer names ignored
+}
+
+// Reportf records a diagnostic unless a //lint:ignore directive suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	for _, name := range p.ignores[position.Filename][position.Line] {
+		if name == p.Analyzer.Name || name == "*" {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreRe matches suppression directives:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// A directive suppresses matching diagnostics on its own line and on the
+// line directly below it (so it can trail a statement or precede one). The
+// justification is mandatory — a bare directive does not suppress.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(.+)$`)
+
+// collectIgnores builds the per-file suppression table for a package.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					out[pos.Filename] = byLine
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					byLine[pos.Line] = append(byLine[pos.Line], name)
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Package is one loaded, type-checked package ready to be analyzed.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+	Dir        string
+	ModuleRoot string
+}
+
+// Analyze runs the analyzers over the package and returns their combined
+// diagnostics sorted by position.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Pkg,
+			TypesInfo:  pkg.Info,
+			ImportPath: pkg.ImportPath,
+			Dir:        pkg.Dir,
+			ModuleRoot: pkg.ModuleRoot,
+			diags:      &diags,
+			ignores:    ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod; it returns "" when none exists.
+func FindModuleRoot(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// NewInfo allocates the types.Info maps every analyzer relies on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

@@ -1,0 +1,191 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages from source: import paths under the source
+// root resolve to root-relative directories (GOPATH-style, the layout the
+// golden testdata trees use, and — with the module path stripped — the
+// real repository); everything else falls back to the standard library via
+// the stdlib source importer. No go command, no network, no export data.
+type Loader struct {
+	Fset *token.FileSet
+	// Root is the source directory paths resolve under: Load("a/b") parses
+	// Root/a/b.
+	Root string
+	// ModulePath, when set, additionally maps "ModulePath/x" → Root/x so a
+	// module tree loads under its declared import paths.
+	ModulePath string
+
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader builds a Loader over one source root.
+func NewLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		Root: root,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*Package),
+	}
+}
+
+// dirFor maps an import path to a directory under the root, or "" when the
+// path does not resolve locally.
+func (l *Loader) dirFor(path string) string {
+	rel := path
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			rel = "."
+		} else if strings.HasPrefix(path, l.ModulePath+"/") {
+			rel = strings.TrimPrefix(path, l.ModulePath+"/")
+		}
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer: local packages load recursively, the
+// rest come from GOROOT source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package at the import path, memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("lintkit: package %q not under %s", path, l.Root)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lintkit: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{Importer: l, Sizes: types.SizesFor("gc", "amd64")}
+	info := NewInfo()
+	tpkg, err := tc.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: typechecking %s: %v", path, err)
+	}
+	pkg := &Package{
+		Fset:       l.Fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		ImportPath: path,
+		Dir:        dir,
+		ModuleRoot: FindModuleRoot(dir),
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// ModulePackages enumerates the import paths of every package in the
+// module rooted at root (declared module path modPath), skipping testdata,
+// hidden directories, and nested modules.
+func ModulePackages(root, modPath string) ([]string, error) {
+	var paths []string
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if p != root {
+				if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != ip {
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	compact := paths[:0]
+	for i, p := range paths {
+		if i == 0 || paths[i-1] != p {
+			compact = append(compact, p)
+		}
+	}
+	return compact, nil
+}
+
+// ReadModulePath reads the module declaration from a go.mod file.
+func ReadModulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}

@@ -1,0 +1,127 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON `go vet` writes for each analysis unit (the
+// cmd/go ↔ vettool protocol; see x/tools' unitchecker for the reference
+// implementation). Only the fields this driver consumes are declared.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	// VetxOnly units exist purely to produce dependency facts; this suite
+	// keeps no cross-package facts, so they are answered with an empty
+	// facts file and no analysis.
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one `go vet -vettool` analysis unit: parse the package
+// named by the cfg file, type-check it against the export data cmd/go
+// supplies, run the analyzers, and print diagnostics. The returned exit
+// code follows the unitchecker convention: 0 clean, 1 driver failure, 2
+// diagnostics reported.
+func RunUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	b, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "hpolint: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		fmt.Fprintf(stderr, "hpolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist even when empty — cmd/go stats it to
+	// decide whether the unit succeeded.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "hpolint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Contract analyzers police production code; test files routinely
+		// (and legitimately) use wall clocks, raw literals and direct fds.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(stderr, "hpolint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	info := NewInfo()
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "hpolint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &Package{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		ModuleRoot: FindModuleRoot(cfg.Dir),
+	}
+	diags, err := Analyze(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "hpolint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
